@@ -1,0 +1,39 @@
+# Figure-reproduction benches (one binary per paper figure), the
+# data-structure microbenchmarks, and the design ablations.
+#
+# Targets are declared from the top level (not add_subdirectory) so
+# that ${CMAKE_BINARY_DIR}/bench contains ONLY runnable binaries —
+# `for b in build/bench/*; do $b; done` regenerates every figure.
+add_library(pagesim_bench_common STATIC bench/common.cc)
+target_link_libraries(pagesim_bench_common PUBLIC pagesim)
+target_include_directories(pagesim_bench_common PUBLIC ${CMAKE_SOURCE_DIR}/bench)
+set_target_properties(pagesim_bench_common PROPERTIES
+    ARCHIVE_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/lib)
+
+function(pagesim_bench name)
+    add_executable(${name} bench/${name}.cpp)
+    target_link_libraries(${name} PRIVATE pagesim_bench_common)
+    set_target_properties(${name} PROPERTIES
+        RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+pagesim_bench(fig01_mean_ssd50)
+pagesim_bench(fig02_joint_ssd50)
+pagesim_bench(fig03_tails_ssd50)
+pagesim_bench(fig04_variants_mean)
+pagesim_bench(fig05_variants_joint)
+pagesim_bench(fig06_capacity_mean)
+pagesim_bench(fig07_capacity_faults)
+pagesim_bench(fig08_capacity_tails)
+pagesim_bench(fig09_zram_mean)
+pagesim_bench(fig10_zram_faults)
+pagesim_bench(fig11_zram_vs_ssd)
+pagesim_bench(fig12_zram_tails)
+pagesim_bench(ablation_bloom)
+pagesim_bench(ablation_tiers)
+
+add_executable(micro_structures bench/micro_structures.cpp)
+target_link_libraries(micro_structures PRIVATE pagesim benchmark::benchmark)
+set_target_properties(micro_structures PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+pagesim_bench(ext_tpp_tiering)

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches.
+ *
+ * Every bench binary regenerates one figure of the paper's evaluation
+ * as a text table: same series, same normalization. Trials default to
+ * a bench-friendly count and honor PAGESIM_TRIALS for full-fidelity
+ * runs (the paper used 25).
+ */
+
+#ifndef PAGESIM_BENCH_COMMON_HH
+#define PAGESIM_BENCH_COMMON_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "stats/regression.hh"
+#include "stats/table.hh"
+
+namespace pagesim::bench
+{
+
+/** Default trials per cell for bench binaries. */
+constexpr unsigned kBenchTrials = 5;
+
+/** Print the standard bench banner (figure id, config, trials). */
+void banner(const std::string &figure, const std::string &description,
+            const ExperimentConfig &base);
+
+/** Build a base config with bench defaults applied. */
+ExperimentConfig baseConfig();
+
+/**
+ * Result cache: runs each distinct cell once per process so benches
+ * that need the same cell for several sub-tables don't recompute.
+ */
+class ResultCache
+{
+  public:
+    const ExperimentResult &get(const ExperimentConfig &config);
+
+  private:
+    std::map<std::string, ExperimentResult> cells_;
+};
+
+/** Primary performance metric: mean runtime, or mean request latency
+ *  for YCSB workloads (the paper's Fig. 1 normalization). */
+double perfMetric(const ExperimentResult &res);
+
+/** Mean major faults per trial. */
+double faultMetric(const ExperimentResult &res);
+
+/** Render one trial-per-row joint (runtime, faults) table with the
+ *  paper's r^2 fit (Figs. 2 and 5). */
+std::string jointDistribution(const ExperimentResult &res);
+
+/** The (faults -> runtime) linear fit for one cell. */
+LinearFit faultRuntimeFit(const ExperimentResult &res);
+
+/** Render a read/write tail-latency table (Figs. 3, 8, 12). */
+std::string tailTable(
+    const std::vector<std::pair<std::string, const ExperimentResult *>>
+        &series);
+
+/** Render min/q1/median/q3/max of per-trial fault counts, normalized
+ *  to @p norm (Fig. 7). */
+std::string faultBoxRow(const ExperimentResult &res, double norm,
+                        TextTable &table, const std::string &label);
+
+} // namespace pagesim::bench
+
+#endif // PAGESIM_BENCH_COMMON_HH

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the core data structures the
+ * characterization rests on: the Bloom filter, generation-list moves,
+ * page-table walks, the zipfian generator, the latency histogram, and
+ * the event queue. These establish that the paper's "O(1) generation
+ * move" claim holds in this implementation and quantify per-op costs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/address_space.hh"
+#include "mem/frame_table.hh"
+#include "policy/mglru/bloom_filter.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "stats/histogram.hh"
+
+namespace
+{
+
+using namespace pagesim;
+
+void
+BM_BloomFilterAdd(benchmark::State &state)
+{
+    RegionBloomFilter filter(1u << 15, 2, 42);
+    std::uint64_t r = 0;
+    for (auto _ : state) {
+        filter.add(r++);
+        if ((r & 0xfff) == 0)
+            filter.clear();
+    }
+}
+BENCHMARK(BM_BloomFilterAdd);
+
+void
+BM_BloomFilterTest(benchmark::State &state)
+{
+    RegionBloomFilter filter(1u << 15, 2, 42);
+    for (std::uint64_t r = 0; r < 1024; ++r)
+        filter.add(r * 3);
+    std::uint64_t r = 0;
+    bool acc = false;
+    for (auto _ : state)
+        acc ^= filter.maybeContains(r++);
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_BloomFilterTest);
+
+void
+BM_FrameListMove(benchmark::State &state)
+{
+    // The O(1) generation-move operation (paper Sec. V-B).
+    FrameTable frames(4096);
+    AddressSpace space(0);
+    space.map("m", 4096);
+    FrameList a(frames, 1), b(frames, 2);
+    for (Vpn v = 0; v < 4096; ++v)
+        a.pushBack(frames.allocate(&space, v, false));
+    bool in_a = true;
+    for (auto _ : state) {
+        FrameList &from = in_a ? a : b;
+        FrameList &to = in_a ? b : a;
+        const Pfn pfn = from.popBack();
+        to.pushFront(pfn);
+        if (from.empty())
+            in_a = !in_a;
+    }
+}
+BENCHMARK(BM_FrameListMove);
+
+void
+BM_PageTableScanRegion(benchmark::State &state)
+{
+    AddressSpace space(0);
+    space.map("scan", 1u << 16);
+    PageTable &table = space.table();
+    const Vpn base = space.vmas().front().start;
+    for (Vpn v = base; v < base + (1u << 16); v += 2)
+        table.at(v).setFlag(Pte::Accessed);
+    std::uint64_t region = regionOf(base);
+    const std::uint64_t end = regionOf(base + (1u << 16)) - 1;
+    for (auto _ : state) {
+        std::uint64_t young = 0;
+        const Vpn rb = regionBase(region);
+        for (Vpn v = rb; v < rb + kPtesPerRegion; ++v) {
+            Pte &pte = table.at(v);
+            if (pte.testAndClearAccessed()) {
+                ++young;
+                pte.setFlag(Pte::Accessed); // restore for next iter
+            }
+        }
+        benchmark::DoNotOptimize(young);
+        if (++region >= end)
+            region = regionOf(base);
+    }
+    state.SetItemsProcessed(state.iterations() * kPtesPerRegion);
+}
+BENCHMARK(BM_PageTableScanRegion);
+
+void
+BM_ZipfianDraw(benchmark::State &state)
+{
+    Rng rng(7);
+    ZipfianGenerator zipf(static_cast<std::uint64_t>(state.range(0)),
+                          0.99, true);
+    std::uint64_t acc = 0;
+    for (auto _ : state)
+        acc ^= zipf.next(rng);
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_ZipfianDraw)->Arg(1000)->Arg(100000);
+
+void
+BM_HistogramRecord(benchmark::State &state)
+{
+    LatencyHistogram hist;
+    Rng rng(9);
+    for (auto _ : state)
+        hist.record(rng.uniformInt(100, 10000000));
+    benchmark::DoNotOptimize(hist.count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    EventQueue events;
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        events.scheduleAfter(10, [&fired] { ++fired; });
+        events.runOne();
+    }
+    benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_RngNextU64(benchmark::State &state)
+{
+    Rng rng(3);
+    std::uint64_t acc = 0;
+    for (auto _ : state)
+        acc ^= rng.nextU64();
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngNextU64);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+#include "graph/generator.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace pagesim
+{
+
+AliasSampler::AliasSampler(const std::vector<double> &weights)
+    : prob_(weights.size()), alias_(weights.size(), 0)
+{
+    assert(!weights.empty());
+    const std::size_t n = weights.size();
+    const double total = std::accumulate(weights.begin(), weights.end(),
+                                         0.0);
+    assert(total > 0.0);
+
+    // Scale weights so the mean is 1, then split into small/large and
+    // pair them (Vose's stable construction).
+    std::vector<double> scaled(n);
+    for (std::size_t i = 0; i < n; ++i)
+        scaled[i] = weights[i] * static_cast<double>(n) / total;
+
+    std::vector<std::uint32_t> small;
+    std::vector<std::uint32_t> large;
+    small.reserve(n);
+    large.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (scaled[i] < 1.0)
+            small.push_back(static_cast<std::uint32_t>(i));
+        else
+            large.push_back(static_cast<std::uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+        const std::uint32_t s = small.back();
+        small.pop_back();
+        const std::uint32_t l = large.back();
+        large.pop_back();
+        prob_[s] = scaled[s];
+        alias_[s] = l;
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        if (scaled[l] < 1.0)
+            small.push_back(l);
+        else
+            large.push_back(l);
+    }
+    for (std::uint32_t i : large)
+        prob_[i] = 1.0;
+    for (std::uint32_t i : small)
+        prob_[i] = 1.0;
+}
+
+std::uint32_t
+AliasSampler::sample(Rng &rng) const
+{
+    const std::uint32_t col = static_cast<std::uint32_t>(
+        rng.uniformInt(0, prob_.size() - 1));
+    return rng.nextDouble() < prob_[col] ? col : alias_[col];
+}
+
+CsrGraph
+generatePowerLawGraph(const GraphConfig &config)
+{
+    const std::uint32_t n = config.vertices;
+    assert(n >= 2);
+
+    // Deterministic per-vertex degree weight: hash the vertex id to a
+    // pseudo-rank so hubs are scattered across the id space, then give
+    // it a zipf-like weight rank^(-alpha).
+    std::vector<double> weights(n);
+    const double max_deg =
+        std::max(2.0, config.maxDegreeFraction * static_cast<double>(n));
+    for (std::uint32_t v = 0; v < n; ++v) {
+        const std::uint64_t h = splitmix64(config.seed ^ (v + 1));
+        const double rank =
+            1.0 + static_cast<double>(h % n); // pseudo-rank in [1, n]
+        weights[v] = std::pow(rank, -config.alpha);
+    }
+    const double wsum =
+        std::accumulate(weights.begin(), weights.end(), 0.0);
+
+    // Degrees scaled so their sum approximates targetEdges.
+    CsrGraph g;
+    g.offsets.resize(n + 1);
+    g.offsets[0] = 0;
+    const double scale = static_cast<double>(config.targetEdges) / wsum;
+    for (std::uint32_t v = 0; v < n; ++v) {
+        double d = weights[v] * scale;
+        d = std::clamp(d, 1.0, max_deg);
+        g.offsets[v + 1] =
+            g.offsets[v] + static_cast<std::uint64_t>(d + 0.5);
+    }
+
+    // Endpoints drawn proportional to degree weight.
+    const std::uint64_t m = g.offsets[n];
+    g.dst.resize(m);
+    AliasSampler sampler(weights);
+    Rng rng(config.seed ^ 0xfeedc0defee1deadull);
+    for (std::uint64_t e = 0; e < m; ++e)
+        g.dst[e] = sampler.sample(rng);
+
+    assert(g.valid());
+    return g;
+}
+
+} // namespace pagesim

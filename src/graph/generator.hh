@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Power-law graph generation (Chung-Lu style).
+ *
+ * Matches the structural features the paper's PageRank analysis leans
+ * on: a heavy-tailed degree distribution with hubs scattered across
+ * the vertex-ID space (like GAP's synthetic Kronecker inputs), so
+ * contiguous per-thread vertex ranges carry *unequal* edge work.
+ */
+
+#ifndef PAGESIM_GRAPH_GENERATOR_HH
+#define PAGESIM_GRAPH_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hh"
+#include "sim/rng.hh"
+
+namespace pagesim
+{
+
+/** Parameters for the power-law generator. */
+struct GraphConfig
+{
+    std::uint32_t vertices = 1u << 19;
+    /** Approximate total edges (exact count is degree-sum). */
+    std::uint64_t targetEdges = 1ull << 22;
+    /** Degree tail exponent: weight ~ rank^(-alpha), alpha in (0,1). */
+    double alpha = 0.75;
+    /** Degree cap as a fraction of vertices. */
+    double maxDegreeFraction = 0.08;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Sample from a fixed discrete distribution in O(1) (Walker's alias
+ * method). Used to draw edge endpoints proportional to degree weight.
+ */
+class AliasSampler
+{
+  public:
+    explicit AliasSampler(const std::vector<double> &weights);
+
+    std::uint32_t sample(Rng &rng) const;
+
+    std::size_t size() const { return prob_.size(); }
+
+  private:
+    std::vector<double> prob_;
+    std::vector<std::uint32_t> alias_;
+};
+
+/**
+ * Generate a power-law CSR graph.
+ *
+ * Degrees are assigned by hashing vertex ids into a zipf-like rank
+ * (hubs are scattered, not clustered at low ids), scaled so the degree
+ * sum approximates targetEdges. Edge endpoints are drawn from an alias
+ * sampler proportional to degree weight, so popular vertices are also
+ * popular destinations — the skew PageRank's random rank-vector reads
+ * inherit.
+ */
+CsrGraph generatePowerLawGraph(const GraphConfig &config);
+
+} // namespace pagesim
+
+#endif // PAGESIM_GRAPH_GENERATOR_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * PageRank workload (GAP-style pull PageRank over a power-law graph).
+ *
+ * Structure (paper Sec. IV, V-B): T worker threads own contiguous
+ * vertex ranges; an iteration is a barrier-synchronized parallel sweep
+ * where each thread streams its offsets/edge pages sequentially and
+ * reads the source-rank vector at the pages its in-edges reference —
+ * a degree-skewed, semi-random pattern. Because hubs make per-thread
+ * edge counts unequal and every iteration ends at a barrier, runtime
+ * is governed by the slowest thread, not the average — the paper's
+ * explanation for why PageRank's runtime decouples from total fault
+ * count.
+ *
+ * The replayed rank-page trace is exact: it is extracted from a real
+ * CSR of the generated graph (deduplicated per edge block, capped by
+ * sampling to bound op counts; the cap is a documented scaling knob).
+ */
+
+#ifndef PAGESIM_GRAPH_PAGERANK_WORKLOAD_HH
+#define PAGESIM_GRAPH_PAGERANK_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/generator.hh"
+#include "workload/access_pattern.hh"
+#include "workload/workload.hh"
+
+namespace pagesim
+{
+
+/** PageRank workload parameters. */
+struct PageRankConfig
+{
+    GraphConfig graph{};
+    unsigned threads = 12;
+    unsigned iterations = 8;
+    /** Cap on distinct rank pages replayed per edge page (scaling). */
+    std::uint32_t maxDistinctPerEdgePage = 128;
+    /**
+     * CPU work to process one page of edges. Calibrated so the
+     * compute:fault-cost balance at the scaled footprint matches the
+     * full-scale system (fault latencies are real-world constants
+     * while the dataset shrank; see DESIGN.md "Scaling").
+     */
+    SimDuration computePerEdgePage = usecs(300);
+    /** CPU work per rank-vector page access. */
+    SimDuration computePerRankTouch = nsecs(800);
+};
+
+/**
+ * Immutable, trial-independent PageRank data: the graph and the
+ * per-edge-page distinct-rank-page trace. Build once per configuration
+ * and share across trials/threads (read-only).
+ */
+struct PrDataset
+{
+    PageRankConfig config;
+    CsrGraph graph;
+
+    /** Page-count layout (VMA sizes). */
+    std::uint64_t offsetsPages = 0;
+    std::uint64_t edgesPages = 0;
+    std::uint64_t rankPages = 0; ///< per rank array
+
+    /** Flat storage of rank-page offsets, windows per edge page. */
+    std::vector<std::uint32_t> rankTrace;
+    struct Window
+    {
+        std::uint32_t begin;
+        std::uint32_t count;
+    };
+    std::vector<Window> edgePageWindows;
+
+    /** Per-thread vertex ranges (contiguous, equal vertex counts). */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> vertexRanges;
+    /** Per-thread edge counts (diagnostic: the skew that matters). */
+    std::vector<std::uint64_t> threadEdges;
+};
+
+/** Build the shared dataset for a configuration. */
+std::shared_ptr<const PrDataset>
+buildPrDataset(const PageRankConfig &config);
+
+/** The per-trial PageRank workload instance. */
+class PageRankWorkload : public Workload
+{
+  public:
+    explicit PageRankWorkload(std::shared_ptr<const PrDataset> dataset);
+
+    const std::string &name() const override { return name_; }
+    std::uint64_t footprintPages() const override;
+    unsigned numThreads() const override;
+    void build(WorkloadContext &ctx) override;
+    std::unique_ptr<OpStream> stream(unsigned tid) override;
+    SimBarrier *barrier(std::uint32_t id) override;
+
+  private:
+    std::shared_ptr<const PrDataset> data_;
+    std::string name_ = "PageRank";
+    std::unique_ptr<SimBarrier> barrier_;
+
+    /** Per-trial VMA bases. */
+    Vpn offsetsBase_ = 0;
+    Vpn edgesBase_ = 0;
+    Vpn rankBase_[2] = {0, 0};
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_GRAPH_PAGERANK_WORKLOAD_HH

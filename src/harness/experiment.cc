@@ -1,0 +1,400 @@
+#include "harness/experiment.hh"
+
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "graph/pagerank_workload.hh"
+#include "kernel/aging_daemon.hh"
+#include "kernel/background_noise.hh"
+#include "kernel/kswapd.hh"
+#include "kernel/memory_manager.hh"
+#include "kv/ycsb_workload.hh"
+#include "sim/simulation.hh"
+#include "swap/ssd_device.hh"
+#include "swap/swap_manager.hh"
+#include "swap/zram_device.hh"
+#include "tpch/tpch_workload.hh"
+#include "workload/file_buffer_workload.hh"
+#include "workload/work_thread.hh"
+
+namespace pagesim
+{
+
+const std::string &
+swapKindName(SwapKind kind)
+{
+    static const std::string names[] = {"SSD", "ZRAM"};
+    return names[static_cast<int>(kind)];
+}
+
+const std::vector<WorkloadKind> &
+allWorkloadKinds()
+{
+    static const std::vector<WorkloadKind> kinds = {
+        WorkloadKind::Tpch,  WorkloadKind::PageRank,
+        WorkloadKind::YcsbA, WorkloadKind::YcsbB,
+        WorkloadKind::YcsbC,
+    };
+    return kinds;
+}
+
+const std::string &
+workloadKindName(WorkloadKind kind)
+{
+    static const std::string names[] = {
+        "TPC-H", "PageRank", "YCSB-A", "YCSB-B", "YCSB-C",
+        "FileBuffer",
+    };
+    return names[static_cast<int>(kind)];
+}
+
+namespace
+{
+
+/** Scale presets (see DESIGN.md Sec. 3 for the scaling rules). */
+struct ScaleParams
+{
+    std::uint64_t tpchLineitemRows;
+    std::uint32_t prVertices;
+    std::uint64_t prEdges;
+    unsigned prIterations;
+    std::uint64_t ycsbItems;
+    double ycsbRequestsPerItem;
+};
+
+ScaleParams
+scaleParams(ScalePreset scale)
+{
+    switch (scale) {
+      case ScalePreset::Small:
+        return ScaleParams{60000, 1u << 16, 1ull << 19, 3, 6000, 5.0};
+      case ScalePreset::Default:
+      default:
+        return ScaleParams{600000, 1u << 19, 1ull << 22, 8, 48000,
+                           10.0};
+    }
+}
+
+/** Cache of shared PageRank datasets (graph build is expensive). */
+std::shared_ptr<const PrDataset>
+cachedPrDataset(ScalePreset scale)
+{
+    static std::mutex mutex;
+    static std::shared_ptr<const PrDataset> cache[2];
+    std::lock_guard<std::mutex> lock(mutex);
+    auto &slot = cache[static_cast<int>(scale)];
+    if (!slot) {
+        const ScaleParams p = scaleParams(scale);
+        PageRankConfig config;
+        config.graph.vertices = p.prVertices;
+        config.graph.targetEdges = p.prEdges;
+        config.iterations = p.prIterations;
+        slot = buildPrDataset(config);
+    }
+    return slot;
+}
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeWorkload(WorkloadKind kind, ScalePreset scale)
+{
+    const ScaleParams p = scaleParams(scale);
+    switch (kind) {
+      case WorkloadKind::Tpch: {
+        TpchConfig config;
+        config.lineitemRows = p.tpchLineitemRows;
+        return std::make_unique<TpchWorkload>(config);
+      }
+      case WorkloadKind::PageRank:
+        return std::make_unique<PageRankWorkload>(
+            cachedPrDataset(scale));
+      case WorkloadKind::YcsbA:
+      case WorkloadKind::YcsbB:
+      case WorkloadKind::YcsbC: {
+        YcsbConfig config;
+        config.kv.items = p.ycsbItems;
+        config.requestsPerItem = p.ycsbRequestsPerItem;
+        config.mix = kind == WorkloadKind::YcsbA   ? YcsbMix::A
+                     : kind == WorkloadKind::YcsbB ? YcsbMix::B
+                                                   : YcsbMix::C;
+        return std::make_unique<YcsbWorkload>(config);
+      }
+      case WorkloadKind::FileBuffer: {
+        FileBufferConfig config;
+        if (scale == ScalePreset::Small) {
+            config.anonPages /= 8;
+            config.streamChunkPages /= 8;
+            config.hotFilePages /= 8;
+            config.rounds = 4;
+            config.hotReadsPerRound /= 8;
+        }
+        return std::make_unique<FileBufferWorkload>(config);
+      }
+    }
+    return nullptr;
+}
+
+std::string
+ExperimentConfig::label() const
+{
+    return workloadKindName(workload) + "/" + policyKindName(policy) +
+           "/" + swapKindName(swap) + "/" +
+           std::to_string(static_cast<int>(capacityRatio * 100)) + "%";
+}
+
+TrialResult
+runTrial(const ExperimentConfig &config, std::uint64_t trial_seed)
+{
+    // --- Assemble one simulated machine (= one boot). -------------
+    Simulation sim(config.numCpus, trial_seed);
+
+    std::unique_ptr<Workload> workload =
+        makeWorkload(config.workload, config.scale);
+    const std::uint64_t footprint = workload->footprintPages();
+
+    MmConfig mm_config;
+    mm_config.totalFrames = static_cast<std::uint32_t>(
+        static_cast<double>(footprint) * config.capacityRatio);
+    // Cgroup-style capacity enforcement (the paper caps per-workload
+    // memory): at the limit, reclaim happens in the faulting task;
+    // the global kswapd only steps in as an emergency backstop, below
+    // the direct-reclaim threshold (global memory isn't under
+    // pressure when a cgroup hits its own limit).
+    mm_config.directReclaimBelow = std::max<std::uint32_t>(
+        mm_config.reclaimBatch, mm_config.totalFrames / 256);
+    mm_config.lowWatermark = mm_config.directReclaimBelow / 2;
+    mm_config.highWatermark = mm_config.directReclaimBelow;
+    mm_config.swapSlots =
+        static_cast<std::uint32_t>(footprint * 2 + 4096);
+    if (config.swap == SwapKind::Zram)
+        mm_config.readaheadPages = 1; // page-cluster=0 for zram
+    if (config.slowTierRatio > 0.0) {
+        mm_config.tier.slowFrames = static_cast<std::uint32_t>(
+            static_cast<double>(footprint) * config.slowTierRatio);
+    }
+
+    FrameTable frames(mm_config.totalFrames);
+    AddressSpace space(0);
+    // Per-boot layout randomization (the paper reboots per trial).
+    space.enableAslr(splitmix64(trial_seed ^ 0xa51a51a5ull));
+
+    std::unique_ptr<SwapDevice> device;
+    if (config.swap == SwapKind::Ssd) {
+        device = std::make_unique<SsdSwapDevice>(
+            sim.events(), sim.forkRng("ssd"));
+    } else {
+        device = std::make_unique<ZramSwapDevice>();
+    }
+    SwapManager swap(*device, mm_config.swapSlots);
+
+    const std::uint32_t frames_total = mm_config.totalFrames;
+    auto policy = makePolicy(
+        config.policy, frames, {&space}, mm_config.costs,
+        sim.forkRng("policy"),
+        [frames_total, &config](MgLruConfig &mg) {
+            // Aging urgency scales with capacity: keep at least 1/8 of
+            // memory outside the youngest generation, and make each
+            // generation represent ~1/16 of memory's worth of reclaim.
+            mg.agingLowPages = std::max<std::uint64_t>(
+                frames_total / 8, 256);
+            mg.agingEvictGate = std::max<std::uint64_t>(
+                frames_total / 16, 64);
+            if (config.mgTweak)
+                config.mgTweak(mg);
+        },
+        &sim.events());
+
+    MemoryManager mm(sim, frames, swap, *policy, mm_config);
+
+    Kswapd kswapd(sim, mm);
+    mm.attachKswapd(&kswapd);
+    kswapd.start();
+
+    // MG-LRU aging runs in reclaim contexts (try_to_inc_max_seq has
+    // no kthread of its own); under the cgroup-style limit those
+    // contexts are the faulting tasks. The AgingDaemon class remains
+    // available for configurations that want a dedicated walker
+    // (see examples/tuning_walks).
+    std::unique_ptr<AgingDaemon> aging;
+
+    // The rest of the OS: per-boot background memory/CPU bursts.
+    BackgroundNoise noise(sim, mm, sim.forkRng("noise"));
+    noise.start();
+
+    WorkloadContext ctx;
+    ctx.mm = &mm;
+    ctx.space = &space;
+    ctx.envSeed = splitmix64(trial_seed ^ 0xecedeul);
+    workload->build(ctx);
+
+    std::vector<std::unique_ptr<WorkThread>> threads;
+    Rng start_jitter = sim.forkRng("thread-start");
+    for (unsigned tid = 0; tid < workload->numThreads(); ++tid) {
+        threads.push_back(std::make_unique<WorkThread>(
+            sim, mm, *workload, space, tid));
+        // Per-boot scheduling jitter in thread start order.
+        threads.back()->start(start_jitter.uniformInt(0, 20000));
+    }
+
+    // --- Run to completion. ----------------------------------------
+    constexpr std::uint64_t kMaxEvents = 2000000000ull;
+    const bool done = sim.runToCompletion(kMaxEvents);
+    if (!done) {
+        std::fprintf(stderr,
+                     "pagesim: trial %s seed %llu did not converge\n",
+                     config.label().c_str(),
+                     static_cast<unsigned long long>(trial_seed));
+        std::abort();
+    }
+
+    // --- Collect results. -------------------------------------------
+    TrialResult r;
+    r.kernel = mm.stats();
+    r.policy = policy->stats();
+    r.swap = device->stats();
+    r.tier = mm.tierStats();
+    if (auto *mg = dynamic_cast<MgLruPolicy *>(policy.get()))
+        r.mglru = mg->mgStats();
+    r.kswapdCpuNs = kswapd.cpuWork();
+    if (aging) {
+        r.agingCpuNs = aging->cpuWork();
+        r.agingPasses = aging->passes();
+    }
+    for (const auto &t : threads) {
+        r.threadFinishNs.push_back(t->threadStats().finishTime);
+        r.threadBlockedFaults.push_back(
+            t->threadStats().blockedFaults);
+    }
+
+    if (auto *ycsb = dynamic_cast<YcsbWorkload *>(workload.get())) {
+        r.runtimeNs = sim.now() - ycsb->measureStart();
+        r.majorFaults =
+            mm.stats().majorFaults - ycsb->faultsAtMeasureStart();
+        r.readLatency = ycsb->readLatency();
+        r.writeLatency = ycsb->writeLatency();
+        const std::uint64_t nreq =
+            r.readLatency.count() + r.writeLatency.count();
+        if (nreq > 0) {
+            r.meanRequestNs =
+                (r.readLatency.mean() * r.readLatency.count() +
+                 r.writeLatency.mean() * r.writeLatency.count()) /
+                static_cast<double>(nreq);
+        }
+    } else {
+        r.runtimeNs = sim.now();
+        r.majorFaults = mm.stats().majorFaults;
+    }
+    return r;
+}
+
+unsigned
+effectiveTrials(const ExperimentConfig &config)
+{
+    if (const char *env = std::getenv("PAGESIM_TRIALS")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+    }
+    return config.trials;
+}
+
+ExperimentResult
+runExperiment(const ExperimentConfig &config)
+{
+    ExperimentResult result;
+    result.config = config;
+    const unsigned trials = effectiveTrials(config);
+    result.trials.resize(trials);
+
+    unsigned workers = std::thread::hardware_concurrency();
+    if (workers == 0)
+        workers = 4;
+    workers = std::min(workers, trials);
+
+    std::atomic<unsigned> next{0};
+    auto run = [&] {
+        while (true) {
+            const unsigned i = next.fetch_add(1);
+            if (i >= trials)
+                return;
+            result.trials[i] =
+                runTrial(config, config.baseSeed + 1000003ull * i);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(run);
+    for (auto &t : pool)
+        t.join();
+    return result;
+}
+
+double
+TrialResult::faultSkew() const
+{
+    if (threadBlockedFaults.empty())
+        return 0.0;
+    double sum = 0.0, mx = 0.0;
+    for (const std::uint64_t f : threadBlockedFaults) {
+        sum += static_cast<double>(f);
+        mx = std::max(mx, static_cast<double>(f));
+    }
+    const double mean =
+        sum / static_cast<double>(threadBlockedFaults.size());
+    return mean > 0.0 ? mx / mean : 0.0;
+}
+
+Summary
+ExperimentResult::runtimeSummary() const
+{
+    Summary s;
+    for (const auto &t : trials)
+        s.add(static_cast<double>(t.runtimeNs));
+    return s;
+}
+
+Summary
+ExperimentResult::faultSummary() const
+{
+    Summary s;
+    for (const auto &t : trials)
+        s.add(static_cast<double>(t.majorFaults));
+    return s;
+}
+
+LatencyHistogram
+ExperimentResult::mergedReadLatency() const
+{
+    LatencyHistogram h;
+    for (const auto &t : trials)
+        h.merge(t.readLatency);
+    return h;
+}
+
+LatencyHistogram
+ExperimentResult::mergedWriteLatency() const
+{
+    LatencyHistogram h;
+    for (const auto &t : trials)
+        h.merge(t.writeLatency);
+    return h;
+}
+
+double
+ExperimentResult::meanRequestNs() const
+{
+    if (trials.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &t : trials)
+        sum += t.meanRequestNs;
+    return sum / static_cast<double>(trials.size());
+}
+
+} // namespace pagesim

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Experiment definitions: the grid the paper sweeps.
+ *
+ * One ExperimentConfig = one cell of
+ *   {workload} x {policy} x {capacity ratio} x {swap medium},
+ * run for N independent trials. Each trial is a fresh Simulation (the
+ * paper's reboot-per-execution), seeded from baseSeed + trial index;
+ * the workload content itself is seeded separately and identical
+ * across trials.
+ */
+
+#ifndef PAGESIM_HARNESS_EXPERIMENT_HH
+#define PAGESIM_HARNESS_EXPERIMENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/fault_stats.hh"
+#include "kernel/tiered_memory.hh"
+#include "policy/mglru/mglru_policy.hh"
+#include "policy/policy_factory.hh"
+#include "stats/histogram.hh"
+#include "stats/summary.hh"
+#include "swap/swap_device.hh"
+#include "workload/workload.hh"
+
+namespace pagesim
+{
+
+/** Swap media the paper tests. */
+enum class SwapKind
+{
+    Ssd,
+    Zram,
+};
+
+const std::string &swapKindName(SwapKind kind);
+
+/**
+ * The benchmark workloads. The first five are the paper's grid;
+ * FileBuffer is this repo's extension for tier/PID characterization
+ * (buffered I/O), which the paper leaves to future work.
+ */
+enum class WorkloadKind
+{
+    Tpch,
+    PageRank,
+    YcsbA,
+    YcsbB,
+    YcsbC,
+    FileBuffer,
+};
+
+/** The paper's five workloads (excludes FileBuffer). */
+const std::vector<WorkloadKind> &allWorkloadKinds();
+const std::string &workloadKindName(WorkloadKind kind);
+
+/** Workload sizing presets (Default for benches, Small for tests). */
+enum class ScalePreset
+{
+    Default,
+    Small,
+};
+
+/** Build a workload instance (datasets cached across calls). */
+std::unique_ptr<Workload> makeWorkload(WorkloadKind kind,
+                                       ScalePreset scale);
+
+/** One grid cell. */
+struct ExperimentConfig
+{
+    WorkloadKind workload = WorkloadKind::Tpch;
+    PolicyKind policy = PolicyKind::MgLru;
+    SwapKind swap = SwapKind::Ssd;
+    /** Memory capacity as a fraction of the workload footprint. */
+    double capacityRatio = 0.5;
+    /**
+     * TPP tiered-memory extension: slow-tier capacity as a fraction
+     * of the footprint (0 disables tiering). With tiering on,
+     * capacityRatio sizes the FAST tier and reclaim demotes before it
+     * swaps.
+     */
+    double slowTierRatio = 0.0;
+    unsigned trials = 8;
+    std::uint64_t baseSeed = 1;
+    unsigned numCpus = 12;
+    ScalePreset scale = ScalePreset::Default;
+
+    /**
+     * Optional extra MG-LRU config hook, applied after the harness's
+     * capacity-derived defaults. Used by ablation benches to sweep
+     * parameters outside the paper's named variants (Bloom sizing,
+     * density gates, PID gains...).
+     */
+    std::function<void(MgLruConfig &)> mgTweak;
+
+    std::string label() const;
+};
+
+/** Everything measured in one trial. */
+struct TrialResult
+{
+    /** Wall sim-time of the run (YCSB: the measured request window). */
+    SimTime runtimeNs = 0;
+    /** Major faults (YCSB: within the measured window). */
+    std::uint64_t majorFaults = 0;
+
+    FaultStats kernel;
+    PolicyStats policy;
+    SwapDeviceStats swap;
+    /** MG-LRU-specific counters (zeros under Clock). */
+    MgLruStats mglru;
+
+    /** YCSB latency histograms (empty otherwise). */
+    LatencyHistogram readLatency;
+    LatencyHistogram writeLatency;
+
+    /** Per-thread finish times (straggler analysis). */
+    std::vector<SimTime> threadFinishNs;
+    /** Per-thread blocking faults (straggler analysis). */
+    std::vector<std::uint64_t> threadBlockedFaults;
+
+    /** Straggler skew: max/mean of per-thread blocking faults. */
+    double faultSkew() const;
+
+    /** Daemon CPU consumption. */
+    SimDuration kswapdCpuNs = 0;
+    SimDuration agingCpuNs = 0;
+    std::uint64_t agingPasses = 0;
+
+    /** Tiered-memory extension counters (zeros when disabled). */
+    TierStats tier;
+
+    /** Mean request latency (YCSB; 0 otherwise). */
+    double meanRequestNs = 0.0;
+};
+
+/** All trials of one cell plus aggregate views. */
+struct ExperimentResult
+{
+    ExperimentConfig config;
+    std::vector<TrialResult> trials;
+
+    Summary runtimeSummary() const;
+    Summary faultSummary() const;
+    /** Merged latency histograms across trials. */
+    LatencyHistogram mergedReadLatency() const;
+    LatencyHistogram mergedWriteLatency() const;
+    /** Mean of per-trial mean request latencies (YCSB). */
+    double meanRequestNs() const;
+};
+
+/** Run one trial (exposed for tests/examples). */
+TrialResult runTrial(const ExperimentConfig &config,
+                     std::uint64_t trial_seed);
+
+/**
+ * Run all trials of a cell, in parallel across host threads.
+ * Honors PAGESIM_TRIALS (env) as an override of config.trials.
+ */
+ExperimentResult runExperiment(const ExperimentConfig &config);
+
+/** config.trials after applying the PAGESIM_TRIALS env override. */
+unsigned effectiveTrials(const ExperimentConfig &config);
+
+} // namespace pagesim
+
+#endif // PAGESIM_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,61 @@
+#include "kernel/aging_daemon.hh"
+
+#include <algorithm>
+
+#include "kernel/memory_manager.hh"
+#include "policy/mglru/mglru_policy.hh"
+
+namespace pagesim
+{
+
+AgingDaemon::AgingDaemon(Simulation &sim, MemoryManager &mm, Rng rng)
+    : SimActor(sim, "mglru-aging", false), mm_(mm), rng_(std::move(rng))
+{
+}
+
+SimDuration
+AgingDaemon::jittered(SimDuration base)
+{
+    const double jitter = 1.0 + mm_.config().agingJitter *
+                                    (2.0 * rng_.nextDouble() - 1.0);
+    return static_cast<SimDuration>(static_cast<double>(base) *
+                                    std::max(jitter, 0.1));
+}
+
+void
+AgingDaemon::step()
+{
+    const MmConfig &cfg = mm_.config();
+
+    if (pendingSleepNs_ > 0) {
+        // A slice's CPU cost was just charged; now pace the walk.
+        const SimDuration ns = pendingSleepNs_;
+        pendingSleepNs_ = 0;
+        sleepFor(ns);
+        return;
+    }
+
+    auto *mg = dynamic_cast<MgLruPolicy *>(&mm_.policy());
+    if (mg == nullptr) {
+        // Policies without a page-table walker don't need this thread.
+        block();
+        return;
+    }
+
+    if (mg->agingInProgress() || mg->wantsAging()) {
+        CostSink sink;
+        const bool done = mg->ageStep(sink, cfg.agingSliceRegions);
+        if (done)
+            ++passes_;
+        // Charge the slice's CPU, then sleep: the inter-slice gap when
+        // mid-walk, the poll interval after a completed pass.
+        pendingSleepNs_ =
+            done ? jittered(cfg.agingInterval)
+                 : jittered(cfg.agingSliceGap);
+        yieldAfter(std::max<SimDuration>(sink.take(), nsecs(200)));
+        return;
+    }
+    sleepFor(jittered(cfg.agingInterval));
+}
+
+} // namespace pagesim

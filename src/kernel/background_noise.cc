@@ -1,0 +1,69 @@
+#include "kernel/background_noise.hh"
+
+#include <algorithm>
+
+#include "kernel/memory_manager.hh"
+
+namespace pagesim
+{
+
+BackgroundNoise::BackgroundNoise(Simulation &sim, MemoryManager &mm,
+                                 Rng rng, const NoiseConfig &config)
+    : SimActor(sim, "background", false), mm_(mm),
+      rng_(std::move(rng)), config_(config)
+{
+}
+
+void
+BackgroundNoise::step()
+{
+    if (!config_.enabled) {
+        block();
+        return;
+    }
+    switch (phase_) {
+      case Phase::Idle: {
+        // Sleep until the next burst.
+        phase_ = Phase::Grab;
+        sleepFor(static_cast<SimDuration>(rng_.exponential(
+            static_cast<double>(config_.idleMean))));
+        return;
+      }
+      case Phase::Grab: {
+        // Grab frames (rippling reclaim at the cliff) + burn CPU.
+        ++bursts_;
+        const double frac = rng_.uniformReal(config_.grabFracLo,
+                                             config_.grabFracHi);
+        const auto want = static_cast<std::uint32_t>(
+            frac * mm_.frames().totalFrames());
+        CostSink sink;
+        mm_.balloonAllocate(want, held_, sink);
+        framesGrabbed_ += held_.size();
+        const SimDuration cpu =
+            static_cast<SimDuration>(rng_.uniformReal(
+                static_cast<double>(config_.cpuLo),
+                static_cast<double>(config_.cpuHi)));
+        phase_ = Phase::Hold;
+        yieldAfter(cpu + sink.take());
+        return;
+      }
+      case Phase::Hold: {
+        // Keep the memory for a while.
+        phase_ = Phase::Release;
+        sleepFor(static_cast<SimDuration>(rng_.uniformReal(
+            static_cast<double>(config_.holdLo),
+            static_cast<double>(config_.holdHi))));
+        return;
+      }
+      case Phase::Release:
+      default: {
+        mm_.balloonRelease(held_);
+        held_.clear();
+        phase_ = Phase::Idle;
+        yieldAfter(usecs(5));
+        return;
+      }
+    }
+}
+
+} // namespace pagesim

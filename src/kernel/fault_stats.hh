@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Kernel-layer event counters reported per trial.
+ */
+
+#ifndef PAGESIM_KERNEL_FAULT_STATS_HH
+#define PAGESIM_KERNEL_FAULT_STATS_HH
+
+#include <cstdint>
+
+namespace pagesim
+{
+
+/** Fault and reclaim counters. */
+struct FaultStats
+{
+    /** Demand swap-ins — the "page faults" the paper's figures count. */
+    std::uint64_t majorFaults = 0;
+    /** Demand-zero first touches and writeback remaps. */
+    std::uint64_t minorFaults = 0;
+    /** Faults that found an I/O already in flight and waited on it. */
+    std::uint64_t ioWaitFaults = 0;
+
+    std::uint64_t evictions = 0;
+    std::uint64_t dirtyWritebacks = 0;
+    /** Clean pages dropped without I/O (swap-cache reuse). */
+    std::uint64_t cleanDrops = 0;
+    /** Writebacks whose page was re-wanted before the write finished. */
+    std::uint64_t writebackRemaps = 0;
+
+    std::uint64_t readaheadReads = 0;
+    /** Readahead pages that were later demand-accessed (hits). */
+    std::uint64_t readaheadHits = 0;
+
+    /** Direct-reclaim entries by application threads. */
+    std::uint64_t directReclaims = 0;
+    /** Aging passes run inline from direct reclaim. */
+    std::uint64_t directAging = 0;
+    /** Times an allocation had to stall waiting for a freed frame. */
+    std::uint64_t allocStalls = 0;
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_KERNEL_FAULT_STATS_HH

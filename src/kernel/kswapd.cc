@@ -1,0 +1,38 @@
+#include "kernel/kswapd.hh"
+
+#include <algorithm>
+
+#include "kernel/memory_manager.hh"
+
+namespace pagesim
+{
+
+Kswapd::Kswapd(Simulation &sim, MemoryManager &mm)
+    : SimActor(sim, "kswapd", false), mm_(mm)
+{
+}
+
+void
+Kswapd::step()
+{
+    if (!mm_.belowHighWatermark()) {
+        // Balanced: sleep until the allocator wakes us below the low
+        // watermark.
+        block();
+        return;
+    }
+    CostSink sink;
+    const std::uint32_t freed = mm_.reclaimBatch(sink, false);
+    reclaimed_ += freed;
+    const SimDuration work = sink.take();
+    if (freed == 0 && work == 0) {
+        // No victims and nothing scanned (policy waiting on aging or
+        // everything under writeback): back off briefly.
+        ++stalls_;
+        sleepFor(mm_.config().kswapdRetrySleep);
+        return;
+    }
+    yieldAfter(std::max<SimDuration>(work, nsecs(200)));
+}
+
+} // namespace pagesim

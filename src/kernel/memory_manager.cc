@@ -1,0 +1,547 @@
+#include "kernel/memory_manager.hh"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "kernel/aging_daemon.hh"
+#include "kernel/kswapd.hh"
+
+namespace pagesim
+{
+
+MemoryManager::MemoryManager(Simulation &sim, FrameTable &frames,
+                             SwapManager &swap,
+                             ReplacementPolicy &policy,
+                             const MmConfig &config)
+    : sim_(sim), frames_(frames), swap_(swap), policy_(policy),
+      config_(config), slowFrames_(config.tier.slowFrames),
+      slowList_(slowFrames_, 1)
+{
+    victimScratch_.reserve(config_.reclaimBatch);
+}
+
+MemoryManager::AccessOutcome
+MemoryManager::access(SimActor &actor, AddressSpace &space, Vpn vpn,
+                      bool is_write, CostSink &sink)
+{
+    return accessImpl(actor, space, vpn, is_write, false, sink);
+}
+
+MemoryManager::AccessOutcome
+MemoryManager::fdAccess(SimActor &actor, AddressSpace &space, Vpn vpn,
+                        bool is_write, CostSink &sink)
+{
+    return accessImpl(actor, space, vpn, is_write, true, sink);
+}
+
+MemoryManager::AccessOutcome
+MemoryManager::accessImpl(SimActor &actor, AddressSpace &space, Vpn vpn,
+                          bool is_write, bool fd_access, CostSink &sink)
+{
+    Pte &pte = space.table().at(vpn);
+    assert(pte.mapped() && "access outside any VMA");
+
+    if (pte.present() && pte.slow()) {
+        // TPP slow tier: mapped but remote — no fault, just latency,
+        // and a promotion counter.
+        ++tierStats_.slowHits;
+        sink.charge(config_.tier.slowAccessLatency);
+        pte.setFlag(Pte::Accessed);
+        if (is_write)
+            pte.setFlag(Pte::Dirty);
+        PageInfo &pi = slowFrames_.info(pte.pfn());
+        if (++pi.refs >= config_.tier.promoteThreshold)
+            tryPromote(pte.pfn(), sink);
+        return AccessOutcome::Hit;
+    }
+
+    if (pte.present()) {
+        PageInfo &pi = frames_.info(pte.pfn());
+        if (pi.fromReadahead) {
+            // First demand use of a speculative page: readahead hit.
+            pi.fromReadahead = false;
+            ++stats_.readaheadHits;
+            raHitRate_ += config_.readaheadEma * (1.0 - raHitRate_);
+        }
+        if (fd_access) {
+            // Buffered I/O: no PTE accessed bit; the policy tracks use
+            // counts / tiers instead.
+            policy_.onFdAccess(pte.pfn());
+        } else {
+            pte.setFlag(Pte::Accessed);
+        }
+        if (is_write) {
+            pte.setFlag(Pte::Dirty);
+        }
+        return AccessOutcome::Hit;
+    }
+
+    if (pte.inIo()) {
+        // Swap-in or writeback already in flight for this page; wait
+        // for it rather than issuing duplicate I/O.
+        ++stats_.ioWaitFaults;
+        addIoWaiter(space, vpn, actor);
+        return AccessOutcome::Blocked;
+    }
+
+    if (!pte.swapped()) {
+        // First touch: demand-zero minor fault.
+        const Pfn pfn = allocFrame(actor, space, vpn, pte.file(), sink);
+        if (pfn == kInvalidPfn)
+            return AccessOutcome::Blocked;
+        sink.charge(config_.costs.faultFixed);
+        ++stats_.minorFaults;
+        traceEmit(TraceEvent::MinorFault, vpn);
+        pte.mapFrame(pfn);
+        space.table().notePresent(vpn);
+        policy_.onPageResident(pfn, ResidencyKind::NewAnon, 0);
+        if (fd_access) {
+            // Buffered I/O leaves no PTE accessed bit behind; the
+            // policy's use-count path is the only signal.
+            policy_.onFdAccess(pfn);
+        } else {
+            pte.setFlag(Pte::Accessed);
+        }
+        if (is_write)
+            pte.setFlag(Pte::Dirty);
+        return AccessOutcome::MinorFault;
+    }
+
+    // Major fault: bring the page back from swap.
+    const Pfn pfn = allocFrame(actor, space, vpn, pte.file(), sink);
+    if (pfn == kInvalidPfn)
+        return AccessOutcome::Blocked;
+    sink.charge(config_.costs.faultFixed);
+    ++stats_.majorFaults;
+    traceEmit(TraceEvent::MajorFault, vpn);
+    const SwapSlot slot = pte.swapSlot();
+    const std::uint32_t shadow = pte.shadow();
+    SwapDevice &dev = swap_.device();
+
+    if (dev.synchronous()) {
+        // ZRAM-style: the faulting thread decompresses on-CPU.
+        sink.charge(dev.cpuCost(slot, false));
+        dev.noteSyncOp(slot, false);
+        finishSwapIn(space, vpn, slot, pfn, ResidencyKind::SwapInDemand,
+                     shadow);
+        if (is_write)
+            pte.setFlag(Pte::Dirty);
+        if (fd_access)
+            policy_.onFdAccess(pfn);
+        return AccessOutcome::SyncFault;
+    }
+
+    // Block-device swap: async read; the actor waits for completion.
+    pte.setFlag(Pte::InIo);
+    addIoWaiter(space, vpn, actor);
+    dev.submit(slot, false, [this, &space, vpn, slot, pfn, shadow] {
+        finishSwapIn(space, vpn, slot, pfn,
+                     ResidencyKind::SwapInDemand, shadow);
+        wakeIoWaiters(space, vpn);
+    });
+    issueReadahead(space, vpn);
+    return AccessOutcome::Blocked;
+}
+
+Pfn
+MemoryManager::allocFrame(SimActor &actor, AddressSpace &space, Vpn vpn,
+                          bool file, CostSink &sink)
+{
+    if (frames_.freeFrames() <= config_.directReclaimBelow) {
+        // At the cgroup limit: the allocating task reclaims inline.
+        ++stats_.directReclaims;
+        traceEmit(TraceEvent::DirectReclaim);
+        reclaimBatch(sink, true);
+    }
+    Pfn pfn = frames_.allocate(&space, vpn, file);
+    if (pfn == kInvalidPfn) {
+        // Out of frames even after the inline batch (all victims
+        // under writeback): one more attempt, then stall.
+        ++stats_.directReclaims;
+        reclaimBatch(sink, true);
+        pfn = frames_.allocate(&space, vpn, file);
+        if (pfn == kInvalidPfn) {
+            // Everything reclaimable is under writeback (or the policy
+            // is waiting on aging); stall until a frame frees up. This
+            // is the paper's tail scenario where demand faults wait on
+            // disk writes (Sec. VI-A). A timed retry guards against
+            // the no-writeback-in-flight case where no completion will
+            // ever wake us.
+            ++stats_.allocStalls;
+            traceEmit(TraceEvent::AllocStall, vpn);
+            frameWaiters_.push_back(&actor);
+            maybeWakeKswapd();
+            // Arm one retry timer for the whole waiter list. It must
+            // NOT wake the actor directly: by firing time the actor
+            // may be blocked on something else entirely (a barrier, a
+            // different I/O), and a stray wake would break that wait.
+            // Actors still on frameWaiters_ are, by construction,
+            // still frame-blocked.
+            if (!stallRetryArmed_) {
+                stallRetryArmed_ = true;
+                sim_.events().scheduleAfter(
+                    config_.allocStallRetry, [this] {
+                        stallRetryArmed_ = false;
+                        wakeFrameWaiters();
+                    });
+            }
+            return kInvalidPfn;
+        }
+    }
+    maybeWakeKswapd();
+    return pfn;
+}
+
+void
+MemoryManager::balloonAllocate(std::uint32_t want,
+                               std::vector<Pfn> &out, CostSink &sink)
+{
+    for (std::uint32_t i = 0; i < want; ++i) {
+        Pfn pfn = frames_.allocate(&balloonSpace_, balloonVpn_++,
+                                   false);
+        if (pfn == kInvalidPfn) {
+            // Housekeeping allocations reclaim like anyone else, but
+            // give up rather than stall.
+            reclaimBatch(sink, true);
+            pfn = frames_.allocate(&balloonSpace_, balloonVpn_++,
+                                   false);
+            if (pfn == kInvalidPfn)
+                break;
+        }
+        out.push_back(pfn);
+    }
+    maybeWakeKswapd();
+}
+
+void
+MemoryManager::balloonRelease(const std::vector<Pfn> &pfns)
+{
+    for (const Pfn pfn : pfns)
+        frames_.release(pfn);
+    if (!pfns.empty())
+        wakeFrameWaiters();
+}
+
+void
+MemoryManager::maybeWakeKswapd()
+{
+    if (kswapd_ && belowLowWatermark())
+        kswapd_->wake();
+}
+
+std::uint32_t
+MemoryManager::reclaimBatch(CostSink &sink, bool direct)
+{
+    victimScratch_.clear();
+    if (direct && policy_.wantsAging()) {
+        // Aging runs in reclaim contexts (try_to_inc_max_seq); under
+        // a cgroup limit that reclaim context is the faulting task,
+        // which therefore pays the page-table walk — the largest
+        // latency quantum MG-LRU injects into fault paths.
+        ++stats_.directAging;
+        traceEmit(TraceEvent::AgingPass);
+        policy_.age(sink);
+    }
+    std::size_t n = policy_.selectVictims(victimScratch_,
+                                          config_.reclaimBatch, sink);
+    if (n == 0 && policy_.wantsAging()) {
+        // Starved for victims: reclaim context runs aging inline
+        // (shrink_*/try_to_inc_max_seq behavior), and the background
+        // walker is poked for the next round.
+        ++stats_.directAging;
+        if (!direct && aging_)
+            aging_->wake();
+        policy_.age(sink);
+        n = policy_.selectVictims(victimScratch_,
+                                  config_.reclaimBatch, sink);
+    }
+    for (const Pfn pfn : victimScratch_)
+        evictPage(pfn, sink);
+    return static_cast<std::uint32_t>(n);
+}
+
+void
+MemoryManager::evictPage(Pfn pfn, CostSink &sink)
+{
+    assert(!frames_.info(pfn).free());
+    const std::uint32_t shadow = policy_.onPageRemoved(pfn);
+    if (config_.tier.enabled() && tryDemote(pfn, sink))
+        return;
+    swapOutPage(frames_, pfn, shadow, sink);
+}
+
+bool
+MemoryManager::tryDemote(Pfn pfn, CostSink &sink)
+{
+    PageInfo &fast = frames_.info(pfn);
+    AddressSpace &space = *fast.space;
+    const Vpn vpn = fast.vpn;
+
+    Pfn spfn = slowFrames_.allocate(&space, vpn, fast.file);
+    if (spfn == kInvalidPfn) {
+        // Make room: push the slow tier's FIFO tail toward swap.
+        evictSlowPage(sink);
+        spfn = slowFrames_.allocate(&space, vpn, fast.file);
+        if (spfn == kInvalidPfn)
+            return false; // slow frames all under writeback: swap out
+    }
+
+    sink.charge(config_.tier.migrateCost);
+    slowFrames_.info(spfn).backing = fast.backing;
+    Pte &pte = space.table().at(vpn);
+    assert(pte.present());
+    // The page stays mapped; it just lives behind the slow tier now.
+    pte.mapFrame(spfn);
+    pte.setFlag(Pte::Slow);
+    slowList_.pushFront(spfn);
+    fast.backing = kInvalidSlot;
+    frames_.release(pfn);
+    wakeFrameWaiters();
+    ++tierStats_.demotions;
+    traceEmit(TraceEvent::Demotion, vpn);
+    return true;
+}
+
+void
+MemoryManager::evictSlowPage(CostSink &sink)
+{
+    const Pfn victim = slowList_.popBack();
+    if (victim == kInvalidPfn)
+        return;
+    ++tierStats_.slowEvictions;
+    // Slow-tier pages are not policy-tracked: no shadow.
+    swapOutPage(slowFrames_, victim, 0, sink);
+}
+
+void
+MemoryManager::tryPromote(Pfn slow_pfn, CostSink &sink)
+{
+    PageInfo &slow = slowFrames_.info(slow_pfn);
+    AddressSpace &space = *slow.space;
+    const Vpn vpn = slow.vpn;
+    const Pfn fast = frames_.allocate(&space, vpn, slow.file);
+    if (fast == kInvalidPfn) {
+        // Promotion is opportunistic (TPP promotes into headroom);
+        // signal pressure and try again on a later access.
+        maybeWakeKswapd();
+        return;
+    }
+    sink.charge(config_.tier.migrateCost);
+    frames_.info(fast).backing = slow.backing;
+    Pte &pte = space.table().at(vpn);
+    pte.mapFrame(fast); // clears the Slow flag
+    pte.setFlag(Pte::Accessed);
+    slowList_.remove(slow_pfn);
+    slowFrames_.release(slow_pfn);
+    policy_.onPageResident(fast, ResidencyKind::SwapInDemand, 0);
+    ++tierStats_.promotions;
+    traceEmit(TraceEvent::Promotion, vpn);
+    maybeWakeKswapd();
+}
+
+void
+MemoryManager::swapOutPage(FrameTable &table, Pfn pfn,
+                           std::uint32_t shadow, CostSink &sink)
+{
+    PageInfo &pi = table.info(pfn);
+    assert(!pi.free());
+    AddressSpace &space = *pi.space;
+    const Vpn vpn = pi.vpn;
+    Pte &pte = space.table().at(vpn);
+    assert(pte.present() && pte.pfn() == pfn);
+
+    const bool dirty = pte.dirty();
+    SwapSlot slot = pi.backing;
+    const bool need_write = dirty || slot == kInvalidSlot;
+    if (slot == kInvalidSlot) {
+        slot = swap_.allocate();
+        if (slot == kInvalidSlot) {
+            std::fprintf(stderr,
+                         "pagesim: swap area exhausted (%u slots)\n",
+                         swap_.maxSlots());
+            std::abort();
+        }
+    }
+
+    pte.unmapToSwap(slot, shadow);
+    space.table().noteNotPresent(vpn);
+    ++stats_.evictions;
+    traceEmit(TraceEvent::Eviction, vpn);
+
+    if (!need_write) {
+        // Clean page whose swap copy is still valid: drop without I/O.
+        ++stats_.cleanDrops;
+        pi.backing = kInvalidSlot;
+        table.release(pfn);
+        wakeFrameWaiters();
+        return;
+    }
+
+    ++stats_.dirtyWritebacks;
+    traceEmit(TraceEvent::DirtyWriteback, vpn);
+    SwapDevice &dev = swap_.device();
+    if (dev.synchronous()) {
+        // ZRAM: compression is CPU work in the reclaiming context.
+        sink.charge(dev.cpuCost(slot, true));
+        dev.noteSyncOp(slot, true);
+        swap_.recordContents(slot, contentTag(space, vpn));
+        pi.backing = kInvalidSlot;
+        table.release(pfn);
+        wakeFrameWaiters();
+        return;
+    }
+
+    // Async writeback: the frame stays busy until the write lands.
+    pte.setFlag(Pte::InIo);
+    ++writebacksInFlight_;
+    FrameTable *owner = &table;
+    dev.submit(slot, true, [this, owner, &space, vpn, pfn, slot] {
+        completeWriteback(*owner, space, vpn, pfn, slot);
+    });
+}
+
+void
+MemoryManager::finishSwapIn(AddressSpace &space, Vpn vpn, SwapSlot slot,
+                            Pfn pfn, ResidencyKind kind,
+                            std::uint32_t shadow)
+{
+    Pte &pte = space.table().at(vpn);
+    assert(pte.swapped() || pte.inIo());
+    pte.mapFrame(pfn);
+    pte.clearShadow();
+    space.table().notePresent(vpn);
+    PageInfo &pi = frames_.info(pfn);
+    // Keep the swap copy: if the page stays clean, eviction is free.
+    pi.backing = slot;
+    policy_.onPageResident(pfn, kind, shadow);
+    if (kind == ResidencyKind::SwapInDemand) {
+        pte.setFlag(Pte::Accessed);
+    } else if (kind == ResidencyKind::SwapInReadahead) {
+        ++stats_.readaheadReads;
+    }
+}
+
+void
+MemoryManager::completeWriteback(FrameTable &table, AddressSpace &space,
+                                 Vpn vpn, Pfn pfn, SwapSlot slot)
+{
+    assert(writebacksInFlight_ > 0);
+    --writebacksInFlight_;
+    swap_.recordContents(slot, contentTag(space, vpn));
+
+    Pte &pte = space.table().at(vpn);
+    pte.clearFlag(Pte::InIo);
+
+    const WaitKey key{&space, vpn};
+    auto it = ioWaiters_.find(key);
+    if (it != ioWaiters_.end() && !it->second.empty()) {
+        // The page was re-wanted while under writeback; the frame
+        // still holds its data, so remap instead of freeing
+        // (swap-cache reuse).
+        ++stats_.writebackRemaps;
+        ++stats_.minorFaults;
+        const std::uint32_t shadow = pte.shadow();
+        if (&table == &slowFrames_) {
+            // Slow-tier page: restore slow residency (not
+            // policy-tracked), back on the demotion FIFO.
+            pte.mapFrame(pfn);
+            pte.setFlag(Pte::Slow);
+            pte.setFlag(Pte::Accessed);
+            pte.clearShadow();
+            space.table().notePresent(vpn);
+            PageInfo &pi = table.info(pfn);
+            pi.backing = slot;
+            pi.refs = 0;
+            slowList_.pushFront(pfn);
+        } else {
+            finishSwapIn(space, vpn, slot, pfn,
+                         ResidencyKind::SwapInDemand, shadow);
+        }
+        wakeIoWaiters(space, vpn);
+        return;
+    }
+
+    PageInfo &pi = table.info(pfn);
+    pi.backing = kInvalidSlot;
+    table.release(pfn);
+    wakeFrameWaiters();
+}
+
+void
+MemoryManager::issueReadahead(AddressSpace &space, Vpn vpn)
+{
+    if (config_.readaheadPages <= 1)
+        return;
+    SwapDevice &dev = swap_.device();
+    assert(!dev.synchronous());
+    // Adaptive window: scale the cluster by the observed hit rate so
+    // random-access patterns stop polluting memory.
+    const auto window = static_cast<std::uint32_t>(
+        1.0 + raHitRate_ *
+                  static_cast<double>(config_.readaheadPages - 1) +
+        0.5);
+    std::uint32_t issued = 1; // the demand page
+    for (std::uint32_t i = 1;
+         i <= config_.readaheadWindow && issued < window;
+         ++i) {
+        const Vpn v2 = vpn + i;
+        if (v2 >= space.table().span())
+            break;
+        Pte &p2 = space.table().at(v2);
+        if (!p2.mapped())
+            break; // end of the VMA
+        if (!p2.swapped() || p2.inIo())
+            continue;
+        // Readahead must not trigger reclaim: only use spare frames.
+        if (frames_.freeFrames() <= config_.lowWatermark)
+            break;
+        const Pfn f2 = frames_.allocate(&space, v2, p2.file());
+        if (f2 == kInvalidPfn)
+            break;
+        const SwapSlot s2 = p2.swapSlot();
+        const std::uint32_t shadow2 = p2.shadow();
+        p2.setFlag(Pte::InIo);
+        ++issued;
+        // Every issue decays the hit-rate estimate; demand hits on
+        // speculative pages push it back up.
+        raHitRate_ -= config_.readaheadEma * raHitRate_;
+        dev.submit(s2, false, [this, &space, v2, s2, f2, shadow2] {
+            finishSwapIn(space, v2, s2, f2,
+                         ResidencyKind::SwapInReadahead, shadow2);
+            frames_.info(f2).fromReadahead = true;
+            wakeIoWaiters(space, v2);
+        });
+    }
+}
+
+void
+MemoryManager::addIoWaiter(AddressSpace &space, Vpn vpn, SimActor &actor)
+{
+    ioWaiters_[WaitKey{&space, vpn}].push_back(&actor);
+}
+
+void
+MemoryManager::wakeIoWaiters(AddressSpace &space, Vpn vpn)
+{
+    auto it = ioWaiters_.find(WaitKey{&space, vpn});
+    if (it == ioWaiters_.end())
+        return;
+    std::vector<SimActor *> waiters = std::move(it->second);
+    ioWaiters_.erase(it);
+    for (SimActor *actor : waiters)
+        actor->wake();
+}
+
+void
+MemoryManager::wakeFrameWaiters()
+{
+    if (frameWaiters_.empty())
+        return;
+    std::vector<SimActor *> waiters = std::move(frameWaiters_);
+    frameWaiters_.clear();
+    for (SimActor *actor : waiters)
+        actor->wake();
+}
+
+} // namespace pagesim

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * MemoryManager: the simulated kernel MM.
+ *
+ * Owns the fault-handling path, frame allocation with watermarks,
+ * reclaim (background via kswapd and direct from faulting threads),
+ * swap I/O orchestration (including readahead and swap-cache reuse),
+ * and the wiring to the pluggable replacement policy.
+ *
+ * Threading model: everything here runs in event context. Application
+ * actors call access() during their step(); when an access needs I/O
+ * or a free frame that can't be produced synchronously, access()
+ * returns Blocked after registering the actor as a waiter — the actor
+ * must then block() and, once woken, retry the access.
+ */
+
+#ifndef PAGESIM_KERNEL_MEMORY_MANAGER_HH
+#define PAGESIM_KERNEL_MEMORY_MANAGER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/fault_stats.hh"
+#include "kernel/mm_config.hh"
+#include "mem/address_space.hh"
+#include "mem/frame_table.hh"
+#include "policy/replacement_policy.hh"
+#include "sim/actor.hh"
+#include "sim/simulation.hh"
+#include "swap/swap_manager.hh"
+#include "trace/trace.hh"
+
+namespace pagesim
+{
+
+class Kswapd;
+class AgingDaemon;
+
+/** The simulated kernel memory manager. */
+class MemoryManager
+{
+  public:
+    /** Result of an access() call; see class comment. */
+    enum class AccessOutcome
+    {
+        Hit,        ///< page resident; negligible cost
+        MinorFault, ///< handled synchronously (demand-zero); cost charged
+        SyncFault,  ///< swap-in on a synchronous device; cost charged
+        Blocked,    ///< actor must block(); retry the access after wake
+    };
+
+    MemoryManager(Simulation &sim, FrameTable &frames, SwapManager &swap,
+                  ReplacementPolicy &policy, const MmConfig &config);
+
+    MemoryManager(const MemoryManager &) = delete;
+    MemoryManager &operator=(const MemoryManager &) = delete;
+
+    /**
+     * Perform one memory access by @p actor.
+     *
+     * On Hit/MinorFault/SyncFault the access is complete and its CPU
+     * cost has been charged to @p sink. On Blocked the actor has been
+     * registered as a waiter and must block(); when woken it retries.
+     */
+    AccessOutcome access(SimActor &actor, AddressSpace &space, Vpn vpn,
+                         bool is_write, CostSink &sink);
+
+    /**
+     * A buffered-I/O (file descriptor) access: same residency handling
+     * as access(), but a resident hit feeds the policy's fd-access path
+     * (MG-LRU tiers) instead of setting the PTE accessed bit.
+     */
+    AccessOutcome fdAccess(SimActor &actor, AddressSpace &space, Vpn vpn,
+                           bool is_write, CostSink &sink);
+
+    /**
+     * Reclaim one batch of pages (kswapd or direct context).
+     * @return pages evicted. Clean pages free their frames
+     *         immediately; dirty ones free when writeback completes.
+     */
+    std::uint32_t reclaimBatch(CostSink &sink, bool direct);
+
+    /**
+     * Balloon allocation for background/housekeeping memory: grabs up
+     * to @p want frames (reclaiming if needed, cost to @p sink),
+     * appending them to @p out. Balloon pages are kernel-private:
+     * the replacement policy never sees them; they just shrink the
+     * memory available to the workload while held.
+     */
+    void balloonAllocate(std::uint32_t want, std::vector<Pfn> &out,
+                         CostSink &sink);
+
+    /** Return balloon frames to the allocator. */
+    void balloonRelease(const std::vector<Pfn> &pfns);
+
+    /** Should kswapd keep reclaiming? */
+    bool
+    belowHighWatermark() const
+    {
+        return frames_.freeFrames() < config_.highWatermark;
+    }
+
+    bool
+    belowLowWatermark() const
+    {
+        return frames_.freeFrames() < config_.lowWatermark;
+    }
+
+    void attachKswapd(Kswapd *kswapd) { kswapd_ = kswapd; }
+    void attachAgingDaemon(AgingDaemon *aging) { aging_ = aging; }
+    /** Attach a flight recorder (nullptr detaches; off by default). */
+    void attachTrace(TraceBuffer *trace) { trace_ = trace; }
+
+    Simulation &sim() { return sim_; }
+    FrameTable &frames() { return frames_; }
+    SwapManager &swap() { return swap_; }
+    ReplacementPolicy &policy() { return policy_; }
+    const MmConfig &config() const { return config_; }
+    const FaultStats &stats() const { return stats_; }
+
+    /** In-flight dirty writebacks (diagnostic). */
+    std::uint32_t writebacksInFlight() const { return writebacksInFlight_; }
+
+    /** Tiering extension counters (all zero when tiering is off). */
+    const TierStats &tierStats() const { return tierStats_; }
+    /** Slow-tier frame table (size 0 when tiering is off). */
+    const FrameTable &slowFrames() const { return slowFrames_; }
+
+  private:
+    struct WaitKey
+    {
+        const AddressSpace *space;
+        Vpn vpn;
+
+        bool
+        operator==(const WaitKey &o) const
+        {
+            return space == o.space && vpn == o.vpn;
+        }
+    };
+
+    struct WaitKeyHash
+    {
+        std::size_t
+        operator()(const WaitKey &k) const
+        {
+            return std::hash<const void *>()(k.space) ^
+                   std::hash<Vpn>()(k.vpn * 0x9e3779b97f4a7c15ull);
+        }
+    };
+
+    AccessOutcome accessImpl(SimActor &actor, AddressSpace &space,
+                             Vpn vpn, bool is_write, bool fd_access,
+                             CostSink &sink);
+
+    /**
+     * Allocate a frame, direct-reclaiming if necessary. Returns
+     * kInvalidPfn after registering @p actor as a frame waiter when no
+     * frame can be produced synchronously.
+     */
+    Pfn allocFrame(SimActor &actor, AddressSpace &space, Vpn vpn,
+                   bool file, CostSink &sink);
+
+    /** Evict one victim: unmap, maybe write back, free or defer. */
+    void evictPage(Pfn pfn, CostSink &sink);
+
+    /**
+     * TPP demotion: try to migrate a fast-tier victim (already
+     * detached from the policy) to the slow tier. @return true if the
+     * page moved (no swap I/O needed).
+     */
+    bool tryDemote(Pfn pfn, CostSink &sink);
+
+    /** Make room in the slow tier by pushing its FIFO tail to swap. */
+    void evictSlowPage(CostSink &sink);
+
+    /** TPP promotion: migrate a hot slow-tier page to fast memory. */
+    void tryPromote(Pfn slow_pfn, CostSink &sink);
+
+    /** Swap out a page (shared tail of fast- and slow-tier paths). */
+    void swapOutPage(FrameTable &table, Pfn pfn,
+                     std::uint32_t shadow, CostSink &sink);
+
+    /** Finish a swap-in: map the frame and notify the policy. */
+    void finishSwapIn(AddressSpace &space, Vpn vpn, SwapSlot slot,
+                      Pfn pfn, ResidencyKind kind, std::uint32_t shadow);
+
+    /** Dirty writeback completed; free or remap-to-waiter. */
+    void completeWriteback(FrameTable &table, AddressSpace &space,
+                           Vpn vpn, Pfn pfn, SwapSlot slot);
+
+    /** Issue readahead around a demand fault (async devices only). */
+    void issueReadahead(AddressSpace &space, Vpn vpn);
+
+    void addIoWaiter(AddressSpace &space, Vpn vpn, SimActor &actor);
+    void wakeIoWaiters(AddressSpace &space, Vpn vpn);
+    void wakeFrameWaiters();
+    void maybeWakeKswapd();
+
+    /** Stable content identity for the compression model. */
+    static std::uint64_t
+    contentTag(const AddressSpace &space, Vpn vpn)
+    {
+        return (static_cast<std::uint64_t>(space.id()) << 48) ^ vpn;
+    }
+
+    Simulation &sim_;
+    FrameTable &frames_;
+    SwapManager &swap_;
+    ReplacementPolicy &policy_;
+    MmConfig config_;
+    FaultStats stats_;
+
+    Kswapd *kswapd_ = nullptr;
+    AgingDaemon *aging_ = nullptr;
+    TraceBuffer *trace_ = nullptr;
+
+    void
+    traceEmit(TraceEvent event, Vpn vpn = 0)
+    {
+        if (trace_ != nullptr)
+            trace_->emit(sim_.now(), event, vpn);
+    }
+
+    /** Owner tag for balloon frames (never policy-visible). */
+    AddressSpace balloonSpace_{0xBA11};
+    Vpn balloonVpn_ = 0;
+
+    /** TPP slow tier (empty when disabled). */
+    FrameTable slowFrames_;
+    /** Demotion-order FIFO over slow-tier frames. */
+    FrameList slowList_;
+    TierStats tierStats_;
+
+    std::unordered_map<WaitKey, std::vector<SimActor *>, WaitKeyHash>
+        ioWaiters_;
+    std::vector<SimActor *> frameWaiters_;
+    /** A frame-stall retry timer is pending. */
+    bool stallRetryArmed_ = false;
+    /** EMA of readahead usefulness, drives the adaptive window. */
+    double raHitRate_ = 0.5;
+    std::vector<Pfn> victimScratch_;
+    std::uint32_t writebacksInFlight_ = 0;
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_KERNEL_MEMORY_MANAGER_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Memory-management configuration: capacities, watermarks, swap
+ * readahead, and daemon cadence.
+ *
+ * The capacity-to-footprint ratio the paper sweeps (50/75/90%) is
+ * realized by sizing totalFrames relative to the workload footprint;
+ * the harness does that arithmetic.
+ */
+
+#ifndef PAGESIM_KERNEL_MM_CONFIG_HH
+#define PAGESIM_KERNEL_MM_CONFIG_HH
+
+#include <algorithm>
+#include <cstdint>
+
+
+#include "kernel/tiered_memory.hh"
+#include "policy/costs.hh"
+#include "sim/types.hh"
+
+namespace pagesim
+{
+
+/** Kernel-layer tunables. */
+struct MmConfig
+{
+    /** Physical frames (set from footprint * capacity ratio). */
+    std::uint32_t totalFrames = 16384;
+    /** Swap area size in slots. */
+    std::uint32_t swapSlots = 1u << 20;
+
+    MmCosts costs{};
+
+    /** Optional slow memory tier (TPP extension; default disabled). */
+    TierConfig tier{};
+
+    /** kswapd wakes when free frames fall below this. */
+    std::uint32_t lowWatermark = 256;
+    /** kswapd reclaims until free frames reach this. */
+    std::uint32_t highWatermark = 512;
+    /** Victims per reclaim batch (kswapd and direct reclaim). */
+    std::uint32_t reclaimBatch = 32;
+    /**
+     * Cgroup-style limit enforcement: an allocating task whose free
+     * pool is at or below this runs a reclaim batch INLINE before
+     * allocating — the memcg memory.max behavior a per-workload
+     * memory cap implies (the paper caps each workload's memory).
+     * This is how reclaim latency — victim search, compression,
+     * waiting on writeback — reaches application fault paths.
+     */
+    std::uint32_t directReclaimBelow = 24;
+
+    /**
+     * Maximum swap readahead cluster for asynchronous (block) swap
+     * devices, in pages including the demand page; 1 disables.
+     * Synchronous (ZRAM) swap never uses readahead, matching the
+     * recommended page-cluster=0 for zram.
+     *
+     * The effective window adapts to the observed hit rate, like the
+     * kernel's VMA readahead: sequential workloads keep the full
+     * cluster, random-access workloads shrink toward 1 instead of
+     * polluting memory with speculative pages.
+     */
+    std::uint32_t readaheadPages = 8;
+    /** VPNs examined when forming a readahead cluster. */
+    std::uint32_t readaheadWindow = 16;
+    /** EMA weight for readahead hit-rate adaptation. */
+    double readaheadEma = 0.02;
+
+    /** Max application CPU charged per scheduling chunk. */
+    SimDuration appChunk = usecs(50);
+
+    /** Aging-daemon poll interval (MG-LRU policies only). */
+    SimDuration agingInterval = msecs(2);
+    /** Relative jitter applied to each aging sleep (+/- fraction). */
+    double agingJitter = 0.25;
+    /**
+     * Page-table regions the aging thread walks per scheduling slice.
+     * Together with agingSliceGap this sets how long one aging pass
+     * takes in wall (sim) time — the walk is deliberately NOT
+     * instantaneous, so accessed bits are cleared progressively across
+     * the address space (the kernel walk + cond_resched behavior the
+     * paper's bimodal-scanning analysis depends on).
+     */
+    std::uint32_t agingSliceRegions = 4;
+    /** Pause between aging-walk slices. */
+    SimDuration agingSliceGap = usecs(800);
+
+    /** kswapd retry sleep when it can't make progress. */
+    SimDuration kswapdRetrySleep = usecs(200);
+    /** Retry interval for threads stalled waiting on a free frame. */
+    SimDuration allocStallRetry = usecs(500);
+
+    /**
+     * Derive watermarks from totalFrames (call after sizing).
+     *
+     * The low watermark leaves kswapd at least two reclaim batches of
+     * runway before allocations hit the wall — application threads
+     * consume frames in synchronous bursts, so a thin margin would
+     * push all reclaim into the direct path.
+     */
+    void
+    deriveWatermarks()
+    {
+        const std::uint32_t floor = 2 * reclaimBatch;
+        lowWatermark = std::min(
+            std::max(totalFrames / 16, floor),
+            std::max<std::uint32_t>(totalFrames / 4, 1));
+        highWatermark = std::min(
+            std::max(totalFrames / 8, 2 * floor),
+            std::max<std::uint32_t>(totalFrames / 2, 2));
+    }
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_KERNEL_MM_CONFIG_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Two-tier memory extension: TPP-style page migration.
+ *
+ * The paper's introduction motivates page replacement research with
+ * tiered memory systems, and its Sec. II-C describes TPP (Maruf et
+ * al., ASPLOS'23), which adapts Clock's structures for migration:
+ * "evictions target lower memory tiers instead of disk", with
+ * promotion of accessed slow-tier pages. This module implements that
+ * design on top of pagesim's kernel layer:
+ *
+ *  - a SLOW TIER of frames (CXL-class latency) alongside fast memory;
+ *  - DEMOTION: reclaim victims move to the slow tier when it has
+ *    room, falling back to swap when it does not;
+ *  - slow-tier pages stay MAPPED: touching one is not a fault, it
+ *    just costs the slow-tier access latency — and bumps a promotion
+ *    counter;
+ *  - PROMOTION: a page touched promoteThreshold times in the slow
+ *    tier migrates back to fast memory (possibly displacing another
+ *    page through the normal reclaim path).
+ *
+ * Disabled by default (slowFrames = 0): the paper's swap-based grid
+ * is unaffected. See examples/tiered_memory.cpp and the
+ * ext_tpp_tiering bench.
+ */
+
+#ifndef PAGESIM_KERNEL_TIERED_MEMORY_HH
+#define PAGESIM_KERNEL_TIERED_MEMORY_HH
+
+#include <cstdint>
+
+#include "mem/types.hh"
+#include "sim/types.hh"
+
+namespace pagesim
+{
+
+/** Configuration of the optional slow memory tier. */
+struct TierConfig
+{
+    /** Slow-tier capacity in frames (0 disables tiering). */
+    std::uint32_t slowFrames = 0;
+    /** Extra latency of a slow-tier access (CXL-class, ~3x DRAM). */
+    SimDuration slowAccessLatency = nsecs(300);
+    /** Cost to migrate one page between tiers (copy + remap). */
+    SimDuration migrateCost = usecs(3);
+    /** Slow-tier touches before a page is promoted. */
+    std::uint32_t promoteThreshold = 2;
+
+    bool enabled() const { return slowFrames > 0; }
+};
+
+/** Counters for the tiering extension. */
+struct TierStats
+{
+    std::uint64_t demotions = 0;      ///< fast -> slow migrations
+    std::uint64_t promotions = 0;     ///< slow -> fast migrations
+    std::uint64_t slowHits = 0;       ///< accesses served by the slow tier
+    std::uint64_t slowEvictions = 0;  ///< slow tier -> swap
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_KERNEL_TIERED_MEMORY_HH

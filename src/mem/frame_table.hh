@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Physical frame table, per-frame metadata, and the reverse map.
+ *
+ * PageInfo is the analogue of struct page: it records which (address
+ * space, VPN) a frame currently holds — that mapping *is* the reverse
+ * map; what the policies pay for is the simulated cost of walking it —
+ * plus the intrusive list linkage and the policy-owned classification
+ * fields (Clock's list id, MG-LRU's generation and tier).
+ */
+
+#ifndef PAGESIM_MEM_FRAME_TABLE_HH
+#define PAGESIM_MEM_FRAME_TABLE_HH
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "mem/types.hh"
+
+namespace pagesim
+{
+
+class AddressSpace;
+
+/** Per-frame metadata ("struct page"). */
+struct PageInfo
+{
+    /** Owning address space; nullptr while the frame is free. */
+    AddressSpace *space = nullptr;
+    /** VPN this frame backs (valid while space != nullptr). */
+    Vpn vpn = 0;
+
+    /** Intrusive list links (frame is on at most one policy list). */
+    Pfn prev = kInvalidPfn;
+    Pfn next = kInvalidPfn;
+    /** Which policy list the frame is on (policy-defined; 0 = none). */
+    std::uint8_t listId = 0;
+
+    /** MG-LRU: absolute generation sequence number. */
+    std::uint64_t gen = 0;
+    /** MG-LRU: tier within the generation (log2 of use count). */
+    std::uint8_t tier = 0;
+    /** File-backed page (cached from the VMA at fault time). */
+    bool file = false;
+    /** Brought in speculatively; cleared on first demand access. */
+    bool fromReadahead = false;
+
+    /**
+     * Swap-cache backing: slot whose contents still match this frame.
+     * While valid and the PTE stays clean, eviction can drop the page
+     * without writing it back (the kernel's swap-cache reuse).
+     */
+    SwapSlot backing = kInvalidSlot;
+    /** Accesses observed since residency (drives MG-LRU tiers). */
+    std::uint32_t refs = 0;
+
+    bool free() const { return space == nullptr; }
+};
+
+/**
+ * The machine's physical memory: a fixed set of frames with a free
+ * list and the PageInfo array.
+ */
+class FrameTable
+{
+  public:
+    explicit
+    FrameTable(std::uint32_t nframes)
+        : infos_(nframes)
+    {
+        freeList_.reserve(nframes);
+        // Allocate ascending: push in reverse so pop_back yields pfn 0
+        // first, giving deterministic, realistic low-to-high placement.
+        for (std::uint32_t i = nframes; i > 0; --i)
+            freeList_.push_back(i - 1);
+    }
+
+    std::uint32_t totalFrames() const
+    {
+        return static_cast<std::uint32_t>(infos_.size());
+    }
+
+    std::uint32_t freeFrames() const
+    {
+        return static_cast<std::uint32_t>(freeList_.size());
+    }
+
+    std::uint32_t usedFrames() const
+    {
+        return totalFrames() - freeFrames();
+    }
+
+    /** Grab a free frame; kInvalidPfn when memory is exhausted. */
+    Pfn
+    allocate(AddressSpace *space, Vpn vpn, bool file)
+    {
+        if (freeList_.empty())
+            return kInvalidPfn;
+        const Pfn pfn = freeList_.back();
+        freeList_.pop_back();
+        PageInfo &pi = infos_[pfn];
+        assert(pi.free());
+        pi.space = space;
+        pi.vpn = vpn;
+        pi.file = file;
+        pi.listId = 0;
+        pi.gen = 0;
+        pi.tier = 0;
+        pi.backing = kInvalidSlot;
+        pi.refs = 0;
+        pi.fromReadahead = false;
+        pi.prev = pi.next = kInvalidPfn;
+        return pfn;
+    }
+
+    /** Return a frame to the free list. */
+    void
+    release(Pfn pfn)
+    {
+        PageInfo &pi = infos_[pfn];
+        assert(!pi.free());
+        assert(pi.listId == 0 && "frame still on a policy list");
+        pi.space = nullptr;
+        freeList_.push_back(pfn);
+    }
+
+    PageInfo &
+    info(Pfn pfn)
+    {
+        assert(pfn < infos_.size());
+        return infos_[pfn];
+    }
+
+    const PageInfo &
+    info(Pfn pfn) const
+    {
+        assert(pfn < infos_.size());
+        return infos_[pfn];
+    }
+
+    /**
+     * Reverse-map lookup: frame -> (space, vpn). The *information* is
+     * free in the simulator; the cost of the kernel's rmap pointer
+     * chase is charged separately by whoever walks it (see
+     * MmCosts::rmapWalk).
+     */
+    const PageInfo &rmap(Pfn pfn) const { return info(pfn); }
+
+  private:
+    std::vector<PageInfo> infos_;
+    std::vector<Pfn> freeList_;
+};
+
+/**
+ * Intrusive doubly-linked list over frames.
+ *
+ * Uses PageInfo::prev/next, so membership moves are O(1) — the property
+ * the paper leans on when arguing generation-count increases are cheap
+ * ("moving page metadata between generation lists is an O(1) operation",
+ * Sec. V-B). A frame may be on at most one FrameList; the @p list_id
+ * tags membership for debugging and policy queries.
+ */
+class FrameList
+{
+  public:
+    FrameList(FrameTable &frames, std::uint8_t list_id)
+        : frames_(&frames), listId_(list_id)
+    {
+        assert(list_id != 0);
+    }
+
+    std::uint64_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    Pfn head() const { return head_; }
+    Pfn tail() const { return tail_; }
+    std::uint8_t listId() const { return listId_; }
+
+    /** Add to the head (most-recently-used end). */
+    void
+    pushFront(Pfn pfn)
+    {
+        PageInfo &pi = frames_->info(pfn);
+        assert(pi.listId == 0);
+        pi.listId = listId_;
+        pi.prev = kInvalidPfn;
+        pi.next = head_;
+        if (head_ != kInvalidPfn)
+            frames_->info(head_).prev = pfn;
+        head_ = pfn;
+        if (tail_ == kInvalidPfn)
+            tail_ = pfn;
+        ++size_;
+    }
+
+    /** Add to the tail (least-recently-used end). */
+    void
+    pushBack(Pfn pfn)
+    {
+        PageInfo &pi = frames_->info(pfn);
+        assert(pi.listId == 0);
+        pi.listId = listId_;
+        pi.next = kInvalidPfn;
+        pi.prev = tail_;
+        if (tail_ != kInvalidPfn)
+            frames_->info(tail_).next = pfn;
+        tail_ = pfn;
+        if (head_ == kInvalidPfn)
+            head_ = pfn;
+        ++size_;
+    }
+
+    /** Remove an arbitrary member. */
+    void
+    remove(Pfn pfn)
+    {
+        PageInfo &pi = frames_->info(pfn);
+        assert(pi.listId == listId_);
+        if (pi.prev != kInvalidPfn)
+            frames_->info(pi.prev).next = pi.next;
+        else
+            head_ = pi.next;
+        if (pi.next != kInvalidPfn)
+            frames_->info(pi.next).prev = pi.prev;
+        else
+            tail_ = pi.prev;
+        pi.prev = pi.next = kInvalidPfn;
+        pi.listId = 0;
+        --size_;
+    }
+
+    /** Remove and return the tail; kInvalidPfn if empty. */
+    Pfn
+    popBack()
+    {
+        if (tail_ == kInvalidPfn)
+            return kInvalidPfn;
+        const Pfn pfn = tail_;
+        remove(pfn);
+        return pfn;
+    }
+
+    /** Remove and return the head; kInvalidPfn if empty. */
+    Pfn
+    popFront()
+    {
+        if (head_ == kInvalidPfn)
+            return kInvalidPfn;
+        const Pfn pfn = head_;
+        remove(pfn);
+        return pfn;
+    }
+
+    /** True if @p pfn is currently a member of *this* list. */
+    bool
+    contains(Pfn pfn) const
+    {
+        return frames_->info(pfn).listId == listId_;
+    }
+
+  private:
+    FrameTable *frames_;
+    std::uint8_t listId_;
+    Pfn head_ = kInvalidPfn;
+    Pfn tail_ = kInvalidPfn;
+    std::uint64_t size_ = 0;
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_MEM_FRAME_TABLE_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Region-structured page table.
+ *
+ * The table is a flat array of PTEs grouped into regions of 512 (one
+ * leaf page-table page each). MG-LRU's aging path walks this structure
+ * linearly, which is exactly the locality advantage the paper describes
+ * over Clock's per-page rmap walks; the region is also the granularity
+ * of the Bloom filter. Per-region counters (mapped/present/young) let
+ * walkers skip empty regions the way the real walker skips holes.
+ */
+
+#ifndef PAGESIM_MEM_PAGE_TABLE_HH
+#define PAGESIM_MEM_PAGE_TABLE_HH
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "mem/pte.hh"
+#include "mem/types.hh"
+
+namespace pagesim
+{
+
+/** Per-region bookkeeping, maintained by PageTable mutators. */
+struct RegionInfo
+{
+    std::uint32_t mapped = 0;   ///< PTEs inside a VMA
+    std::uint32_t present = 0;  ///< resident PTEs
+};
+
+/** A single address space's page table. */
+class PageTable
+{
+  public:
+    PageTable() = default;
+
+    /** Number of regions the table currently spans. */
+    std::uint64_t numRegions() const { return regions_.size(); }
+
+    /** Total VPN span (regions * 512). */
+    std::uint64_t span() const { return regions_.size() * kPtesPerRegion; }
+
+    /** Grow the table to cover @p vpn_end VPNs. */
+    void
+    growTo(Vpn vpn_end)
+    {
+        const std::uint64_t need =
+            (vpn_end + kPtesPerRegion - 1) / kPtesPerRegion;
+        if (need > regions_.size()) {
+            ptes_.resize(need * kPtesPerRegion);
+            regions_.resize(need);
+        }
+    }
+
+    Pte &
+    at(Vpn vpn)
+    {
+        assert(vpn < ptes_.size());
+        return ptes_[vpn];
+    }
+
+    const Pte &
+    at(Vpn vpn) const
+    {
+        assert(vpn < ptes_.size());
+        return ptes_[vpn];
+    }
+
+    RegionInfo &
+    region(std::uint64_t r)
+    {
+        assert(r < regions_.size());
+        return regions_[r];
+    }
+
+    const RegionInfo &
+    region(std::uint64_t r) const
+    {
+        assert(r < regions_.size());
+        return regions_[r];
+    }
+
+    /** Mark @p vpn as belonging to a VMA (called by AddressSpace). */
+    void
+    markMapped(Vpn vpn, bool file)
+    {
+        Pte &pte = at(vpn);
+        assert(!pte.mapped());
+        pte.setFlag(Pte::Mapped);
+        if (file)
+            pte.setFlag(Pte::File);
+        ++regions_[regionOf(vpn)].mapped;
+    }
+
+    /** Present-count maintenance; callers flip Pte::Present themselves. */
+    void notePresent(Vpn vpn) { ++regions_[regionOf(vpn)].present; }
+    void
+    noteNotPresent(Vpn vpn)
+    {
+        RegionInfo &ri = regions_[regionOf(vpn)];
+        assert(ri.present > 0);
+        --ri.present;
+    }
+
+    /** Total mapped PTEs across the table. */
+    std::uint64_t
+    totalMapped() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &r : regions_)
+            n += r.mapped;
+        return n;
+    }
+
+    /** Total present PTEs across the table. */
+    std::uint64_t
+    totalPresent() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &r : regions_)
+            n += r.present;
+        return n;
+    }
+
+  private:
+    std::vector<Pte> ptes_;
+    std::vector<RegionInfo> regions_;
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_MEM_PAGE_TABLE_HH

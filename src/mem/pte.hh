@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Page table entry model.
+ *
+ * A Pte carries the architectural bits the replacement policies consume
+ * (Present, Accessed, Dirty) plus simulation bookkeeping: the physical
+ * frame while present, the swap slot while swapped out, and a "shadow"
+ * word recording eviction metadata used for refault detection — the
+ * moral equivalent of Linux's workingset shadow entries, which MG-LRU's
+ * tier/PID machinery and Clock's workingset refault logic both rely on.
+ */
+
+#ifndef PAGESIM_MEM_PTE_HH
+#define PAGESIM_MEM_PTE_HH
+
+#include <cstdint>
+
+#include "mem/types.hh"
+
+namespace pagesim
+{
+
+/** One page table entry. */
+class Pte
+{
+  public:
+    /** Architectural + bookkeeping flag bits. */
+    enum Flags : std::uint8_t
+    {
+        Present  = 1 << 0, ///< page resident; value() is a Pfn
+        Accessed = 1 << 1, ///< set by "hardware" on access
+        Dirty    = 1 << 2, ///< set by "hardware" on write
+        Swapped  = 1 << 3, ///< page in swap; value() is a SwapSlot
+        Mapped   = 1 << 4, ///< VPN belongs to a VMA
+        File     = 1 << 5, ///< file-backed mapping (tier/PID path)
+        InIo     = 1 << 6, ///< swap I/O in flight for this page
+        Slow     = 1 << 7, ///< present in the SLOW memory tier (TPP)
+    };
+
+    /** Resident in the slow tier; value() indexes the slow table. */
+    bool slow() const { return flags_ & Slow; }
+
+    bool present() const { return flags_ & Present; }
+    bool accessed() const { return flags_ & Accessed; }
+    bool dirty() const { return flags_ & Dirty; }
+    bool swapped() const { return flags_ & Swapped; }
+    bool mapped() const { return flags_ & Mapped; }
+    bool file() const { return flags_ & File; }
+    bool inIo() const { return flags_ & InIo; }
+
+    void setFlag(Flags f) { flags_ |= f; }
+    void clearFlag(Flags f) { flags_ &= static_cast<std::uint8_t>(~f); }
+
+    /**
+     * Test-and-clear the accessed bit, the primitive both policies'
+     * scans are built on. @return the prior value.
+     */
+    bool
+    testAndClearAccessed()
+    {
+        const bool was = accessed();
+        clearFlag(Accessed);
+        return was;
+    }
+
+    /** Physical frame; only meaningful while present(). */
+    Pfn pfn() const { return value_; }
+
+    /** Swap slot; only meaningful while swapped(). */
+    SwapSlot swapSlot() const { return value_; }
+
+    /** Transition: not-present -> present (fast tier) at @p pfn. */
+    void
+    mapFrame(Pfn pfn)
+    {
+        value_ = pfn;
+        setFlag(Present);
+        clearFlag(Swapped);
+        clearFlag(InIo);
+        clearFlag(Slow);
+    }
+
+    /** Transition: present -> swapped at @p slot with @p shadow. */
+    void
+    unmapToSwap(SwapSlot slot, std::uint32_t shadow)
+    {
+        value_ = slot;
+        shadow_ = shadow;
+        clearFlag(Present);
+        clearFlag(Accessed);
+        clearFlag(Dirty);
+        clearFlag(Slow);
+        setFlag(Swapped);
+    }
+
+    /** Transition: present -> empty (page discarded, e.g. clean drop). */
+    void
+    unmapDiscard(std::uint32_t shadow)
+    {
+        value_ = 0;
+        shadow_ = shadow;
+        clearFlag(Present);
+        clearFlag(Accessed);
+        clearFlag(Dirty);
+        clearFlag(Swapped);
+    }
+
+    /** Eviction shadow stored at last unmap (0 = none). */
+    std::uint32_t shadow() const { return shadow_; }
+    void clearShadow() { shadow_ = 0; }
+
+  private:
+    std::uint32_t value_ = 0;
+    std::uint32_t shadow_ = 0;
+    std::uint8_t flags_ = 0;
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_MEM_PTE_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Calibrated CPU cost constants for memory-management operations.
+ *
+ * These are the knobs that encode the paper's central tension: the
+ * *overhead* of scanning accessed bits versus the *quality* of the
+ * replacement decisions the scan information buys (Sec. VI-B). The
+ * relative magnitudes follow the kernel-behavior arguments in the
+ * paper:
+ *
+ *  - a linear PTE scan touches sequential memory: a few ns per PTE;
+ *  - an rmap walk is a pointer chase through VMA interval trees:
+ *    hundreds of ns per page ("expensive to access", Sec. III-B);
+ *  - a page fault has a fixed kernel entry/exit + allocation cost on
+ *    top of any I/O.
+ */
+
+#ifndef PAGESIM_POLICY_COSTS_HH
+#define PAGESIM_POLICY_COSTS_HH
+
+#include "sim/types.hh"
+
+namespace pagesim
+{
+
+/** CPU costs (undilated ns) of MM primitives. */
+struct MmCosts
+{
+    /** Linear page-table scan, per PTE visited. */
+    SimDuration pteScan = nsecs(12);
+    /**
+     * Clearing a set accessed bit on a live PTE: the TLB shootdown
+     * (IPI + remote invalidation) dominates, making young pages far
+     * more expensive to scan than cold ones. This is the cost that
+     * scales with how MUCH of the working set a walk insists on
+     * rescanning — Scan-All pays it everywhere.
+     */
+    SimDuration youngClear = usecs(1);
+    /** Fixed cost to visit a page-table region (pointer + filter). */
+    SimDuration regionVisit = nsecs(120);
+    /**
+     * Reverse-map walk for one page: anon_vma interval-tree pointer
+     * chasing with cache misses at every hop ("expensive to access",
+     * paper Sec. III-B). Clock pays this per page on every scan;
+     * MG-LRU only at eviction candidacy.
+     */
+    SimDuration rmapWalk = usecs(2);
+    /** Moving a page between policy lists. */
+    SimDuration listOp = nsecs(40);
+    /** Bloom filter test or insert. */
+    SimDuration bloomOp = nsecs(25);
+    /** Kernel fixed cost per page fault (entry, alloc, map, exit). */
+    SimDuration faultFixed = nsecs(1800);
+    /** Fixed cost to unmap + put a victim page under writeback. */
+    SimDuration evictFixed = nsecs(900);
+
+    /**
+     * Scale factor applied to aging-walk costs (pteScan, regionVisit,
+     * youngClear) inside MG-LRU's page-table walker. Walk cost is a
+     * per-footprint quantity while swap latencies are real-world
+     * constants; at the scaled-down footprint a partial inflation
+     * keeps the walk-vs-reclaim latency ratio in a realistic band
+     * (see DESIGN.md "Scaling").
+     */
+    double walkScale = 8.0;
+};
+
+/**
+ * Accumulates CPU work incurred inside policy code so the calling
+ * actor (kswapd, the aging daemon, or a direct-reclaiming application
+ * thread) can charge it to the CPU model. This is how scan overhead
+ * turns into real contention in the simulation.
+ */
+class CostSink
+{
+  public:
+    void charge(SimDuration work) { work_ += work; }
+    SimDuration total() const { return work_; }
+
+    /** Drain the accumulated work (returns and resets). */
+    SimDuration
+    take()
+    {
+        const SimDuration w = work_;
+        work_ = 0;
+        return w;
+    }
+
+  private:
+    SimDuration work_ = 0;
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_POLICY_COSTS_HH

@@ -1,0 +1,67 @@
+#include "policy/mglru/bloom_filter.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace pagesim
+{
+
+RegionBloomFilter::RegionBloomFilter(std::uint32_t bits, unsigned hashes,
+                                     std::uint64_t salt)
+    : bits_(bits), hashes_(hashes), salt_(salt),
+      words_((bits + 63) / 64, 0)
+{
+    assert(bits >= 64 && (bits & (bits - 1)) == 0 &&
+           "bits must be a power of two");
+    assert(hashes >= 1 && hashes <= 8);
+}
+
+std::uint64_t
+RegionBloomFilter::hashAt(std::uint64_t region, unsigned probe) const
+{
+    // Double hashing: h1 + i*h2, both derived from splitmix64.
+    const std::uint64_t h1 = splitmix64(region ^ salt_);
+    const std::uint64_t h2 =
+        splitmix64(region ^ salt_ ^ 0x9e3779b97f4a7c15ull) | 1;
+    return (h1 + probe * h2) & (bits_ - 1);
+}
+
+void
+RegionBloomFilter::add(std::uint64_t region)
+{
+    for (unsigned i = 0; i < hashes_; ++i) {
+        const std::uint64_t b = hashAt(region, i);
+        words_[b >> 6] |= 1ull << (b & 63);
+    }
+    ++insertions_;
+}
+
+bool
+RegionBloomFilter::maybeContains(std::uint64_t region) const
+{
+    for (unsigned i = 0; i < hashes_; ++i) {
+        const std::uint64_t b = hashAt(region, i);
+        if (!(words_[b >> 6] & (1ull << (b & 63))))
+            return false;
+    }
+    return true;
+}
+
+void
+RegionBloomFilter::clear()
+{
+    for (auto &w : words_)
+        w = 0;
+    insertions_ = 0;
+}
+
+double
+RegionBloomFilter::fillRatio() const
+{
+    std::uint64_t set = 0;
+    for (std::uint64_t w : words_)
+        set += static_cast<std::uint64_t>(std::popcount(w));
+    return static_cast<double>(set) / static_cast<double>(bits_);
+}
+
+} // namespace pagesim

@@ -1,0 +1,432 @@
+#include "policy/mglru/mglru_policy.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace pagesim
+{
+
+namespace
+{
+
+/** All generation lists share one list id; identity comes from gen. */
+constexpr std::uint8_t kGenList = 3;
+
+/** Shadow encoding: | seq (25 bits) | tier (2 bits) | valid (1). */
+constexpr std::uint32_t
+makeShadow(std::uint64_t seq, unsigned tier)
+{
+    return (static_cast<std::uint32_t>(seq & 0x1ffffff) << 3) |
+           (static_cast<std::uint32_t>(tier & 0x3) << 1) | 1u;
+}
+
+constexpr unsigned
+shadowTier(std::uint32_t shadow)
+{
+    return (shadow >> 1) & 0x3;
+}
+
+} // namespace
+
+MgLruPolicy::MgLruPolicy(FrameTable &frames,
+                         std::vector<AddressSpace *> spaces,
+                         const MmCosts &costs, Rng rng,
+                         const MgLruConfig &config, std::string name,
+                         const EventQueue *clock)
+    : frames_(frames), spaces_(std::move(spaces)), costs_(costs),
+      rng_(std::move(rng)), config_(config), name_(std::move(name)),
+      filters_{RegionBloomFilter(config.bloomBits, config.bloomHashes,
+                                 rng_.nextU64()),
+               RegionBloomFilter(config.bloomBits, config.bloomHashes,
+                                 rng_.nextU64())},
+      pid_(config.pid), clock_(clock)
+{
+    assert(config_.maxNrGens >= 2);
+    gens_.reserve(config_.maxNrGens);
+    for (std::uint32_t i = 0; i < config_.maxNrGens; ++i)
+        gens_.emplace_back(frames_, kGenList);
+}
+
+FrameList &
+MgLruPolicy::genList(std::uint64_t seq)
+{
+    return gens_[seq % config_.maxNrGens];
+}
+
+const FrameList &
+MgLruPolicy::genList(std::uint64_t seq) const
+{
+    return gens_[seq % config_.maxNrGens];
+}
+
+std::uint64_t
+MgLruPolicy::genSize(std::uint64_t seq) const
+{
+    assert(seq >= minSeq_ && seq <= maxSeq_);
+    return genList(seq).size();
+}
+
+Pte &
+MgLruPolicy::pteOf(Pfn pfn)
+{
+    PageInfo &pi = frames_.info(pfn);
+    assert(pi.space != nullptr);
+    return pi.space->table().at(pi.vpn);
+}
+
+std::uint64_t
+MgLruPolicy::regionKey(const AddressSpace &space,
+                       std::uint64_t region) const
+{
+    return (static_cast<std::uint64_t>(space.id()) << 40) | region;
+}
+
+void
+MgLruPolicy::updateTier(PageInfo &pi)
+{
+    if (!pi.file) {
+        pi.tier = 0;
+        return;
+    }
+    // tier = log2(refs + 1), capped; the kernel's order_base_2 rule.
+    const std::uint32_t capped = std::min(pi.refs, 255u);
+    const unsigned t = std::bit_width(capped + 1u) - 1u;
+    pi.tier = static_cast<std::uint8_t>(
+        std::min<unsigned>(t, TierPidController::kMaxTiers - 1));
+}
+
+void
+MgLruPolicy::promoteTo(Pfn pfn, std::uint64_t seq)
+{
+    PageInfo &pi = frames_.info(pfn);
+    assert(pi.listId == kGenList);
+    genList(pi.gen).remove(pfn);
+    pi.gen = seq;
+    genList(seq).pushFront(pfn);
+}
+
+void
+MgLruPolicy::onPageResident(Pfn pfn, ResidencyKind kind,
+                            std::uint32_t shadow)
+{
+    PageInfo &pi = frames_.info(pfn);
+    assert(pi.listId == 0);
+    std::uint64_t seq;
+    switch (kind) {
+      case ResidencyKind::NewAnon:
+      case ResidencyKind::SwapInDemand:
+        seq = maxSeq_; // just touched: youngest generation
+        break;
+      case ResidencyKind::SwapInReadahead:
+      default:
+        // Unreferenced speculative pages land one generation above
+        // the oldest: cold enough to go first if wrong, with one
+        // generation's grace to be demand-touched (swap readahead
+        // clusters resolve within that window).
+        seq = std::min(minSeq_ + 1, maxSeq_);
+        break;
+    }
+    pi.refs = 0;
+    pi.tier = 0;
+    if (shadow != 0) {
+        ++stats_.refaults;
+        const unsigned t = shadowTier(shadow);
+        pid_.recordRefault(t);
+        if (pi.file) {
+            // Refaulted file pages re-enter one tier higher so the
+            // controller can see them coming back.
+            pi.refs = (1u << std::min(t + 1, 3u)) - 1;
+            updateTier(pi);
+        }
+    }
+    pi.gen = seq;
+    genList(seq).pushFront(pfn);
+    ++resident_;
+}
+
+std::uint32_t
+MgLruPolicy::onPageRemoved(Pfn pfn)
+{
+    PageInfo &pi = frames_.info(pfn);
+    if (pi.listId == kGenList) {
+        genList(pi.gen).remove(pfn);
+        assert(resident_ > 0);
+        --resident_;
+    }
+    return makeShadow(minSeq_, pi.tier);
+}
+
+bool
+MgLruPolicy::shouldScanRegion(std::uint64_t key, CostSink &costs)
+{
+    switch (config_.scanMode) {
+      case ScanMode::All:
+        return true;
+      case ScanMode::Random:
+        return rng_.bernoulli(config_.randomScanProb);
+      case ScanMode::Bloom:
+        costs.charge(costs_.bloomOp);
+        // Before the first walk has populated a filter, the kernel
+        // walks everything it finds.
+        if (!filterWarm_)
+            return true;
+        return filters_[activeFilter_].maybeContains(key);
+      case ScanMode::None:
+      default:
+        return false;
+    }
+}
+
+void
+MgLruPolicy::scanRegion(AddressSpace &space, std::uint64_t region,
+                        std::uint64_t promote_seq, CostSink &costs)
+{
+    PageTable &table = space.table();
+    const Vpn base = regionBase(region);
+    const double ws = costs_.walkScale;
+    // The walker reads every slot of the leaf table page; sparse
+    // regions pay the full linear cost — exactly why naive full scans
+    // are wasteful (Sec. III-B).
+    costs.charge(static_cast<SimDuration>(
+        ws * static_cast<double>(costs_.pteScan * kPtesPerRegion)));
+    stats_.ptesScanned += kPtesPerRegion;
+    std::uint32_t young = 0;
+    for (Vpn v = base; v < base + kPtesPerRegion; ++v) {
+        Pte &pte = table.at(v);
+        if (!pte.present())
+            continue;
+        if (!pte.testAndClearAccessed())
+            continue;
+        // Clearing a live accessed bit costs a TLB shootdown.
+        costs.charge(static_cast<SimDuration>(
+            ws * static_cast<double>(costs_.youngClear)));
+        ++young;
+        const Pfn pfn = pte.pfn();
+        PageInfo &pi = frames_.info(pfn);
+        if (pi.listId != kGenList)
+            continue; // in flight (being evicted); leave it alone
+        ++pi.refs;
+        updateTier(pi);
+        if (pi.gen != promote_seq) {
+            promoteTo(pfn, promote_seq);
+            costs.charge(costs_.listOp);
+            ++stats_.promotions;
+        }
+    }
+    if (young >= config_.youngDensityThreshold) {
+        filters_[1 - activeFilter_].add(regionKey(space, region));
+        costs.charge(costs_.bloomOp);
+        ++mgStats_.bloomInsertions;
+    }
+}
+
+void
+MgLruPolicy::startWalk()
+{
+    walk_.active = true;
+    walk_.spaceIdx = 0;
+    walk_.region = 0;
+    walk_.canInc = (maxSeq_ - minSeq_ + 1) < config_.maxNrGens;
+    walk_.promoteSeq = walk_.canInc ? maxSeq_ + 1 : maxSeq_;
+    if (!walk_.canInc)
+        ++mgStats_.genCreationBlocked;
+    if (config_.scanMode != ScanMode::None)
+        filters_[1 - activeFilter_].clear();
+}
+
+void
+MgLruPolicy::finishWalk()
+{
+    if (config_.scanMode != ScanMode::None) {
+        // The filter built during this walk serves the next one.
+        activeFilter_ = 1 - activeFilter_;
+        filterWarm_ = true;
+    }
+    if (walk_.canInc) {
+        // Safe even if pages were promoted into the new youngest
+        // generation while the walk was in flight.
+        ++maxSeq_;
+        ++mgStats_.genCreations;
+    }
+    pid_.update();
+    evictedAtLastAge_ = stats_.evicted;
+    if (clock_ != nullptr)
+        lastPassNs_ = clock_->now();
+    ++stats_.agingPasses;
+    walk_.active = false;
+}
+
+bool
+MgLruPolicy::ageStep(CostSink &costs, std::uint32_t region_budget)
+{
+    if (!walk_.active)
+        startWalk();
+
+    if (config_.scanMode == ScanMode::None) {
+        // Scan-None never walks page tables; aging is just the
+        // generation bump.
+        finishWalk();
+        return true;
+    }
+
+    std::uint32_t visited = 0;
+    while (walk_.spaceIdx < spaces_.size()) {
+        AddressSpace &space = *spaces_[walk_.spaceIdx];
+        PageTable &table = space.table();
+        while (walk_.region < table.numRegions()) {
+            if (visited >= region_budget)
+                return false; // pass continues on the next slice
+            const std::uint64_t r = walk_.region++;
+            ++visited;
+            const RegionInfo &ri = table.region(r);
+            costs.charge(static_cast<SimDuration>(
+                costs_.walkScale *
+                static_cast<double>(costs_.regionVisit)));
+            ++stats_.regionsVisited;
+            if (ri.mapped == 0 || ri.present == 0) {
+                ++stats_.regionsSkipped;
+                continue;
+            }
+            if (!shouldScanRegion(regionKey(space, r), costs)) {
+                ++stats_.regionsSkipped;
+                continue;
+            }
+            scanRegion(space, r, walk_.promoteSeq, costs);
+        }
+        ++walk_.spaceIdx;
+        walk_.region = 0;
+    }
+    finishWalk();
+    return true;
+}
+
+void
+MgLruPolicy::age(CostSink &costs)
+{
+    while (!ageStep(costs, UINT32_MAX)) {
+    }
+}
+
+bool
+MgLruPolicy::wantsAging() const
+{
+    // Pass-rate floor: generations are cohorts of pages referenced
+    // between passes; passes spaced closer than minAgingGap make
+    // cohorts (and thus generation numbers) meaningless and spin the
+    // walker. Eviction that has to wait out the gap stalls — a real
+    // MG-LRU tail mechanism (Sec. VI-A).
+    if (clock_ != nullptr && lastPassNs_ != 0 &&
+        clock_->now() - lastPassNs_ < config_.minAgingGap) {
+        return false;
+    }
+    // Demand-driven, like try_to_inc_max_seq: keep enough live
+    // generations ahead of eviction...
+    if (maxSeq_ - minSeq_ < 2)
+        return true;
+    // ...and otherwise only once eviction has made real progress
+    // since the last pass (generations represent reclaim work)...
+    if (stats_.evicted - evictedAtLastAge_ < config_.agingEvictGate)
+        return false;
+    // ...and the evictable (non-youngest) population runs thin.
+    const std::uint64_t young = genList(maxSeq_).size();
+    const std::uint64_t cold = resident_ - young;
+    return cold < config_.agingLowPages;
+}
+
+std::size_t
+MgLruPolicy::selectVictims(std::vector<Pfn> &out, std::size_t max,
+                           CostSink &costs)
+{
+    std::size_t got = 0;
+    // Pressure escalation (the kernel's rising scan priority): after
+    // repeated starved rounds, referenced pages are reclaimed anyway
+    // rather than promoted, so reclaim always eventually progresses.
+    // Escalation is deliberately slower than Clock's inline refill:
+    // MG-LRU burns scan budget promoting referenced pages first, the
+    // reclaim-rate burstiness behind its tail behavior (Sec. VI-A).
+    const bool force = starvedRounds_ >= 3;
+    // Tier protection is bounded per scan: once the budget is spent,
+    // protected-tier pages are reclaimed anyway (counted, so the PID
+    // sees their refaults and rebalances) — protection must shape
+    // eviction order, never block reclaim.
+    std::size_t protect_budget = max;
+    std::uint64_t budget =
+        static_cast<std::uint64_t>(max) * config_.scanLimitFactor + 64;
+    while (got < max && budget-- > 0) {
+        while (genList(minSeq_).empty() && minSeq_ < maxSeq_)
+            ++minSeq_;
+        // Never drain the youngest generation — except at the highest
+        // pressure level, where the kernel reclaims everything it can
+        // rather than livelock (the whole resident set can be hot).
+        if (minSeq_ == maxSeq_ && !force)
+            break;
+        FrameList &oldest = genList(minSeq_);
+        if (oldest.empty())
+            break;
+
+        const Pfn pfn = oldest.popBack();
+        PageInfo &pi = frames_.info(pfn);
+        // Like Clock, eviction resolves the page's PTE via the rmap.
+        costs.charge(costs_.rmapWalk);
+        ++stats_.rmapWalks;
+        ++stats_.ptesScanned;
+        Pte &pte = pteOf(pfn);
+        if (pte.testAndClearAccessed() && !force) {
+            // Referenced since aging last saw it: send to the youngest
+            // generation, then exploit spatial locality by scanning the
+            // surrounding PTEs of the same page-table region.
+            ++pi.refs;
+            updateTier(pi);
+            pi.gen = maxSeq_;
+            genList(maxSeq_).pushFront(pfn);
+            ++stats_.secondChances;
+            ++stats_.promotions;
+            if (config_.evictNeighborScan) {
+                ++mgStats_.neighborScans;
+                const std::uint64_t promoted_before = stats_.promotions;
+                scanRegion(*pi.space, regionOf(pi.vpn), maxSeq_, costs);
+                mgStats_.neighborPromotions +=
+                    stats_.promotions - promoted_before;
+            }
+            continue;
+        }
+        if (config_.tierProtection && !force && protect_budget > 0 &&
+            pi.tier > 0 && pid_.isProtected(pi.tier)) {
+            // Protected tier: granted two generations of grace
+            // instead of eviction, until refault rates balance.
+            --protect_budget;
+            pi.gen = std::min(minSeq_ + 2, maxSeq_);
+            genList(pi.gen).pushFront(pfn);
+            ++mgStats_.tierProtected;
+            continue;
+        }
+        // Victim.
+        pid_.recordEviction(pi.tier);
+        costs.charge(costs_.evictFixed);
+        assert(resident_ > 0);
+        --resident_;
+        out.push_back(pfn);
+        ++stats_.evicted;
+        ++got;
+    }
+    if (got == 0)
+        ++starvedRounds_;
+    else
+        starvedRounds_ = 0;
+    return got;
+}
+
+void
+MgLruPolicy::onFdAccess(Pfn pfn)
+{
+    PageInfo &pi = frames_.info(pfn);
+    if (pi.listId != kGenList)
+        return;
+    // fd-accessed pages do NOT jump to the youngest generation; they
+    // climb a tier within their generation (Sec. III-D).
+    ++pi.refs;
+    updateTier(pi);
+}
+
+} // namespace pagesim

@@ -1,0 +1,97 @@
+#include "policy/mglru/pid_controller.hh"
+
+#include <cassert>
+
+namespace pagesim
+{
+
+TierPidController::TierPidController(const PidConfig &config)
+    : config_(config)
+{
+}
+
+void
+TierPidController::recordEviction(unsigned tier)
+{
+    assert(tier < kMaxTiers);
+    evictions_[tier] += 1.0;
+    ++rawEvictions_[tier];
+}
+
+void
+TierPidController::recordRefault(unsigned tier)
+{
+    assert(tier < kMaxTiers);
+    refaults_[tier] += 1.0;
+    ++rawRefaults_[tier];
+}
+
+double
+TierPidController::refaultRate(unsigned tier) const
+{
+    assert(tier < kMaxTiers);
+    if (evictions_[tier] < static_cast<double>(config_.minEvictions))
+        return 0.0;
+    return refaults_[tier] / evictions_[tier];
+}
+
+void
+TierPidController::update()
+{
+    const double base = refaultRate(0);
+    for (unsigned t = 1; t < kMaxTiers; ++t) {
+        const double error = refaultRate(t) - base;
+        // Leaky integral: accumulated error drains when the imbalance
+        // disappears, so stale protection releases (and anti-windup
+        // bounds it meanwhile).
+        integral_[t] = integral_[t] * 0.9 + error;
+        if (integral_[t] > 10.0)
+            integral_[t] = 10.0;
+        if (integral_[t] < -10.0)
+            integral_[t] = -10.0;
+        const double derivative = error - prevError_[t];
+        prevError_[t] = error;
+        output_[t] = config_.kp * error + config_.ki * integral_[t] +
+                     config_.kd * derivative;
+    }
+    // Decay history so the controller tracks phase changes, mirroring
+    // the kernel's periodic halving of tier counters.
+    for (unsigned t = 0; t < kMaxTiers; ++t) {
+        evictions_[t] *= config_.decay;
+        refaults_[t] *= config_.decay;
+    }
+}
+
+bool
+TierPidController::isProtected(unsigned tier) const
+{
+    assert(tier < kMaxTiers);
+    if (tier == 0)
+        return false;
+    // Deadband: refault rates never reach exactly zero under decay,
+    // so require a meaningful imbalance before protecting.
+    return output_[tier] > 0.01;
+}
+
+double
+TierPidController::output(unsigned tier) const
+{
+    assert(tier < kMaxTiers);
+    return output_[tier];
+}
+
+std::uint64_t
+TierPidController::evictions(unsigned tier) const
+{
+    assert(tier < kMaxTiers);
+    return rawEvictions_[tier];
+}
+
+std::uint64_t
+TierPidController::refaults(unsigned tier) const
+{
+    assert(tier < kMaxTiers);
+    return rawRefaults_[tier];
+}
+
+} // namespace pagesim

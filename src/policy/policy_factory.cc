@@ -1,0 +1,94 @@
+#include "policy/policy_factory.hh"
+
+#include <stdexcept>
+
+namespace pagesim
+{
+
+const std::vector<PolicyKind> &
+allPolicyKinds()
+{
+    static const std::vector<PolicyKind> kinds = {
+        PolicyKind::Clock,    PolicyKind::MgLru,
+        PolicyKind::Gen14,    PolicyKind::ScanAll,
+        PolicyKind::ScanNone, PolicyKind::ScanRand,
+    };
+    return kinds;
+}
+
+const std::vector<PolicyKind> &
+mgLruVariantKinds()
+{
+    static const std::vector<PolicyKind> kinds = {
+        PolicyKind::Gen14,
+        PolicyKind::ScanAll,
+        PolicyKind::ScanNone,
+        PolicyKind::ScanRand,
+    };
+    return kinds;
+}
+
+const std::string &
+policyKindName(PolicyKind kind)
+{
+    static const std::string names[] = {
+        "Clock", "MG-LRU", "Gen-14", "Scan-All", "Scan-None",
+        "Scan-Rand",
+    };
+    return names[static_cast<int>(kind)];
+}
+
+PolicyKind
+policyKindFromName(const std::string &name)
+{
+    for (PolicyKind kind : allPolicyKinds())
+        if (policyKindName(kind) == name)
+            return kind;
+    throw std::invalid_argument("unknown policy name: " + name);
+}
+
+MgLruConfig
+mgLruConfigFor(PolicyKind kind)
+{
+    MgLruConfig config;
+    switch (kind) {
+      case PolicyKind::MgLru:
+        break;
+      case PolicyKind::Gen14:
+        config.maxNrGens = 1u << 14;
+        break;
+      case PolicyKind::ScanAll:
+        config.scanMode = ScanMode::All;
+        break;
+      case PolicyKind::ScanNone:
+        config.scanMode = ScanMode::None;
+        break;
+      case PolicyKind::ScanRand:
+        config.scanMode = ScanMode::Random;
+        config.randomScanProb = 0.5;
+        break;
+      case PolicyKind::Clock:
+      default:
+        throw std::invalid_argument(
+            "mgLruConfigFor: not an MG-LRU variant");
+    }
+    return config;
+}
+
+std::unique_ptr<ReplacementPolicy>
+makePolicy(PolicyKind kind, FrameTable &frames,
+           std::vector<AddressSpace *> spaces, const MmCosts &costs,
+           Rng rng, const std::function<void(MgLruConfig &)> &mg_tweak,
+           const EventQueue *clock)
+{
+    if (kind == PolicyKind::Clock)
+        return std::make_unique<ClockLru>(frames, costs);
+    MgLruConfig config = mgLruConfigFor(kind);
+    if (mg_tweak)
+        mg_tweak(config);
+    return std::make_unique<MgLruPolicy>(frames, std::move(spaces),
+                                         costs, std::move(rng), config,
+                                         policyKindName(kind), clock);
+}
+
+} // namespace pagesim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Named policy configurations matching the paper's tested variants.
+ */
+
+#ifndef PAGESIM_POLICY_POLICY_FACTORY_HH
+#define PAGESIM_POLICY_POLICY_FACTORY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/address_space.hh"
+#include "mem/frame_table.hh"
+#include "policy/clock_lru.hh"
+#include "policy/mglru/mglru_policy.hh"
+#include "policy/replacement_policy.hh"
+#include "sim/rng.hh"
+
+namespace pagesim
+{
+
+/** The six policy configurations the paper evaluates. */
+enum class PolicyKind
+{
+    Clock,    ///< classic two-list Clock-LRU
+    MgLru,    ///< MG-LRU, default parameters (4 generations, Bloom)
+    Gen14,    ///< MG-LRU with 2^14 generations
+    ScanAll,  ///< MG-LRU, aging scans every page-table region
+    ScanNone, ///< MG-LRU, aging scans nothing
+    ScanRand, ///< MG-LRU, aging scans each region with p = 0.5
+};
+
+/** All kinds, in the paper's plotting order. */
+const std::vector<PolicyKind> &allPolicyKinds();
+
+/** MG-LRU variants only (normalized against default MG-LRU). */
+const std::vector<PolicyKind> &mgLruVariantKinds();
+
+/** Display name used in figures ("Clock", "MG-LRU", "Gen-14", ...). */
+const std::string &policyKindName(PolicyKind kind);
+
+/** Parse a display name back to a kind (throws on unknown). */
+PolicyKind policyKindFromName(const std::string &name);
+
+/** The MgLruConfig a given MG-LRU variant uses. */
+MgLruConfig mgLruConfigFor(PolicyKind kind);
+
+/**
+ * Build a policy instance.
+ *
+ * @param kind     which configuration
+ * @param frames   frame table
+ * @param spaces   address spaces (MG-LRU aging walk targets)
+ * @param costs    CPU cost model
+ * @param rng      policy random stream (forked per trial)
+ * @param mg_tweak optional hook to adjust the variant's MgLruConfig
+ *                 (e.g. sizing agingLowPages to capacity); ignored for
+ *                 Clock
+ * @param clock    sim clock for MG-LRU aging pass pacing (optional)
+ */
+std::unique_ptr<ReplacementPolicy>
+makePolicy(PolicyKind kind, FrameTable &frames,
+           std::vector<AddressSpace *> spaces, const MmCosts &costs,
+           Rng rng,
+           const std::function<void(MgLruConfig &)> &mg_tweak = {},
+           const EventQueue *clock = nullptr);
+
+} // namespace pagesim
+
+#endif // PAGESIM_POLICY_POLICY_FACTORY_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * SimActor: base class for schedulable simulated threads.
+ *
+ * Workload threads and kernel daemons (kswapd, the MG-LRU aging thread)
+ * are actors. An actor alternates between:
+ *
+ *  - running: its step() was dispatched; it performs simulated work and
+ *    must end by calling exactly one of yieldAfter(), sleepFor(),
+ *    block(), or finish();
+ *  - runnable-waiting: rescheduled after yieldAfter(); it counts toward
+ *    CPU load for the whole interval (the interval *is* its CPU slice);
+ *  - blocked: waiting on I/O or a wake() from another component; it does
+ *    not count toward CPU load;
+ *  - sleeping: a timed block (daemon intervals);
+ *  - finished: terminal.
+ *
+ * Because yieldAfter() charges a whole chunk at the load factor sampled
+ * at charge time, actors should keep chunks small (the memory manager
+ * chunks application work at ~tens of microseconds).
+ */
+
+#ifndef PAGESIM_SIM_ACTOR_HH
+#define PAGESIM_SIM_ACTOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/simulation.hh"
+#include "sim/types.hh"
+
+namespace pagesim
+{
+
+/** A simulated thread of execution. */
+class SimActor
+{
+  public:
+    enum class State
+    {
+        Created,
+        Running,   ///< inside step()
+        Runnable,  ///< scheduled to run again (holds a CPU share)
+        Blocked,   ///< waiting for wake()
+        Sleeping,  ///< timed wait
+        Finished,
+    };
+
+    /**
+     * @param sim        owning simulation
+     * @param name       debug/stat name
+     * @param foreground true for workload threads whose completion ends
+     *                   the trial; false for daemons
+     */
+    SimActor(Simulation &sim, std::string name, bool foreground);
+
+    virtual ~SimActor();
+
+    SimActor(const SimActor &) = delete;
+    SimActor &operator=(const SimActor &) = delete;
+
+    /** Make the actor runnable and schedule its first step. */
+    void start(SimDuration initial_delay = 0);
+
+    /** Wake a blocked or sleeping actor; no-op in other states. */
+    void wake();
+
+    State state() const { return state_; }
+    bool finished() const { return state_ == State::Finished; }
+    const std::string &name() const { return name_; }
+
+    /** Total CPU work (undilated ns) this actor has charged. */
+    SimDuration cpuWork() const { return cpuWork_; }
+
+    /** Total wall time this actor spent blocked on wake(). */
+    SimDuration blockedTime() const { return blockedTime_; }
+
+  protected:
+    /** Perform one scheduling quantum of work; see class comment. */
+    virtual void step() = 0;
+
+    /**
+     * Charge @p cpu_work of compute (dilated by current CPU load) and
+     * reschedule step() when it completes.
+     */
+    void yieldAfter(SimDuration cpu_work);
+
+    /** Stop being runnable; wake() (or timeout never) resumes. */
+    void block();
+
+    /** Timed block: resume after @p wall of wall-clock sim time. */
+    void sleepFor(SimDuration wall);
+
+    /** Terminal: the actor will never run again. */
+    void finish();
+
+    Simulation &sim() { return sim_; }
+    SimTime now() const { return sim_.now(); }
+
+  private:
+    void dispatch();
+    void scheduleStep(SimTime when);
+
+    Simulation &sim_;
+    std::string name_;
+    bool foreground_;
+    State state_ = State::Created;
+    SimDuration cpuWork_ = 0;
+    SimDuration blockedTime_ = 0;
+    SimTime blockedSince_ = 0;
+    /// Guards against stale scheduled dispatches after block()/wake()
+    /// races: only the dispatch carrying the current epoch runs.
+    std::uint64_t epoch_ = 0;
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_SIM_ACTOR_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Processor-sharing CPU contention model.
+ *
+ * pagesim does not simulate instruction execution; workload and kernel
+ * threads charge "CPU work" (nanoseconds of compute at an idle machine).
+ * When more threads are runnable than there are logical CPUs, everyone
+ * slows down proportionally — the classic processor-sharing queueing
+ * approximation. This is what lets a busy MG-LRU aging thread steal
+ * cycles from application threads, one of the contention effects the
+ * paper identifies as a variance source (Sec. VI-A).
+ */
+
+#ifndef PAGESIM_SIM_CPU_MODEL_HH
+#define PAGESIM_SIM_CPU_MODEL_HH
+
+#include <cassert>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace pagesim
+{
+
+/** Tracks how many entities are runnable and dilates CPU work. */
+class CpuModel
+{
+  public:
+    explicit
+    CpuModel(unsigned num_cpus)
+        : numCpus_(num_cpus)
+    {
+        assert(num_cpus > 0);
+    }
+
+    unsigned numCpus() const { return numCpus_; }
+    unsigned runnable() const { return runnable_; }
+    unsigned peakRunnable() const { return peakRunnable_; }
+
+    /**
+     * Current dilation factor: 1.0 when the machine has spare CPUs,
+     * runnable/num_cpus when oversubscribed.
+     */
+    double
+    loadFactor() const
+    {
+        if (runnable_ <= numCpus_)
+            return 1.0;
+        return static_cast<double>(runnable_) / numCpus_;
+    }
+
+    /** Wall-clock duration needed to complete @p work of CPU work now. */
+    SimDuration
+    wallTimeFor(SimDuration work) const
+    {
+        return static_cast<SimDuration>(
+            static_cast<double>(work) * loadFactor());
+    }
+
+    /** An entity became runnable at time @p now. */
+    void
+    onRunnable(SimTime now)
+    {
+        accumulate(now);
+        ++runnable_;
+        if (runnable_ > peakRunnable_)
+            peakRunnable_ = runnable_;
+    }
+
+    /** An entity blocked/finished at time @p now. */
+    void
+    onBlocked(SimTime now)
+    {
+        assert(runnable_ > 0);
+        accumulate(now);
+        --runnable_;
+    }
+
+    /** Time-weighted mean runnable count up to @p now. */
+    double
+    meanRunnable(SimTime now)
+    {
+        accumulate(now);
+        if (now == 0)
+            return static_cast<double>(runnable_);
+        return runnableTimeProduct_ / static_cast<double>(now);
+    }
+
+  private:
+    void
+    accumulate(SimTime now)
+    {
+        assert(now >= lastChange_);
+        runnableTimeProduct_ += static_cast<double>(runnable_) *
+                                static_cast<double>(now - lastChange_);
+        lastChange_ = now;
+    }
+
+    unsigned numCpus_;
+    unsigned runnable_ = 0;
+    unsigned peakRunnable_ = 0;
+    SimTime lastChange_ = 0;
+    double runnableTimeProduct_ = 0.0;
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_SIM_CPU_MODEL_HH

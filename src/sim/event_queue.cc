@@ -1,0 +1,49 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+namespace pagesim
+{
+
+bool
+EventQueue::runOne()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() returns const&; the callback must be moved
+    // out before pop. const_cast is confined to this one spot.
+    Record &top = const_cast<Record &>(heap_.top());
+    now_ = top.when;
+    Callback cb = std::move(top.cb);
+    heap_.pop();
+    ++dispatched_;
+    cb();
+    return true;
+}
+
+void
+EventQueue::run(std::uint64_t limit)
+{
+    while (limit-- > 0 && runOne()) {
+    }
+}
+
+void
+EventQueue::runUntil(SimTime deadline)
+{
+    while (!heap_.empty() && heap_.top().when <= deadline) {
+        if (!runOne())
+            break;
+    }
+    if (now_ < deadline)
+        now_ = deadline;
+}
+
+void
+EventQueue::runWhile(const std::function<bool()> &keep_going)
+{
+    while (keep_going() && runOne()) {
+    }
+}
+
+} // namespace pagesim

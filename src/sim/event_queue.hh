@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Discrete-event queue: the heart of the simulator.
+ *
+ * Events are arbitrary callables scheduled at absolute simulated times.
+ * Ties are broken by insertion order (FIFO among equal timestamps) so
+ * simulations are fully deterministic for a given seed.
+ */
+
+#ifndef PAGESIM_SIM_EVENT_QUEUE_HH
+#define PAGESIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pagesim
+{
+
+/**
+ * A time-ordered queue of callbacks.
+ *
+ * The queue owns the simulated clock: time only advances when events are
+ * dispatched, and it never goes backwards. Scheduling an event in the
+ * past is a programming error and is clamped to "now" (with a counter
+ * recording the violation, checked by tests).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /** Number of events waiting to run. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Total number of events dispatched so far. */
+    std::uint64_t dispatched() const { return dispatched_; }
+
+    /** How many schedule() calls asked for a time in the past. */
+    std::uint64_t pastSchedules() const { return pastSchedules_; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * @return a monotonically increasing event id (useful for tests).
+     */
+    std::uint64_t
+    schedule(SimTime when, Callback cb)
+    {
+        if (when < now_) {
+            ++pastSchedules_;
+            when = now_;
+        }
+        const std::uint64_t id = nextSeq_++;
+        heap_.push(Record{when, id, std::move(cb)});
+        return id;
+    }
+
+    /** Schedule @p cb to run @p delay after the current time. */
+    std::uint64_t
+    scheduleAfter(SimDuration delay, Callback cb)
+    {
+        return schedule(now_ + delay, std::move(cb));
+    }
+
+    /**
+     * Dispatch the single earliest event.
+     * @return false if the queue was empty.
+     */
+    bool runOne();
+
+    /** Run until the queue is empty or @p limit events were dispatched. */
+    void run(std::uint64_t limit = UINT64_MAX);
+
+    /**
+     * Run until simulated time reaches @p deadline (events at exactly
+     * @p deadline still run) or the queue empties.
+     */
+    void runUntil(SimTime deadline);
+
+    /** Run until @p done returns true (checked after each event). */
+    void runWhile(const std::function<bool()> &keep_going);
+
+  private:
+    struct Record
+    {
+        SimTime when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Record &a, const Record &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Record, std::vector<Record>, Later> heap_;
+    SimTime now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t dispatched_ = 0;
+    std::uint64_t pastSchedules_ = 0;
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_SIM_EVENT_QUEUE_HH

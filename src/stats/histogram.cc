@@ -1,0 +1,112 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace pagesim
+{
+
+LatencyHistogram::LatencyHistogram(unsigned sub_bucket_bits)
+    : subBucketBits_(sub_bucket_bits),
+      subBuckets_(1ull << sub_bucket_bits)
+{
+    assert(sub_bucket_bits >= 1 && sub_bucket_bits <= 16);
+}
+
+std::size_t
+LatencyHistogram::bucketIndex(std::uint64_t value) const
+{
+    // Octave 0 holds values < subBuckets_ exactly; octave k >= 1 holds
+    // [subBuckets_ << (k-1), subBuckets_ << k) with subBuckets_/2
+    // distinct sub-buckets of width 2^k each. For simplicity we lay out
+    // a full subBuckets_-wide row per octave (half of each row beyond
+    // octave 0 is unused; the waste is a few KB).
+    unsigned octave = 0;
+    if (value >= subBuckets_)
+        octave = static_cast<unsigned>(std::bit_width(value)) -
+                 subBucketBits_;
+    const std::uint64_t sub = value >> octave;
+    return static_cast<std::size_t>(octave) * subBuckets_ + sub;
+}
+
+std::uint64_t
+LatencyHistogram::bucketMidpoint(std::size_t index) const
+{
+    const unsigned octave =
+        static_cast<unsigned>(index / subBuckets_);
+    const std::uint64_t sub = index % subBuckets_;
+    const std::uint64_t low = sub << octave;
+    if (octave == 0)
+        return low;
+    return low + (1ull << (octave - 1));
+}
+
+void
+LatencyHistogram::record(std::uint64_t value)
+{
+    record(value, 1);
+}
+
+void
+LatencyHistogram::record(std::uint64_t value, std::uint64_t n)
+{
+    const std::size_t idx = bucketIndex(value);
+    if (idx >= counts_.size())
+        counts_.resize(idx + 1, 0);
+    counts_[idx] += n;
+    count_ += n;
+    sum_ += static_cast<double>(value) * static_cast<double>(n);
+    max_ = std::max(max_, value);
+    min_ = std::min(min_, value);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    assert(subBucketBits_ == other.subBucketBits_);
+    if (other.counts_.size() > counts_.size())
+        counts_.resize(other.counts_.size(), 0);
+    for (std::size_t i = 0; i < other.counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+    min_ = std::min(min_, other.min_);
+}
+
+std::uint64_t
+LatencyHistogram::minValue() const
+{
+    return count_ == 0 ? 0 : min_;
+}
+
+double
+LatencyHistogram::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return sum_ / static_cast<double>(count_);
+}
+
+std::uint64_t
+LatencyHistogram::quantile(double q) const
+{
+    assert(q >= 0.0 && q <= 1.0);
+    if (count_ == 0)
+        return 0;
+    const std::uint64_t target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_ - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i];
+        if (seen >= target) {
+            // Bucket midpoints can overshoot the recorded extremes;
+            // clamp so quantiles always lie within [min, max].
+            return std::clamp(bucketMidpoint(i), min_, max_);
+        }
+    }
+    return max_;
+}
+
+} // namespace pagesim

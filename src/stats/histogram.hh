@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Log-bucketed latency histogram with percentile queries.
+ *
+ * YCSB experiments record millions of per-request latencies; storing
+ * them all would be wasteful. LatencyHistogram keeps HdrHistogram-style
+ * log-linear buckets: values are grouped by power-of-two magnitude, with
+ * a fixed number of linear sub-buckets per magnitude, giving a bounded
+ * relative error (~1/subBuckets) at O(1) memory.
+ */
+
+#ifndef PAGESIM_STATS_HISTOGRAM_HH
+#define PAGESIM_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace pagesim
+{
+
+/** Fixed-precision histogram over non-negative 64-bit values. */
+class LatencyHistogram
+{
+  public:
+    /**
+     * @param sub_bucket_bits log2 of linear sub-buckets per octave;
+     *        6 (the default) bounds relative error at ~1.6%.
+     */
+    explicit LatencyHistogram(unsigned sub_bucket_bits = 6);
+
+    /** Record one value. */
+    void record(std::uint64_t value);
+
+    /** Record @p n occurrences of @p value. */
+    void record(std::uint64_t value, std::uint64_t n);
+
+    /** Merge another histogram into this one. */
+    void merge(const LatencyHistogram &other);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t minValue() const;
+    std::uint64_t maxValue() const { return max_; }
+    double mean() const;
+
+    /**
+     * Value at quantile @p q in [0, 1] — e.g. q=0.9999 for the paper's
+     * p99.99 tails. Returns the representative (midpoint) value of the
+     * containing bucket.
+     */
+    std::uint64_t quantile(double q) const;
+
+    std::uint64_t p50() const { return quantile(0.50); }
+    std::uint64_t p90() const { return quantile(0.90); }
+    std::uint64_t p99() const { return quantile(0.99); }
+    std::uint64_t p999() const { return quantile(0.999); }
+    std::uint64_t p9999() const { return quantile(0.9999); }
+
+  private:
+    std::size_t bucketIndex(std::uint64_t value) const;
+    std::uint64_t bucketMidpoint(std::size_t index) const;
+
+    unsigned subBucketBits_;
+    std::uint64_t subBuckets_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t count_ = 0;
+    std::uint64_t max_ = 0;
+    std::uint64_t min_ = UINT64_MAX;
+    double sum_ = 0.0;
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_STATS_HISTOGRAM_HH

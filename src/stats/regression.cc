@@ -1,0 +1,52 @@
+#include "stats/regression.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace pagesim
+{
+
+LinearFit
+linearRegression(const std::vector<double> &x,
+                 const std::vector<double> &y)
+{
+    assert(x.size() == y.size());
+    LinearFit fit;
+    fit.n = x.size();
+    if (fit.n < 2)
+        return fit;
+
+    const double n = static_cast<double>(fit.n);
+    double mx = 0.0, my = 0.0;
+    for (std::size_t i = 0; i < fit.n; ++i) {
+        mx += x[i];
+        my += y[i];
+    }
+    mx /= n;
+    my /= n;
+
+    double sxx = 0.0, syy = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < fit.n; ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    if (sxx == 0.0)
+        return fit;
+
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    if (syy == 0.0) {
+        // y is constant: the fit is exact.
+        fit.r2 = 1.0;
+        fit.pearsonR = 0.0;
+        return fit;
+    }
+    fit.pearsonR = sxy / std::sqrt(sxx * syy);
+    fit.r2 = fit.pearsonR * fit.pearsonR;
+    return fit;
+}
+
+} // namespace pagesim

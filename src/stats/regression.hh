@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Ordinary least squares linear regression.
+ *
+ * The paper reports "a coefficient of determination (r^2) of over 0.98"
+ * between fault counts and execution time on TPC-H (Sec. V-A), and
+ * compares the runtime-per-fault *slope* across MG-LRU variants
+ * (Sec. V-B / Fig. 5). This module provides both.
+ */
+
+#ifndef PAGESIM_STATS_REGRESSION_HH
+#define PAGESIM_STATS_REGRESSION_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace pagesim
+{
+
+/** Result of a simple linear fit y = intercept + slope * x. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r2 = 0.0;        ///< coefficient of determination
+    double pearsonR = 0.0;  ///< correlation coefficient (signed)
+    std::size_t n = 0;
+};
+
+/**
+ * Fit y against x by ordinary least squares.
+ *
+ * Requires x.size() == y.size(); with fewer than 2 points or zero
+ * x-variance the fit is degenerate (slope 0, r2 0).
+ */
+LinearFit linearRegression(const std::vector<double> &x,
+                           const std::vector<double> &y);
+
+} // namespace pagesim
+
+#endif // PAGESIM_STATS_REGRESSION_HH

@@ -1,0 +1,213 @@
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace pagesim
+{
+
+void
+Summary::add(double x)
+{
+    samples_.push_back(x);
+    sum_ += x;
+    sumSq_ += x * x;
+    sortedValid_ = false;
+}
+
+void
+Summary::addAll(const std::vector<double> &xs)
+{
+    for (double x : xs)
+        add(x);
+}
+
+double
+Summary::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return sum_ / static_cast<double>(samples_.size());
+}
+
+double
+Summary::variance() const
+{
+    const std::size_t n = samples_.size();
+    if (n < 2)
+        return 0.0;
+    // Two-pass formulation for numerical stability.
+    const double m = mean();
+    double acc = 0.0;
+    for (double x : samples_) {
+        const double d = x - m;
+        acc += d * d;
+    }
+    return acc / static_cast<double>(n - 1);
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Summary::cv() const
+{
+    const double m = mean();
+    if (m == 0.0)
+        return 0.0;
+    return stddev() / m;
+}
+
+double
+Summary::min() const
+{
+    if (samples_.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+Summary::max() const
+{
+    if (samples_.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void
+Summary::ensureSorted() const
+{
+    if (!sortedValid_) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+        sortedValid_ = true;
+    }
+}
+
+double
+Summary::quantile(double q) const
+{
+    assert(q >= 0.0 && q <= 1.0);
+    if (samples_.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    ensureSorted();
+    const std::size_t n = sorted_.size();
+    if (n == 1)
+        return sorted_[0];
+    const double pos = q * static_cast<double>(n - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, n - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+double
+Summary::spreadFactor() const
+{
+    const double lo = min();
+    if (!(lo > 0.0))
+        return std::numeric_limits<double>::quiet_NaN();
+    return max() / lo;
+}
+
+namespace
+{
+
+/** Lentz's continued fraction for the regularized incomplete beta. */
+double
+betacf(double a, double b, double x)
+{
+    constexpr int kMaxIter = 300;
+    constexpr double kEps = 3e-14;
+    constexpr double kFpMin = 1e-300;
+
+    const double qab = a + b;
+    const double qap = a + 1.0;
+    const double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::fabs(d) < kFpMin)
+        d = kFpMin;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= kMaxIter; ++m) {
+        const int m2 = 2 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < kFpMin)
+            d = kFpMin;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < kFpMin)
+            c = kFpMin;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < kFpMin)
+            d = kFpMin;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < kFpMin)
+            c = kFpMin;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < kEps)
+            break;
+    }
+    return h;
+}
+
+/** Regularized incomplete beta I_x(a, b). */
+double
+incbeta(double a, double b, double x)
+{
+    if (x <= 0.0)
+        return 0.0;
+    if (x >= 1.0)
+        return 1.0;
+    const double ln_bt = std::lgamma(a + b) - std::lgamma(a) -
+                         std::lgamma(b) + a * std::log(x) +
+                         b * std::log(1.0 - x);
+    const double bt = std::exp(ln_bt);
+    if (x < (a + 1.0) / (a + b + 2.0))
+        return bt * betacf(a, b, x) / a;
+    return 1.0 - bt * betacf(b, a, 1.0 - x) / b;
+}
+
+} // namespace
+
+double
+studentTPValue(double t, double df)
+{
+    if (df <= 0.0 || !std::isfinite(t))
+        return std::numeric_limits<double>::quiet_NaN();
+    const double x = df / (df + t * t);
+    return incbeta(df / 2.0, 0.5, x);
+}
+
+WelchResult
+welchTTest(const Summary &a, const Summary &b)
+{
+    WelchResult r{0.0, 0.0, 1.0};
+    const double na = static_cast<double>(a.count());
+    const double nb = static_cast<double>(b.count());
+    if (na < 2 || nb < 2)
+        return r;
+    const double va = a.variance() / na;
+    const double vb = b.variance() / nb;
+    const double denom = std::sqrt(va + vb);
+    if (denom == 0.0)
+        return r;
+    r.t = (a.mean() - b.mean()) / denom;
+    r.df = (va + vb) * (va + vb) /
+           (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+    r.pValue = studentTPValue(r.t, r.df);
+    return r;
+}
+
+} // namespace pagesim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Sample summaries: running moments plus exact order statistics.
+ *
+ * Used by the harness to report means, variance, quartiles, and
+ * min/max across trials — the quantities the paper plots in its
+ * distribution figures (Figs. 2, 5, 7).
+ */
+
+#ifndef PAGESIM_STATS_SUMMARY_HH
+#define PAGESIM_STATS_SUMMARY_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace pagesim
+{
+
+/**
+ * Accumulates a sample set and answers summary queries.
+ *
+ * Stores all samples (trial counts are small), so quantiles are exact.
+ */
+class Summary
+{
+  public:
+    Summary() = default;
+
+    /** Add one observation. */
+    void add(double x);
+
+    /** Add many observations. */
+    void addAll(const std::vector<double> &xs);
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    double sum() const { return sum_; }
+    double mean() const;
+    /** Unbiased sample variance (n-1 denominator); 0 for n < 2. */
+    double variance() const;
+    double stddev() const;
+    /** Coefficient of variation: stddev / mean (0 if mean == 0). */
+    double cv() const;
+    double min() const;
+    double max() const;
+
+    /**
+     * Quantile by linear interpolation between closest ranks
+     * (type-7, the numpy/R default). @p q must be in [0, 1].
+     */
+    double quantile(double q) const;
+
+    double median() const { return quantile(0.5); }
+    double p25() const { return quantile(0.25); }
+    double p75() const { return quantile(0.75); }
+
+    /** max/min ratio — the paper's "factor between fastest and slowest". */
+    double spreadFactor() const;
+
+    /** Read-only view of the raw samples (unsorted, insertion order). */
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    void ensureSorted() const;
+
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_;
+    mutable bool sortedValid_ = true;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+};
+
+/** Welch's two-sample t-test result. */
+struct WelchResult
+{
+    double t;       ///< t statistic
+    double df;      ///< Welch-Satterthwaite degrees of freedom
+    double pValue;  ///< two-sided p-value
+};
+
+/**
+ * Welch's unequal-variance t-test between two sample sets.
+ *
+ * The paper quotes p-values when comparing policies (e.g. "statistically
+ * significant in all cases (p < 0.01)", Sec. V-C). The p-value uses the
+ * regularized incomplete beta function for the t CDF.
+ */
+WelchResult welchTTest(const Summary &a, const Summary &b);
+
+/** Two-sided Student-t p-value for statistic @p t with @p df dof. */
+double studentTPValue(double t, double df);
+
+} // namespace pagesim
+
+#endif // PAGESIM_STATS_SUMMARY_HH

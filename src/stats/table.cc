@@ -1,0 +1,122 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pagesim
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    lines_.push_back(Line{false, std::move(cells)});
+}
+
+void
+TextTable::separator()
+{
+    lines_.push_back(Line{true, {}});
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute column widths over the header and every row.
+    std::vector<std::size_t> widths;
+    auto grow = [&widths](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &line : lines_)
+        if (!line.isSeparator)
+            grow(line.cells);
+
+    auto emit = [&widths](std::ostringstream &os,
+                          const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell = i < cells.size() ? cells[i] : "";
+            os << "| ";
+            os << cell;
+            os << std::string(widths[i] - cell.size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+
+    std::size_t total = 1;
+    for (std::size_t w : widths)
+        total += w + 3;
+    const std::string rule(total, '-');
+
+    std::ostringstream os;
+    if (!header_.empty()) {
+        os << rule << '\n';
+        emit(os, header_);
+        os << rule << '\n';
+    }
+    for (const auto &line : lines_) {
+        if (line.isSeparator)
+            os << rule << '\n';
+        else
+            emit(os, line.cells);
+    }
+    os << rule << '\n';
+    return os.str();
+}
+
+std::string
+fmtF(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+fmtX(double v, int digits)
+{
+    return fmtF(v, digits) + "x";
+}
+
+std::string
+fmtPct(double v, int digits)
+{
+    return fmtF(v, digits) + "%";
+}
+
+std::string
+fmtCount(std::uint64_t v)
+{
+    std::string raw = std::to_string(v);
+    std::string out;
+    const std::size_t n = raw.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i > 0 && (n - i) % 3 == 0)
+            out.push_back(',');
+        out.push_back(raw[i]);
+    }
+    return out;
+}
+
+std::string
+fmtNanos(double ns)
+{
+    if (ns < 1e3)
+        return fmtF(ns, 0) + " ns";
+    if (ns < 1e6)
+        return fmtF(ns / 1e3, 2) + " us";
+    if (ns < 1e9)
+        return fmtF(ns / 1e6, 2) + " ms";
+    return fmtF(ns / 1e9, 3) + " s";
+}
+
+} // namespace pagesim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Plain-text table rendering for bench output.
+ *
+ * Every figure-reproduction binary prints its series as an aligned text
+ * table; TextTable handles column sizing, alignment, and separators so
+ * the benches focus on data.
+ */
+
+#ifndef PAGESIM_STATS_TABLE_HH
+#define PAGESIM_STATS_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pagesim
+{
+
+/** A simple aligned text table. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void separator();
+
+    /** Render with columns padded to their widest cell. */
+    std::string render() const;
+
+  private:
+    struct Line
+    {
+        bool isSeparator = false;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<std::string> header_;
+    std::vector<Line> lines_;
+};
+
+/** Format @p v with @p digits decimal places. */
+std::string fmtF(double v, int digits = 2);
+
+/** Format @p v as a multiplier, e.g. "1.25x". */
+std::string fmtX(double v, int digits = 2);
+
+/** Format @p v as a percent, e.g. "12.5%". */
+std::string fmtPct(double v, int digits = 1);
+
+/** Format an integer count with thousands separators. */
+std::string fmtCount(std::uint64_t v);
+
+/** Format nanoseconds using an adaptive unit (ns/us/ms/s). */
+std::string fmtNanos(double ns);
+
+} // namespace pagesim
+
+#endif // PAGESIM_STATS_TABLE_HH

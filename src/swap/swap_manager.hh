@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Swap-slot management.
+ *
+ * Allocates/frees slots on one swap device and keeps the device's
+ * content model informed (ZRAM's pool accounting needs to know what
+ * each slot holds). Slots are recycled LIFO so long runs reuse a
+ * compact slot range.
+ */
+
+#ifndef PAGESIM_SWAP_SWAP_MANAGER_HH
+#define PAGESIM_SWAP_SWAP_MANAGER_HH
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "swap/swap_device.hh"
+#include "swap/zram_device.hh"
+
+namespace pagesim
+{
+
+/** Slot allocator bound to a single swap device. */
+class SwapManager
+{
+  public:
+    /**
+     * @param device    backing device (not owned)
+     * @param max_slots swap area size in pages
+     */
+    SwapManager(SwapDevice &device, std::uint32_t max_slots)
+        : device_(&device), maxSlots_(max_slots)
+    {
+        zram_ = dynamic_cast<ZramSwapDevice *>(device_);
+    }
+
+    SwapDevice &device() { return *device_; }
+    const SwapDevice &device() const { return *device_; }
+
+    /** Allocate a slot; kInvalidSlot when the swap area is full. */
+    SwapSlot
+    allocate()
+    {
+        if (!freeSlots_.empty()) {
+            const SwapSlot s = freeSlots_.back();
+            freeSlots_.pop_back();
+            ++used_;
+            return s;
+        }
+        if (nextSlot_ >= maxSlots_)
+            return kInvalidSlot;
+        ++used_;
+        return nextSlot_++;
+    }
+
+    /** Release a slot. */
+    void
+    release(SwapSlot slot)
+    {
+        assert(slot != kInvalidSlot);
+        assert(used_ > 0);
+        --used_;
+        if (zram_)
+            zram_->dropSlot(slot);
+        freeSlots_.push_back(slot);
+    }
+
+    /**
+     * Record what a just-written slot holds. @p content_tag is a stable
+     * identity for the page's contents (we use a hash of space id and
+     * VPN) from which the ZRAM compression model derives sizes.
+     */
+    void
+    recordContents(SwapSlot slot, std::uint64_t content_tag)
+    {
+        if (zram_)
+            zram_->setContentTag(slot, content_tag);
+    }
+
+    std::uint32_t usedSlots() const { return used_; }
+    std::uint32_t maxSlots() const { return maxSlots_; }
+
+  private:
+    SwapDevice *device_;
+    ZramSwapDevice *zram_ = nullptr;
+    std::uint32_t maxSlots_;
+    std::uint32_t nextSlot_ = 0;
+    std::uint32_t used_ = 0;
+    std::vector<SwapSlot> freeSlots_;
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_SWAP_SWAP_MANAGER_HH

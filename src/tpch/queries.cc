@@ -1,0 +1,385 @@
+#include "tpch/queries.hh"
+
+#include <stdexcept>
+
+#include "sim/rng.hh"
+
+namespace pagesim
+{
+
+namespace
+{
+
+/** Hash-table entry bytes (key + payload pointer). */
+constexpr std::uint64_t kHashEntryBytes = 16;
+
+std::uint64_t
+hashPagesFor(std::uint64_t rows)
+{
+    // 1.5x load headroom, like a real open-addressing build side.
+    return (rows * kHashEntryBytes * 3 / 2 + kPageSize - 1) / kPageSize;
+}
+
+/** Touches for processing @p rows row-at-a-time random accesses;
+ *  batched 8 rows per touch to bound op counts (see DESIGN.md). */
+constexpr std::uint64_t kRowsPerTouch = 8;
+
+std::uint64_t
+rowTouches(std::uint64_t rows)
+{
+    return rows / kRowsPerTouch;
+}
+
+PageRange
+colRange(const TableDef &t, const std::string &name)
+{
+    const ColumnDef &c = t.col(name);
+    return PageRange{c.base, c.pages(t.rows)};
+}
+
+RandomAccessSpec
+randSpecImpl(const PageRange &area, std::uint64_t rows, bool write,
+             std::uint64_t seed, SimDuration per_touch)
+{
+    RandomAccessSpec ra;
+    ra.base = area.base;
+    ra.span = area.pages;
+    ra.touches = rowTouches(rows);
+    ra.write = write;
+    ra.perTouch = per_touch;
+    ra.seed = seed;
+    return ra;
+}
+
+/** Shuffle slice scaled to the stage's output volume. */
+PageRange
+shuffleSlice(const TpchScratch &scratch, std::uint64_t rows,
+             std::uint64_t row_bytes)
+{
+    const std::uint64_t pages =
+        std::min(scratch.shuffle.pages,
+                 (rows * row_bytes + kPageSize - 1) / kPageSize);
+    return PageRange{scratch.shuffle.base, pages};
+}
+
+} // namespace
+
+void
+TpchScratch::mapInto(AddressSpace &space, std::uint64_t hash_a_pages,
+                     std::uint64_t hash_b_pages,
+                     std::uint64_t agg_pages,
+                     std::uint64_t shuffle_pages)
+{
+    hashA = PageRange{space.map("scratch.hashA", hash_a_pages),
+                      hash_a_pages};
+    hashB = PageRange{space.map("scratch.hashB", hash_b_pages),
+                      hash_b_pages};
+    agg = PageRange{space.map("scratch.agg", agg_pages), agg_pages};
+    shuffle = PageRange{space.map("scratch.shuffle", shuffle_pages),
+                        shuffle_pages};
+}
+
+void
+defaultScratchSizes(const TpchSchema &schema,
+                    std::uint64_t &hash_a_pages,
+                    std::uint64_t &hash_b_pages,
+                    std::uint64_t &agg_pages,
+                    std::uint64_t &shuffle_pages)
+{
+    hash_a_pages = hashPagesFor(schema.orders.rows);
+    hash_b_pages = hashPagesFor(schema.part.rows);
+    // Q18's group-by-orderkey aggregate is orders-cardinality.
+    agg_pages = hashPagesFor(schema.orders.rows) * 3 / 2;
+    shuffle_pages = hashPagesFor(schema.orders.rows);
+}
+
+std::vector<Stage>
+buildTpchQuery(int qnum, const TpchSchema &schema,
+               const TpchScratch &scratch, std::uint64_t seed,
+               const TpchCosts &costs)
+{
+    const TableDef &li = schema.lineitem;
+    const TableDef &ord = schema.orders;
+    const TableDef &cust = schema.customer;
+    const TableDef &part = schema.part;
+    auto sd = [seed](std::uint64_t k) { return splitmix64(seed ^ k); };
+    auto randSpec = [&costs](const PageRange &area, std::uint64_t rows,
+                             bool write, std::uint64_t seed2) {
+        return randSpecImpl(area, rows, write, seed2,
+                            costs.probeTouch);
+    };
+
+    std::vector<Stage> stages;
+    switch (qnum) {
+      case 1: {
+        // Pricing summary: wide lineitem scan + tiny group-by.
+        Stage s;
+        s.label = "q1.scan-agg";
+        s.seqReads = {colRange(li, "l_quantity"),
+                      colRange(li, "l_extendedprice"),
+                      colRange(li, "l_discount"),
+                      colRange(li, "l_tax"),
+                      colRange(li, "l_shipdate"),
+                      colRange(li, "l_returnflag"),
+                      colRange(li, "l_linestatus")};
+        RandomAccessSpec agg =
+            randSpec(scratch.agg, li.rows, true, sd(11));
+        agg.span = 4; // 4 groups: the aggregate state is tiny
+        s.randoms = {agg};
+        stages.push_back(std::move(s));
+        break;
+      }
+      case 3: {
+        // Customer x orders x lineitem with shipping-priority agg.
+        Stage b;
+        b.label = "q3.build-customer";
+        b.seqReads = {colRange(cust, "c_custkey"),
+                      colRange(cust, "c_mktsegment")};
+        b.randoms = {randSpec(scratch.hashB, cust.rows, true, sd(31))};
+        stages.push_back(std::move(b));
+
+        Stage p;
+        p.label = "q3.orders-probe-build";
+        p.seqReads = {colRange(ord, "o_orderkey"),
+                      colRange(ord, "o_custkey"),
+                      colRange(ord, "o_orderdate"),
+                      colRange(ord, "o_shippriority")};
+        p.randoms = {randSpec(scratch.hashB, ord.rows, false, sd(32)),
+                     randSpec(scratch.hashA, ord.rows, true, sd(33))};
+        p.seqWrites = {shuffleSlice(scratch, ord.rows / 2, 24)};
+        stages.push_back(std::move(p));
+
+        Stage f;
+        f.label = "q3.lineitem-probe";
+        f.seqReads = {colRange(li, "l_orderkey"),
+                      colRange(li, "l_extendedprice"),
+                      colRange(li, "l_discount"),
+                      colRange(li, "l_shipdate")};
+        f.randoms = {randSpec(scratch.hashA, li.rows, false, sd(34)),
+                     randSpec(scratch.agg, li.rows / 4, true, sd(35))};
+        stages.push_back(std::move(f));
+        break;
+      }
+      case 5: {
+        // Multi-join: customer -> orders -> lineitem, nation grouping.
+        Stage b;
+        b.label = "q5.build-customer";
+        b.seqReads = {colRange(cust, "c_custkey"),
+                      colRange(cust, "c_nationkey")};
+        b.randoms = {randSpec(scratch.hashB, cust.rows, true, sd(51))};
+        stages.push_back(std::move(b));
+
+        Stage o;
+        o.label = "q5.orders-probe-build";
+        o.seqReads = {colRange(ord, "o_orderkey"),
+                      colRange(ord, "o_custkey"),
+                      colRange(ord, "o_orderdate")};
+        o.randoms = {randSpec(scratch.hashB, ord.rows, false, sd(52)),
+                     randSpec(scratch.hashA, ord.rows, true, sd(53))};
+        o.seqWrites = {shuffleSlice(scratch, ord.rows / 3, 16)};
+        stages.push_back(std::move(o));
+
+        Stage f;
+        f.label = "q5.lineitem-probe";
+        f.seqReads = {colRange(li, "l_orderkey"),
+                      colRange(li, "l_suppkey"),
+                      colRange(li, "l_extendedprice"),
+                      colRange(li, "l_discount")};
+        f.randoms = {randSpec(scratch.hashA, li.rows, false, sd(54)),
+                     randSpec(scratch.agg, li.rows / 8, true, sd(55))};
+        stages.push_back(std::move(f));
+        break;
+      }
+      case 4: {
+        // Order-priority check: semi-join of orders against lineitem
+        // existence, then a tiny group-by.
+        Stage b;
+        b.label = "q4.build-lineitem-keys";
+        b.seqReads = {colRange(li, "l_orderkey"),
+                      colRange(li, "l_shipdate")};
+        b.randoms = {randSpec(scratch.hashA, li.rows, true, sd(41))};
+        stages.push_back(std::move(b));
+
+        Stage p;
+        p.label = "q4.orders-semijoin";
+        p.seqReads = {colRange(ord, "o_orderkey"),
+                      colRange(ord, "o_orderdate")};
+        RandomAccessSpec q4agg =
+            randSpec(scratch.agg, ord.rows / 8, true, sd(42));
+        q4agg.span = 4; // a handful of order priorities
+        p.randoms = {randSpec(scratch.hashA, ord.rows, false, sd(43)),
+                     q4agg};
+        stages.push_back(std::move(p));
+        break;
+      }
+      case 6: {
+        // Pure scan-filter: the cheapest, most sequential query.
+        Stage s;
+        s.label = "q6.scan";
+        s.seqReads = {colRange(li, "l_shipdate"),
+                      colRange(li, "l_discount"),
+                      colRange(li, "l_quantity"),
+                      colRange(li, "l_extendedprice")};
+        stages.push_back(std::move(s));
+        break;
+      }
+      case 10: {
+        // Returned-item reporting: orders x lineitem x customer with
+        // a customer-cardinality aggregate.
+        Stage b;
+        b.label = "q10.build-orders";
+        b.seqReads = {colRange(ord, "o_orderkey"),
+                      colRange(ord, "o_custkey"),
+                      colRange(ord, "o_orderdate")};
+        b.randoms = {randSpec(scratch.hashA, ord.rows, true, sd(101))};
+        stages.push_back(std::move(b));
+
+        Stage p;
+        p.label = "q10.lineitem-probe";
+        p.seqReads = {colRange(li, "l_orderkey"),
+                      colRange(li, "l_returnflag"),
+                      colRange(li, "l_extendedprice"),
+                      colRange(li, "l_discount")};
+        p.randoms = {randSpec(scratch.hashA, li.rows, false, sd(102)),
+                     randSpec(scratch.hashB, li.rows / 4, true,
+                              sd(103))};
+        p.seqWrites = {shuffleSlice(scratch, cust.rows, 32)};
+        stages.push_back(std::move(p));
+
+        Stage f;
+        f.label = "q10.customer-join";
+        f.seqReads = {colRange(cust, "c_custkey"),
+                      colRange(cust, "c_nationkey")};
+        f.randoms = {randSpec(scratch.hashB, cust.rows, false,
+                              sd(104))};
+        stages.push_back(std::move(f));
+        break;
+      }
+      case 21: {
+        // Suppliers who kept orders waiting: the notorious
+        // lineitem self-join — lineitem scanned and probed twice.
+        Stage b;
+        b.label = "q21.build-lineitem";
+        b.seqReads = {colRange(li, "l_orderkey"),
+                      colRange(li, "l_suppkey")};
+        b.randoms = {randSpec(scratch.agg, li.rows, true, sd(211))};
+        stages.push_back(std::move(b));
+
+        Stage s;
+        s.label = "q21.self-probe";
+        s.seqReads = {colRange(li, "l_orderkey"),
+                      colRange(li, "l_suppkey"),
+                      colRange(li, "l_shipdate")};
+        s.randoms = {randSpec(scratch.agg, li.rows, false, sd(212)),
+                     randSpec(scratch.hashA, li.rows / 16, true,
+                              sd(213))};
+        stages.push_back(std::move(s));
+
+        Stage o;
+        o.label = "q21.orders-filter";
+        o.seqReads = {colRange(ord, "o_orderkey")};
+        o.randoms = {randSpec(scratch.hashA, ord.rows, false,
+                              sd(214))};
+        stages.push_back(std::move(o));
+        break;
+      }
+      case 12: {
+        Stage b;
+        b.label = "q12.build-orders";
+        b.seqReads = {colRange(ord, "o_orderkey"),
+                      colRange(ord, "o_shippriority")};
+        b.randoms = {randSpec(scratch.hashA, ord.rows, true, sd(121))};
+        stages.push_back(std::move(b));
+
+        Stage p;
+        p.label = "q12.lineitem-probe";
+        p.seqReads = {colRange(li, "l_orderkey"),
+                      colRange(li, "l_shipdate")};
+        p.randoms = {randSpec(scratch.hashA, li.rows, false, sd(122)),
+                     randSpec(scratch.agg, li.rows / 16, true,
+                              sd(123))};
+        stages.push_back(std::move(p));
+        break;
+      }
+      case 14: {
+        Stage b;
+        b.label = "q14.build-part";
+        b.seqReads = {colRange(part, "p_partkey"),
+                      colRange(part, "p_type")};
+        b.randoms = {randSpec(scratch.hashB, part.rows, true, sd(141))};
+        stages.push_back(std::move(b));
+
+        Stage p;
+        p.label = "q14.lineitem-probe";
+        p.seqReads = {colRange(li, "l_partkey"),
+                      colRange(li, "l_extendedprice"),
+                      colRange(li, "l_discount"),
+                      colRange(li, "l_shipdate")};
+        p.randoms = {randSpec(scratch.hashB, li.rows, false, sd(142))};
+        stages.push_back(std::move(p));
+        break;
+      }
+      case 18: {
+        // Large-volume customers: orders-cardinality aggregation, the
+        // heaviest random-write pattern in the mix.
+        Stage a;
+        a.label = "q18.lineitem-agg";
+        a.seqReads = {colRange(li, "l_orderkey"),
+                      colRange(li, "l_quantity")};
+        a.randoms = {randSpec(scratch.agg, li.rows, true, sd(181))};
+        a.seqWrites = {shuffleSlice(scratch, ord.rows, 16)};
+        stages.push_back(std::move(a));
+
+        Stage o;
+        o.label = "q18.orders-join";
+        o.seqReads = {colRange(ord, "o_orderkey"),
+                      colRange(ord, "o_custkey"),
+                      colRange(ord, "o_totalprice")};
+        o.randoms = {randSpec(scratch.agg, ord.rows, false, sd(182)),
+                     randSpec(scratch.hashA, ord.rows / 50, true,
+                              sd(183))};
+        stages.push_back(std::move(o));
+
+        Stage f;
+        f.label = "q18.lineitem-final";
+        f.seqReads = {colRange(li, "l_orderkey"),
+                      colRange(li, "l_quantity")};
+        f.randoms = {randSpec(scratch.hashA, li.rows, false, sd(184))};
+        stages.push_back(std::move(f));
+        break;
+      }
+      case 19: {
+        Stage b;
+        b.label = "q19.build-part";
+        b.seqReads = {colRange(part, "p_partkey"),
+                      colRange(part, "p_retailprice")};
+        b.randoms = {randSpec(scratch.hashB, part.rows, true, sd(191))};
+        stages.push_back(std::move(b));
+
+        Stage p;
+        p.label = "q19.lineitem-probe";
+        p.seqReads = {colRange(li, "l_partkey"),
+                      colRange(li, "l_quantity"),
+                      colRange(li, "l_extendedprice"),
+                      colRange(li, "l_discount")};
+        p.randoms = {randSpec(scratch.hashB, li.rows, false, sd(192))};
+        stages.push_back(std::move(p));
+        break;
+      }
+      default:
+        throw std::invalid_argument("unsupported TPC-H query " +
+                                    std::to_string(qnum));
+    }
+    for (Stage &stage : stages)
+        stage.computePerSeqPage = costs.seqPage;
+    return stages;
+}
+
+const std::vector<int> &
+defaultTpchQueryMix()
+{
+    static const std::vector<int> mix = {1, 3, 5, 6, 12, 14, 18, 19};
+    return mix;
+}
+
+} // namespace pagesim

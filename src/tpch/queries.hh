@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The TPC-H-shaped query mix.
+ *
+ * Eight queries modeled on the access behavior of TPC-H Q1, Q3, Q5,
+ * Q6, Q12, Q14, Q18, Q19 under a columnar, stage-parallel engine:
+ * sequential column scans, hash builds/probes against executor scratch
+ * memory, aggregations, and shuffle materialization. The interesting
+ * property for page replacement is the *reuse structure*: lineitem
+ * columns are rescanned across queries, hash scratch is reused and
+ * overwritten, and each query's stages march through memory in
+ * balanced parallel slices.
+ */
+
+#ifndef PAGESIM_TPCH_QUERIES_HH
+#define PAGESIM_TPCH_QUERIES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/address_space.hh"
+#include "tpch/schema.hh"
+#include "tpch/stage.hh"
+
+namespace pagesim
+{
+
+/** Executor scratch memory (hash joins, aggregates, shuffles). */
+struct TpchScratch
+{
+    PageRange hashA;    ///< build side of the current join
+    PageRange hashB;    ///< second join level
+    PageRange agg;      ///< aggregation hash
+    PageRange shuffle;  ///< exchange buffers
+
+    /** Map scratch VMAs into @p space. */
+    void mapInto(AddressSpace &space, std::uint64_t hash_a_pages,
+                 std::uint64_t hash_b_pages, std::uint64_t agg_pages,
+                 std::uint64_t shuffle_pages);
+
+    std::uint64_t
+    totalPages() const
+    {
+        return hashA.pages + hashB.pages + agg.pages + shuffle.pages;
+    }
+};
+
+/** Scratch sizing derived from the schema (16 B/entry hash tables). */
+void defaultScratchSizes(const TpchSchema &schema,
+                         std::uint64_t &hash_a_pages,
+                         std::uint64_t &hash_b_pages,
+                         std::uint64_t &agg_pages,
+                         std::uint64_t &shuffle_pages);
+
+/**
+ * Engine CPU costs. Calibrated so the compute:fault-cost balance at
+ * the scaled footprint matches the full-scale system (see DESIGN.md
+ * "Scaling" — swap latencies are real-world constants while the
+ * dataset shrank).
+ */
+struct TpchCosts
+{
+    /** Scanning/encoding one column page. */
+    SimDuration seqPage = usecs(500);
+    /** One batched (8-row) hash build/probe/aggregate access. */
+    SimDuration probeTouch = usecs(5);
+};
+
+/**
+ * Compile query @p qnum (one of 1,3,4,5,6,10,12,14,18,19,21) to
+ * stages. The default power run uses eight of these; Q4/Q10/Q21 are
+ * available for custom mixes (TpchConfig::queries).
+ * @p seed decorrelates the random hash-access streams per query.
+ */
+std::vector<Stage> buildTpchQuery(int qnum, const TpchSchema &schema,
+                                  const TpchScratch &scratch,
+                                  std::uint64_t seed,
+                                  const TpchCosts &costs = TpchCosts{});
+
+/** The default power-run order. */
+const std::vector<int> &defaultTpchQueryMix();
+
+} // namespace pagesim
+
+#endif // PAGESIM_TPCH_QUERIES_HH

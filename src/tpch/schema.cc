@@ -1,0 +1,48 @@
+#include "tpch/schema.hh"
+
+namespace pagesim
+{
+
+TpchSchema
+TpchSchema::scaled(std::uint64_t lineitem_rows)
+{
+    TpchSchema s;
+
+    s.lineitem.name = "lineitem";
+    s.lineitem.rows = lineitem_rows;
+    s.lineitem.columns = {
+        {"l_orderkey", 8, 0},      {"l_partkey", 8, 0},
+        {"l_suppkey", 8, 0},       {"l_quantity", 8, 0},
+        {"l_extendedprice", 8, 0}, {"l_discount", 8, 0},
+        {"l_tax", 8, 0},           {"l_shipdate", 4, 0},
+        {"l_returnflag", 1, 0},    {"l_linestatus", 1, 0},
+    };
+
+    s.orders.name = "orders";
+    s.orders.rows = lineitem_rows / 4;
+    s.orders.columns = {
+        {"o_orderkey", 8, 0},   {"o_custkey", 8, 0},
+        {"o_orderdate", 4, 0},  {"o_totalprice", 8, 0},
+        {"o_shippriority", 4, 0},
+    };
+
+    s.customer.name = "customer";
+    s.customer.rows = s.orders.rows / 10;
+    s.customer.columns = {
+        {"c_custkey", 8, 0},
+        {"c_mktsegment", 1, 0},
+        {"c_nationkey", 4, 0},
+    };
+
+    s.part.name = "part";
+    s.part.rows = lineitem_rows / 5;
+    s.part.columns = {
+        {"p_partkey", 8, 0},
+        {"p_type", 4, 0},
+        {"p_retailprice", 8, 0},
+    };
+
+    return s;
+}
+
+} // namespace pagesim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Columnar schema for the TPC-H-shaped data warehouse workload.
+ *
+ * The engine stores each column in its own VMA (column-store layout,
+ * like Spark-SQL's in-memory columnar cache). Rows are fixed-width;
+ * only layout matters to the simulation, not values.
+ */
+
+#ifndef PAGESIM_TPCH_SCHEMA_HH
+#define PAGESIM_TPCH_SCHEMA_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mem/address_space.hh"
+#include "mem/types.hh"
+
+namespace pagesim
+{
+
+/** One fixed-width column. */
+struct ColumnDef
+{
+    std::string name;
+    std::uint32_t widthBytes = 8;
+    /** VMA base, assigned at build() time. */
+    Vpn base = 0;
+
+    std::uint64_t
+    pages(std::uint64_t rows) const
+    {
+        return (rows * widthBytes + kPageSize - 1) / kPageSize;
+    }
+};
+
+/** One table: a set of columns with a shared row count. */
+struct TableDef
+{
+    std::string name;
+    std::uint64_t rows = 0;
+    std::vector<ColumnDef> columns;
+
+    ColumnDef &
+    col(const std::string &cname)
+    {
+        for (auto &c : columns)
+            if (c.name == cname)
+                return c;
+        throw std::invalid_argument(name + ": no column " + cname);
+    }
+
+    const ColumnDef &
+    col(const std::string &cname) const
+    {
+        return const_cast<TableDef *>(this)->col(cname);
+    }
+
+    std::uint64_t
+    totalPages() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &c : columns)
+            n += c.pages(rows);
+        return n;
+    }
+
+    /** Map every column into @p space (column-per-VMA). */
+    void
+    mapInto(AddressSpace &space)
+    {
+        for (auto &c : columns)
+            c.base = space.map(name + "." + c.name, c.pages(rows));
+    }
+};
+
+/** The four tables our query mix uses, scaled from lineitem. */
+struct TpchSchema
+{
+    TableDef lineitem;
+    TableDef orders;
+    TableDef customer;
+    TableDef part;
+
+    /**
+     * TPC-H-proportioned schema: orders = lineitem/4,
+     * customer = orders/10, part = lineitem/5 (roughly SF ratios).
+     */
+    static TpchSchema scaled(std::uint64_t lineitem_rows);
+
+    std::uint64_t
+    totalPages() const
+    {
+        return lineitem.totalPages() + orders.totalPages() +
+               customer.totalPages() + part.totalPages();
+    }
+
+    void
+    mapInto(AddressSpace &space)
+    {
+        lineitem.mapInto(space);
+        orders.mapInto(space);
+        customer.mapInto(space);
+        part.mapInto(space);
+    }
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_TPCH_SCHEMA_HH

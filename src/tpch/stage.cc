@@ -1,0 +1,60 @@
+#include "tpch/stage.hh"
+
+#include "sim/rng.hh"
+
+namespace pagesim
+{
+
+void
+Stage::compile(std::vector<Segment> &segs, unsigned tid,
+               unsigned nthreads, std::uint32_t barrier_id,
+               std::uint64_t assign_seed) const
+{
+    // Per-stage slice assignment permutation (content-seeded; fixed
+    // across trials). slot = position this thread's slice occupies.
+    unsigned slot = tid;
+    if (assign_seed != 0 && nthreads > 1) {
+        std::vector<unsigned> perm(nthreads);
+        for (unsigned i = 0; i < nthreads; ++i)
+            perm[i] = i;
+        Rng rng(assign_seed);
+        rng.shuffle(perm);
+        slot = perm[tid];
+    }
+    auto slice = [slot, nthreads](const PageRange &r) {
+        const std::uint64_t lo = r.pages * slot / nthreads;
+        const std::uint64_t hi = r.pages * (slot + 1) / nthreads;
+        return PageRange{r.base + lo, hi - lo};
+    };
+
+    for (const PageRange &r : seqReads) {
+        const PageRange s = slice(r);
+        if (s.pages > 0)
+            segs.push_back(SeqTouch{s.base, s.pages, false, false,
+                                    computePerSeqPage});
+    }
+    for (const RandomAccessSpec &ra : randoms) {
+        const std::uint64_t count = ra.touches / nthreads;
+        if (count == 0)
+            continue;
+        RandTouch rt;
+        rt.base = ra.base;
+        rt.span = ra.span;
+        rt.count = count;
+        rt.write = ra.write;
+        rt.computePerTouch = ra.perTouch;
+        rt.zipfTheta = ra.zipfTheta;
+        // Distinct per-thread streams from the stage seed.
+        rt.seed = splitmix64(ra.seed ^ (0x1234 + tid));
+        segs.push_back(rt);
+    }
+    for (const PageRange &r : seqWrites) {
+        const PageRange s = slice(r);
+        if (s.pages > 0)
+            segs.push_back(SeqTouch{s.base, s.pages, true, false,
+                                    computePerSeqPage});
+    }
+    segs.push_back(BarrierSeg{barrier_id});
+}
+
+} // namespace pagesim

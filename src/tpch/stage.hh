@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Stage model for the mini Spark-SQL-like engine.
+ *
+ * A query compiles to a sequence of stages. Each stage is executed by
+ * all worker threads in parallel over evenly split row ranges — "highly
+ * parallel stages with little synchronization overhead and mostly
+ * balanced work per thread" (paper Sec. V-B) — and ends at a barrier
+ * (Spark's stage boundary / shuffle point).
+ */
+
+#ifndef PAGESIM_TPCH_STAGE_HH
+#define PAGESIM_TPCH_STAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/types.hh"
+#include "sim/types.hh"
+#include "workload/access_pattern.hh"
+
+namespace pagesim
+{
+
+/** A contiguous page range (one column's storage, a scratch area…). */
+struct PageRange
+{
+    Vpn base = 0;
+    std::uint64_t pages = 0;
+};
+
+/** Random accesses into a scratch structure (hash table, aggregate). */
+struct RandomAccessSpec
+{
+    Vpn base = 0;
+    std::uint64_t span = 1;
+    /** Total touches across all threads (pre-split). */
+    std::uint64_t touches = 0;
+    bool write = false;
+    SimDuration perTouch = 0;
+    /** <= 0 = uniform. */
+    double zipfTheta = 0.0;
+    std::uint64_t seed = 1;
+};
+
+/** One parallel stage. */
+struct Stage
+{
+    std::string label;
+    std::vector<PageRange> seqReads;
+    std::vector<PageRange> seqWrites;
+    std::vector<RandomAccessSpec> randoms;
+    /** CPU work per sequentially processed page. */
+    SimDuration computePerSeqPage = usecs(1);
+
+    /**
+     * Append this stage's work for thread @p tid (of @p nthreads) to
+     * @p segs, ending with barrier @p barrier_id.
+     *
+     * Which *slice* of each range the thread processes is decided by
+     * a per-stage permutation derived from @p assign_seed — Spark
+     * schedules partitions to whatever executor grabs them, so a
+     * thread's slice position varies stage to stage. This asymmetry
+     * is what lets scanning-phase effects (the paper's bimodal
+     * accessed-bit clearing) concentrate evictions on individual
+     * threads instead of cancelling out across lockstep slices.
+     */
+    void compile(std::vector<Segment> &segs, unsigned tid,
+                 unsigned nthreads, std::uint32_t barrier_id,
+                 std::uint64_t assign_seed = 0) const;
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_TPCH_STAGE_HH

@@ -1,0 +1,135 @@
+#include "tpch/tpch_workload.hh"
+
+#include <cassert>
+
+namespace pagesim
+{
+
+TpchWorkload::TpchWorkload(const TpchConfig &config)
+    : config_(config),
+      schema_(TpchSchema::scaled(config.lineitemRows)),
+      barrier_(std::make_unique<SimBarrier>(config.threads))
+{
+    defaultScratchSizes(schema_, scratchSizes_[0], scratchSizes_[1],
+                        scratchSizes_[2], scratchSizes_[3]);
+}
+
+std::uint64_t
+TpchWorkload::footprintPages() const
+{
+    return schema_.totalPages() + scratchSizes_[0] + scratchSizes_[1] +
+           scratchSizes_[2] + scratchSizes_[3];
+}
+
+unsigned
+TpchWorkload::numThreads() const
+{
+    return config_.threads;
+}
+
+void
+TpchWorkload::build(WorkloadContext &ctx)
+{
+    AddressSpace &space = *ctx.space;
+    schema_.mapInto(space);
+    scratch_.mapInto(space, scratchSizes_[0], scratchSizes_[1],
+                     scratchSizes_[2], scratchSizes_[3]);
+    planGcSchedule(ctx.envSeed);
+    built_ = true;
+}
+
+void
+TpchWorkload::planGcSchedule(std::uint64_t env_seed)
+{
+    gcSchedule_.clear();
+    if (!config_.jvmGc)
+        return;
+    Rng rng(splitmix64(env_seed ^ 0x6a766d6763ull)); // "jvmgc"
+    for (std::size_t qi = 0; qi < config_.queries.size(); ++qi) {
+        if (rng.bernoulli(config_.minorGcProb))
+            gcSchedule_.push_back(GcEvent{qi, false});
+        if (rng.bernoulli(config_.fullGcProb))
+            gcSchedule_.push_back(GcEvent{qi, true});
+    }
+}
+
+void
+TpchWorkload::appendGc(std::vector<Segment> &segs, bool full,
+                       unsigned tid) const
+{
+    // Stop-the-world: everyone synchronizes, thread 0 performs the
+    // heap scan, everyone synchronizes again.
+    segs.push_back(BarrierSeg{0});
+    if (tid == 0) {
+        auto scan = [&](Vpn base, std::uint64_t pages, bool write) {
+            if (pages > 0)
+                segs.push_back(SeqTouch{base, pages, write, false,
+                                        config_.gcComputePerPage});
+        };
+        // Young generation = executor scratch (copied, hence writes).
+        scan(scratch_.hashA.base, scratch_.hashA.pages, true);
+        scan(scratch_.hashB.base, scratch_.hashB.pages, true);
+        scan(scratch_.agg.base, scratch_.agg.pages, true);
+        if (full) {
+            // Full GC marks the entire cached dataset.
+            auto mark_table = [&](const TableDef &t) {
+                for (const auto &c : t.columns)
+                    scan(c.base, c.pages(t.rows), false);
+            };
+            mark_table(schema_.lineitem);
+            mark_table(schema_.orders);
+            mark_table(schema_.customer);
+            mark_table(schema_.part);
+            scan(scratch_.shuffle.base, scratch_.shuffle.pages, false);
+        }
+    }
+    segs.push_back(BarrierSeg{0});
+}
+
+SimBarrier *
+TpchWorkload::barrier(std::uint32_t)
+{
+    return barrier_.get();
+}
+
+std::unique_ptr<OpStream>
+TpchWorkload::stream(unsigned tid)
+{
+    assert(built_ && "build() must run before stream()");
+    std::vector<Segment> segs;
+
+    // Load phase: every thread materializes its slice of each table
+    // (Spark reading + caching the input data).
+    Stage load;
+    load.label = "load";
+    load.computePerSeqPage = config_.costs.seqPage; // parse + encode
+    auto add_table = [&load](const TableDef &t) {
+        for (const auto &c : t.columns)
+            load.seqWrites.push_back(
+                PageRange{c.base, c.pages(t.rows)});
+    };
+    add_table(schema_.lineitem);
+    add_table(schema_.orders);
+    add_table(schema_.customer);
+    add_table(schema_.part);
+    load.compile(segs, tid, config_.threads, 0);
+
+    // The power run, with the trial's GC schedule interleaved.
+    for (std::size_t qi = 0; qi < config_.queries.size(); ++qi) {
+        const int qnum = config_.queries[qi];
+        const std::uint64_t qseed =
+            splitmix64(config_.seed ^ (qi * 1000 + qnum));
+        std::uint64_t stage_idx = 0;
+        for (const Stage &stage : buildTpchQuery(
+                 qnum, schema_, scratch_, qseed, config_.costs)) {
+            stage.compile(segs, tid, config_.threads, 0,
+                          splitmix64(qseed ^ (0xdeed + stage_idx++)));
+        }
+        for (const GcEvent &gc : gcSchedule_)
+            if (gc.queryIndex == qi)
+                appendGc(segs, gc.full, tid);
+    }
+    return std::make_unique<PatternStream>(std::move(segs));
+}
+
+} // namespace pagesim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * TPC-H workload: a power run of the query mix over the columnar
+ * schema, executed Spark-style (balanced parallel stages, barrier at
+ * every stage boundary), preceded by a parallel load phase that
+ * materializes the tables.
+ */
+
+#ifndef PAGESIM_TPCH_TPCH_WORKLOAD_HH
+#define PAGESIM_TPCH_TPCH_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tpch/queries.hh"
+#include "tpch/schema.hh"
+#include "workload/workload.hh"
+
+namespace pagesim
+{
+
+/** TPC-H workload parameters. */
+struct TpchConfig
+{
+    std::uint64_t lineitemRows = 600000;
+    unsigned threads = 12;
+    /** Query mix in execution order (defaults to the power run). */
+    std::vector<int> queries = defaultTpchQueryMix();
+    TpchCosts costs{};
+    std::uint64_t seed = 2024;
+
+    /**
+     * JVM garbage-collection model (the engine is Spark-SQL, a JVM
+     * runtime; the paper sizes Spark's memory to avoid spilling,
+     * which raises heap pressure). Minor GCs scan executor scratch;
+     * full GCs mark the entire cached dataset — under swap, a full GC
+     * faults back everything cold, the classic GC-swap amplification.
+     * GC *timing* is runtime-environment behavior and varies per
+     * trial (WorkloadContext::envSeed); identical inputs legitimately
+     * see 0..N full GCs per run.
+     */
+    bool jvmGc = true;
+    /** Full-GC probability per query boundary. */
+    double fullGcProb = 0.12;
+    /** Expected minor GCs per query (bernoulli per half-stage). */
+    double minorGcProb = 0.5;
+    /** Mark/copy CPU cost per page scanned by GC. */
+    SimDuration gcComputePerPage = usecs(2);
+};
+
+/** The TPC-H (Spark-SQL-style) workload. */
+class TpchWorkload : public Workload
+{
+  public:
+    explicit TpchWorkload(const TpchConfig &config = TpchConfig{});
+
+    const std::string &name() const override { return name_; }
+    std::uint64_t footprintPages() const override;
+    unsigned numThreads() const override;
+    void build(WorkloadContext &ctx) override;
+    std::unique_ptr<OpStream> stream(unsigned tid) override;
+    SimBarrier *barrier(std::uint32_t id) override;
+
+    const TpchSchema &schema() const { return schema_; }
+    const TpchScratch &scratch() const { return scratch_; }
+
+  private:
+    /** The per-trial GC schedule (shared by all thread streams). */
+    struct GcEvent
+    {
+        std::size_t queryIndex; ///< fires after this query
+        bool full;
+    };
+
+    void planGcSchedule(std::uint64_t env_seed);
+    void appendGc(std::vector<Segment> &segs, bool full,
+                  unsigned tid) const;
+
+    TpchConfig config_;
+    std::string name_ = "TPC-H";
+    TpchSchema schema_;
+    TpchScratch scratch_;
+    std::uint64_t scratchSizes_[4] = {0, 0, 0, 0};
+    std::unique_ptr<SimBarrier> barrier_;
+    std::vector<GcEvent> gcSchedule_;
+    bool built_ = false;
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_TPCH_TPCH_WORKLOAD_HH

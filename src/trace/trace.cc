@@ -1,0 +1,162 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace pagesim
+{
+
+const std::string &
+traceEventName(TraceEvent ev)
+{
+    static const std::string names[kTraceEventCount] = {
+        "major-fault",   "minor-fault", "eviction",
+        "dirty-writeback", "direct-reclaim", "aging-pass",
+        "alloc-stall",   "demotion",    "promotion",
+    };
+    return names[static_cast<std::size_t>(ev)];
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : capacity_(capacity)
+{
+    assert(capacity_ >= 1);
+    ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void
+TraceBuffer::emit(SimTime at, TraceEvent event, Vpn vpn)
+{
+    ++emitted_;
+    if (ring_.size() < capacity_ && !wrapped_) {
+        ring_.push_back(TraceRecord{at, event, vpn});
+        if (ring_.size() == capacity_)
+            wrapped_ = ring_.size() == capacity_;
+        head_ = ring_.size() % capacity_;
+    } else {
+        // Overwrite the oldest record; account the drop (and its
+        // per-event count).
+        const TraceRecord &old = ring_[head_];
+        ++dropped_;
+        assert(perEvent_[static_cast<std::size_t>(old.event)] > 0);
+        --perEvent_[static_cast<std::size_t>(old.event)];
+        ring_[head_] = TraceRecord{at, event, vpn};
+        head_ = (head_ + 1) % capacity_;
+        wrapped_ = true;
+    }
+    ++perEvent_[static_cast<std::size_t>(event)];
+}
+
+std::size_t
+TraceBuffer::size() const
+{
+    return ring_.size();
+}
+
+std::vector<TraceRecord>
+TraceBuffer::snapshot() const
+{
+    std::vector<TraceRecord> out;
+    out.reserve(ring_.size());
+    if (!wrapped_) {
+        out = ring_;
+    } else {
+        // Oldest record sits at head_.
+        out.insert(out.end(), ring_.begin() + head_, ring_.end());
+        out.insert(out.end(), ring_.begin(), ring_.begin() + head_);
+    }
+    return out;
+}
+
+std::uint64_t
+TraceBuffer::count(TraceEvent event) const
+{
+    return perEvent_[static_cast<std::size_t>(event)];
+}
+
+std::vector<std::uint64_t>
+TraceBuffer::rateSeries(TraceEvent event, SimDuration bucket,
+                        SimTime end) const
+{
+    assert(bucket > 0);
+    const std::vector<TraceRecord> records = snapshot();
+    if (records.empty())
+        return {};
+    const SimTime start = records.front().at;
+    if (end < start)
+        end = start;
+    const std::size_t buckets =
+        static_cast<std::size_t>((end - start) / bucket) + 1;
+    std::vector<std::uint64_t> out(buckets, 0);
+    for (const TraceRecord &r : records) {
+        if (r.event != event)
+            continue;
+        const std::size_t i =
+            static_cast<std::size_t>((r.at - start) / bucket);
+        if (i < buckets)
+            ++out[i];
+    }
+    return out;
+}
+
+double
+TraceBuffer::burstiness(TraceEvent event, SimDuration bucket,
+                        SimTime end) const
+{
+    const std::vector<std::uint64_t> series =
+        rateSeries(event, bucket, end);
+    if (series.size() < 2)
+        return 0.0;
+    double sum = 0.0;
+    for (std::uint64_t v : series)
+        sum += static_cast<double>(v);
+    const double mean = sum / static_cast<double>(series.size());
+    if (mean == 0.0)
+        return 0.0;
+    double acc = 0.0;
+    for (std::uint64_t v : series) {
+        const double d = static_cast<double>(v) - mean;
+        acc += d * d;
+    }
+    const double var = acc / static_cast<double>(series.size() - 1);
+    return std::sqrt(var) / mean;
+}
+
+std::string
+TraceBuffer::toCsv() const
+{
+    std::ostringstream os;
+    os << "time_ns,event,vpn\n";
+    for (const TraceRecord &r : snapshot()) {
+        os << r.at << ',' << traceEventName(r.event) << ',' << r.vpn
+           << '\n';
+    }
+    return os.str();
+}
+
+std::string
+asciiSparkline(const std::vector<std::uint64_t> &values)
+{
+    static const char *kLevels[] = {"▁", "▂", "▃",
+                                    "▄", "▅", "▆",
+                                    "▇", "█"};
+    if (values.empty())
+        return "";
+    const std::uint64_t max =
+        *std::max_element(values.begin(), values.end());
+    std::string out;
+    for (const std::uint64_t v : values) {
+        if (max == 0) {
+            out += kLevels[0];
+            continue;
+        }
+        const std::size_t level = static_cast<std::size_t>(
+            (static_cast<double>(v) / static_cast<double>(max)) * 7.0);
+        out += kLevels[std::min<std::size_t>(level, 7)];
+    }
+    return out;
+}
+
+} // namespace pagesim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Event tracing for simulated kernels.
+ *
+ * A characterization study lives and dies by being able to see WHEN
+ * things happened, not just how often: the paper's analyses reason
+ * about fault bursts, reclaim stalls, and scan phases. TraceBuffer is
+ * a bounded ring of timestamped MM events the MemoryManager emits when
+ * a buffer is attached (zero overhead otherwise), with time-bucketed
+ * rate queries, CSV export, and burstiness metrics.
+ */
+
+#ifndef PAGESIM_TRACE_TRACE_HH
+#define PAGESIM_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/types.hh"
+#include "sim/types.hh"
+
+namespace pagesim
+{
+
+/** Kernel events worth a timeline. */
+enum class TraceEvent : std::uint8_t
+{
+    MajorFault,
+    MinorFault,
+    Eviction,
+    DirtyWriteback,
+    DirectReclaim,
+    AgingPass,
+    AllocStall,
+    Demotion,
+    Promotion,
+};
+
+/** Number of distinct TraceEvent values. */
+constexpr std::size_t kTraceEventCount = 9;
+
+/** Display name ("major-fault", ...). */
+const std::string &traceEventName(TraceEvent ev);
+
+/** One trace record. */
+struct TraceRecord
+{
+    SimTime at = 0;
+    TraceEvent event = TraceEvent::MajorFault;
+    Vpn vpn = 0;
+};
+
+/**
+ * Bounded ring buffer of trace records.
+ *
+ * When full, the OLDEST records are dropped (classic flight-recorder
+ * semantics); droppedRecords() reports how many.
+ */
+class TraceBuffer
+{
+  public:
+    explicit TraceBuffer(std::size_t capacity = 1u << 20);
+
+    /** Record an event at time @p at. */
+    void emit(SimTime at, TraceEvent event, Vpn vpn = 0);
+
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+    std::uint64_t droppedRecords() const { return dropped_; }
+    std::uint64_t totalEmitted() const { return emitted_; }
+
+    /** Records in chronological order. */
+    std::vector<TraceRecord> snapshot() const;
+
+    /** Count of records of @p event currently retained. */
+    std::uint64_t count(TraceEvent event) const;
+
+    /**
+     * Time-bucketed event counts: bucket i covers
+     * [start + i*bucket, start + (i+1)*bucket). Covers the retained
+     * window, ending at @p end (pass the sim's final time).
+     */
+    std::vector<std::uint64_t> rateSeries(TraceEvent event,
+                                          SimDuration bucket,
+                                          SimTime end) const;
+
+    /**
+     * Burstiness: coefficient of variation of the bucketed rate.
+     * ~0 for a steady process, large when events arrive in bursts
+     * (e.g. full-GC fault storms).
+     */
+    double burstiness(TraceEvent event, SimDuration bucket,
+                      SimTime end) const;
+
+    /** CSV dump: "time_ns,event,vpn" per line, chronological. */
+    std::string toCsv() const;
+
+  private:
+    std::size_t capacity_;
+    std::vector<TraceRecord> ring_;
+    std::size_t head_ = 0; ///< next write slot
+    bool wrapped_ = false;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t emitted_ = 0;
+    std::uint64_t perEvent_[kTraceEventCount] = {};
+};
+
+/**
+ * Render a value series as a unicode sparkline ("▁▂▅█…"): the quick
+ * visual for fault-rate timelines in terminal reports.
+ */
+std::string asciiSparkline(const std::vector<std::uint64_t> &values);
+
+} // namespace pagesim
+
+#endif // PAGESIM_TRACE_TRACE_HH

@@ -1,0 +1,100 @@
+#include "workload/file_buffer_workload.hh"
+
+namespace pagesim
+{
+
+FileBufferWorkload::FileBufferWorkload(const FileBufferConfig &config)
+    : config_(config),
+      barrier_(std::make_unique<SimBarrier>(config.threads))
+{
+}
+
+std::uint64_t
+FileBufferWorkload::footprintPages() const
+{
+    return config_.anonPages +
+           config_.streamChunkPages * config_.rounds +
+           config_.hotFilePages;
+}
+
+unsigned
+FileBufferWorkload::numThreads() const
+{
+    return config_.threads;
+}
+
+void
+FileBufferWorkload::build(WorkloadContext &ctx)
+{
+    AddressSpace &space = *ctx.space;
+    anonBase_ = space.map("fb.anon", config_.anonPages, false);
+    fileBase_ = space.map("fb.stream",
+                          config_.streamChunkPages * config_.rounds,
+                          true);
+    hotBase_ = space.map("fb.hotfile", config_.hotFilePages, true);
+}
+
+SimBarrier *
+FileBufferWorkload::barrier(std::uint32_t)
+{
+    return barrier_.get();
+}
+
+std::unique_ptr<OpStream>
+FileBufferWorkload::stream(unsigned tid)
+{
+    const unsigned T = config_.threads;
+    auto slice = [T, tid](Vpn base, std::uint64_t pages) {
+        const std::uint64_t lo = pages * tid / T;
+        const std::uint64_t hi = pages * (tid + 1) / T;
+        return std::pair<Vpn, std::uint64_t>(base + lo, hi - lo);
+    };
+    const auto [anon_lo, anon_n] =
+        slice(anonBase_, config_.anonPages);
+
+    std::vector<Segment> segs;
+    // Warm the anonymous working set and the hot file.
+    segs.push_back(SeqTouch{anon_lo, anon_n, true, false,
+                            config_.computePerTouch});
+    if (tid == 0) {
+        segs.push_back(SeqTouch{hotBase_, config_.hotFilePages, false,
+                                true, config_.computePerTouch});
+    }
+    segs.push_back(BarrierSeg{0});
+
+    for (unsigned round = 0; round < config_.rounds; ++round) {
+        // Stream this round's FRESH file extent via buffered reads —
+        // true read-once data, never touched again...
+        const Vpn chunk_base =
+            fileBase_ + round * config_.streamChunkPages;
+        const auto [file_lo, file_n] =
+            slice(0, config_.streamChunkPages);
+        segs.push_back(SeqTouch{chunk_base + file_lo, file_n, false,
+                                /*fd=*/true, config_.computePerTouch});
+        // ...while hammering the hot file region via fd reads
+        // (pages tier protection should keep resident)...
+        RandTouch hot;
+        hot.base = hotBase_;
+        hot.span = config_.hotFilePages;
+        hot.count = config_.hotReadsPerRound;
+        hot.fd = true;
+        hot.zipfTheta = 0.8;
+        hot.computePerTouch = config_.computePerTouch;
+        hot.seed = splitmix64(config_.seed ^ (round * 131 + tid));
+        segs.push_back(hot);
+        // ...and keeping the anonymous set warm through the PTEs.
+        RandTouch anon;
+        anon.base = anon_lo;
+        anon.span = anon_n;
+        anon.count = anon_n / 2;
+        anon.write = true;
+        anon.computePerTouch = config_.computePerTouch;
+        anon.seed = splitmix64(config_.seed ^ (round * 977 + tid) ^
+                               0xa0a0u);
+        segs.push_back(anon);
+        segs.push_back(BarrierSeg{0});
+    }
+    return std::make_unique<PatternStream>(std::move(segs));
+}
+
+} // namespace pagesim

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the TPC-H JVM GC model: environment-seeded scheduling,
+ * stop-the-world structure, and the content/environment seed split.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tpch/tpch_workload.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+TpchConfig
+smallTpch()
+{
+    TpchConfig cfg;
+    cfg.lineitemRows = 30000;
+    cfg.threads = 3;
+    cfg.queries = {1, 3, 6};
+    return cfg;
+}
+
+/** Count ops per kind for one thread under a given env seed. */
+std::pair<int, std::uint64_t>
+barrierAndTouchCount(TpchWorkload &wl, unsigned tid)
+{
+    auto s = wl.stream(tid);
+    Op op;
+    int barriers = 0;
+    std::uint64_t touches = 0;
+    while (s->next(op)) {
+        if (op.kind == Op::Kind::Barrier)
+            ++barriers;
+        if (op.kind == Op::Kind::Touch)
+            ++touches;
+    }
+    return {barriers, touches};
+}
+
+TEST(TpchGc, ScheduleVariesWithEnvSeed)
+{
+    // Identical workload content, different environments: the GC
+    // schedule (and hence the op stream) must differ for SOME pair of
+    // seeds — this is the paper's run-to-run variance on identical
+    // inputs.
+    std::set<int> barrier_counts;
+    for (std::uint64_t env = 1; env <= 8; ++env) {
+        TpchWorkload wl(smallTpch());
+        AddressSpace space(0);
+        WorkloadContext ctx;
+        ctx.space = &space;
+        ctx.envSeed = env;
+        wl.build(ctx);
+        barrier_counts.insert(barrierAndTouchCount(wl, 0).first);
+    }
+    EXPECT_GT(barrier_counts.size(), 1u)
+        << "GC timing must vary across environments";
+}
+
+TEST(TpchGc, ScheduleDeterministicPerEnvSeed)
+{
+    auto run = [](std::uint64_t env) {
+        TpchWorkload wl(smallTpch());
+        AddressSpace space(0);
+        WorkloadContext ctx;
+        ctx.space = &space;
+        ctx.envSeed = env;
+        wl.build(ctx);
+        return barrierAndTouchCount(wl, 1);
+    };
+    EXPECT_EQ(run(42), run(42));
+}
+
+TEST(TpchGc, DisabledMeansNoExtraBarriers)
+{
+    TpchConfig cfg = smallTpch();
+    cfg.jvmGc = false;
+    TpchWorkload wl(cfg);
+    AddressSpace space(0);
+    WorkloadContext ctx;
+    ctx.space = &space;
+    ctx.envSeed = 77;
+    wl.build(ctx);
+    // load + Q1(1) + Q3(3) + Q6(1) stages = 6 barriers exactly.
+    EXPECT_EQ(barrierAndTouchCount(wl, 0).first, 6);
+}
+
+TEST(TpchGc, StopTheWorldShape)
+{
+    // With GC forced on every boundary, thread 0 carries scan touches
+    // between paired barriers while other threads only see barriers.
+    TpchConfig cfg = smallTpch();
+    cfg.fullGcProb = 1.0;
+    cfg.minorGcProb = 0.0;
+    TpchWorkload wl(cfg);
+    AddressSpace space(0);
+    WorkloadContext ctx;
+    ctx.space = &space;
+    ctx.envSeed = 5;
+    wl.build(ctx);
+
+    const auto [b0, t0] = barrierAndTouchCount(wl, 0);
+    const auto [b1, t1] = barrierAndTouchCount(wl, 1);
+    EXPECT_EQ(b0, b1) << "all threads share the barrier sequence";
+    // 3 queries -> 3 full GCs -> 2 extra barriers each.
+    EXPECT_EQ(b0, 6 + 3 * 2);
+    EXPECT_GT(t0, t1) << "thread 0 performs the heap marking";
+    // A full GC re-touches the whole cached dataset at least once per
+    // query boundary: thread 0's touches dwarf its stage share.
+    EXPECT_GT(t0, 3 * static_cast<std::uint64_t>(
+                       wl.schema().totalPages()));
+}
+
+TEST(TpchGc, FullGcTouchesEveryColumn)
+{
+    TpchConfig cfg = smallTpch();
+    cfg.fullGcProb = 1.0;
+    cfg.minorGcProb = 0.0;
+    cfg.queries = {6};
+    TpchWorkload wl(cfg);
+    AddressSpace space(0);
+    WorkloadContext ctx;
+    ctx.space = &space;
+    ctx.envSeed = 9;
+    wl.build(ctx);
+    auto s = wl.stream(0);
+    Op op;
+    std::set<Vpn> touched;
+    while (s->next(op))
+        if (op.kind == Op::Kind::Touch)
+            touched.insert(op.vpn);
+    // Every lineitem column page appears (marked by the GC even
+    // though Q6 itself scans only four columns).
+    for (const auto &col : wl.schema().lineitem.columns) {
+        EXPECT_TRUE(touched.count(col.base)) << col.name;
+        EXPECT_TRUE(touched.count(
+            col.base + col.pages(wl.schema().lineitem.rows) - 1))
+            << col.name;
+    }
+}
+
+} // namespace
+} // namespace pagesim

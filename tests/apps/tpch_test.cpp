@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tpch/tpch_workload.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+TEST(TpchSchema, ProportionsMatchTpch)
+{
+    const TpchSchema s = TpchSchema::scaled(400000);
+    EXPECT_EQ(s.lineitem.rows, 400000u);
+    EXPECT_EQ(s.orders.rows, 100000u);
+    EXPECT_EQ(s.customer.rows, 10000u);
+    EXPECT_EQ(s.part.rows, 80000u);
+    EXPECT_EQ(s.lineitem.columns.size(), 10u);
+}
+
+TEST(TpchSchema, ColumnLookupAndPages)
+{
+    TpchSchema s = TpchSchema::scaled(100000);
+    const ColumnDef &qty = s.lineitem.col("l_quantity");
+    EXPECT_EQ(qty.widthBytes, 8u);
+    EXPECT_EQ(qty.pages(s.lineitem.rows),
+              (100000 * 8 + kPageSize - 1) / kPageSize);
+    EXPECT_THROW(s.lineitem.col("nope"), std::invalid_argument);
+}
+
+TEST(TpchSchema, MapIntoAssignsDisjointVmas)
+{
+    TpchSchema s = TpchSchema::scaled(50000);
+    AddressSpace space(0);
+    s.mapInto(space);
+    EXPECT_EQ(space.vmas().size(),
+              s.lineitem.columns.size() + s.orders.columns.size() +
+                  s.customer.columns.size() + s.part.columns.size());
+    EXPECT_EQ(space.mappedPages(), s.totalPages());
+}
+
+TEST(TpchStage, CompileSplitsWorkEvenly)
+{
+    Stage stage;
+    stage.label = "t";
+    stage.seqReads = {PageRange{1000, 120}};
+    std::vector<Segment> t0, t1, t2;
+    stage.compile(t0, 0, 3, 0);
+    stage.compile(t1, 1, 3, 0);
+    stage.compile(t2, 2, 3, 0);
+    // Each thread: one SeqTouch + barrier.
+    ASSERT_EQ(t0.size(), 2u);
+    const auto &s0 = std::get<SeqTouch>(t0[0]);
+    const auto &s1 = std::get<SeqTouch>(t1[0]);
+    const auto &s2 = std::get<SeqTouch>(t2[0]);
+    EXPECT_EQ(s0.count, 40u);
+    EXPECT_EQ(s1.count, 40u);
+    EXPECT_EQ(s2.count, 40u);
+    EXPECT_EQ(s0.base, 1000u);
+    EXPECT_EQ(s1.base, 1040u);
+    EXPECT_EQ(s2.base, 1080u);
+    EXPECT_TRUE(std::holds_alternative<BarrierSeg>(t0[1]));
+}
+
+TEST(TpchStage, RandomTouchesSplitAndSeeded)
+{
+    Stage stage;
+    RandomAccessSpec ra;
+    ra.base = 0;
+    ra.span = 100;
+    ra.touches = 1000;
+    ra.seed = 7;
+    stage.randoms = {ra};
+    std::vector<Segment> t0, t1;
+    stage.compile(t0, 0, 2, 0);
+    stage.compile(t1, 1, 2, 0);
+    const auto &r0 = std::get<RandTouch>(t0[0]);
+    const auto &r1 = std::get<RandTouch>(t1[0]);
+    EXPECT_EQ(r0.count, 500u);
+    EXPECT_EQ(r1.count, 500u);
+    EXPECT_NE(r0.seed, r1.seed) << "threads draw distinct streams";
+}
+
+TEST(TpchQueries, EveryQueryCompiles)
+{
+    TpchSchema s = TpchSchema::scaled(100000);
+    AddressSpace space(0);
+    s.mapInto(space);
+    TpchScratch scratch;
+    std::uint64_t a, b, g, sh;
+    defaultScratchSizes(s, a, b, g, sh);
+    scratch.mapInto(space, a, b, g, sh);
+    std::vector<int> all_queries = defaultTpchQueryMix();
+    for (int q : {4, 10, 21})
+        all_queries.push_back(q);
+    for (int q : all_queries) {
+        const auto stages = buildTpchQuery(q, s, scratch, 42);
+        EXPECT_FALSE(stages.empty()) << "Q" << q;
+        for (const Stage &stage : stages) {
+            EXPECT_FALSE(stage.label.empty());
+            // All referenced ranges are mapped (check both ends).
+            for (const auto &r : stage.seqReads) {
+                ASSERT_GT(r.pages, 0u);
+                EXPECT_TRUE(space.table().at(r.base).mapped());
+                EXPECT_TRUE(
+                    space.table().at(r.base + r.pages - 1).mapped());
+            }
+        }
+    }
+    EXPECT_THROW(buildTpchQuery(99, s, scratch, 1),
+                 std::invalid_argument);
+}
+
+TEST(TpchQueries, JoinQueriesHaveMultipleStages)
+{
+    TpchSchema s = TpchSchema::scaled(100000);
+    AddressSpace space(0);
+    s.mapInto(space);
+    TpchScratch scratch;
+    std::uint64_t a, b, g, sh;
+    defaultScratchSizes(s, a, b, g, sh);
+    scratch.mapInto(space, a, b, g, sh);
+    EXPECT_EQ(buildTpchQuery(1, s, scratch, 1).size(), 1u);
+    EXPECT_EQ(buildTpchQuery(6, s, scratch, 1).size(), 1u);
+    EXPECT_EQ(buildTpchQuery(3, s, scratch, 1).size(), 3u);
+    EXPECT_EQ(buildTpchQuery(18, s, scratch, 1).size(), 3u);
+    EXPECT_EQ(buildTpchQuery(4, s, scratch, 1).size(), 2u);
+    EXPECT_EQ(buildTpchQuery(10, s, scratch, 1).size(), 3u);
+    EXPECT_EQ(buildTpchQuery(21, s, scratch, 1).size(), 3u);
+}
+
+TEST(TpchWorkload, StreamsAreStageSynchronized)
+{
+    TpchConfig cfg;
+    cfg.lineitemRows = 50000;
+    cfg.threads = 4;
+    cfg.queries = {1, 3};
+    TpchWorkload wl(cfg);
+    AddressSpace space(0);
+    WorkloadContext ctx;
+    ctx.space = &space;
+    wl.build(ctx);
+
+    // All four threads see the same number of barriers (stages).
+    std::set<int> barrier_counts;
+    for (unsigned tid = 0; tid < 4; ++tid) {
+        auto stream = wl.stream(tid);
+        Op op;
+        int barriers = 0;
+        while (stream->next(op))
+            if (op.kind == Op::Kind::Barrier)
+                ++barriers;
+        barrier_counts.insert(barriers);
+    }
+    EXPECT_EQ(barrier_counts.size(), 1u);
+    // load + Q1(1 stage) + Q3(3 stages) = 5 barriers.
+    EXPECT_EQ(*barrier_counts.begin(), 5);
+}
+
+TEST(TpchWorkload, FootprintMatchesMappedPages)
+{
+    TpchConfig cfg;
+    cfg.lineitemRows = 50000;
+    TpchWorkload wl(cfg);
+    AddressSpace space(0);
+    WorkloadContext ctx;
+    ctx.space = &space;
+    wl.build(ctx);
+    EXPECT_EQ(space.mappedPages(), wl.footprintPages());
+}
+
+TEST(TpchWorkload, TouchesStayInsideVmas)
+{
+    TpchConfig cfg;
+    cfg.lineitemRows = 20000;
+    cfg.threads = 2;
+    cfg.queries = {6, 12};
+    TpchWorkload wl(cfg);
+    AddressSpace space(0);
+    WorkloadContext ctx;
+    ctx.space = &space;
+    wl.build(ctx);
+    auto stream = wl.stream(1);
+    Op op;
+    std::uint64_t touches = 0;
+    while (stream->next(op)) {
+        if (op.kind != Op::Kind::Touch)
+            continue;
+        ++touches;
+        ASSERT_TRUE(space.table().at(op.vpn).mapped())
+            << "vpn " << op.vpn;
+    }
+    EXPECT_GT(touches, 0u);
+}
+
+} // namespace
+} // namespace pagesim

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/experiment.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+TEST(Experiment, NamesAndLists)
+{
+    EXPECT_EQ(workloadKindName(WorkloadKind::Tpch), "TPC-H");
+    EXPECT_EQ(workloadKindName(WorkloadKind::YcsbC), "YCSB-C");
+    EXPECT_EQ(swapKindName(SwapKind::Zram), "ZRAM");
+    EXPECT_EQ(allWorkloadKinds().size(), 5u);
+}
+
+TEST(Experiment, LabelIsReadable)
+{
+    ExperimentConfig cfg;
+    cfg.workload = WorkloadKind::PageRank;
+    cfg.policy = PolicyKind::ScanAll;
+    cfg.swap = SwapKind::Zram;
+    cfg.capacityRatio = 0.75;
+    EXPECT_EQ(cfg.label(), "PageRank/Scan-All/ZRAM/75%");
+}
+
+TEST(Experiment, MakeWorkloadBuildsEveryKind)
+{
+    for (WorkloadKind kind : allWorkloadKinds()) {
+        auto wl = makeWorkload(kind, ScalePreset::Small);
+        ASSERT_NE(wl, nullptr) << workloadKindName(kind);
+        EXPECT_EQ(wl->name(), workloadKindName(kind));
+        EXPECT_GT(wl->footprintPages(), 0u);
+        EXPECT_GT(wl->numThreads(), 0u);
+    }
+}
+
+TEST(Experiment, EffectiveTrialsHonorsEnv)
+{
+    ExperimentConfig cfg;
+    cfg.trials = 8;
+    unsetenv("PAGESIM_TRIALS");
+    EXPECT_EQ(effectiveTrials(cfg), 8u);
+    setenv("PAGESIM_TRIALS", "3", 1);
+    EXPECT_EQ(effectiveTrials(cfg), 3u);
+    setenv("PAGESIM_TRIALS", "garbage", 1);
+    EXPECT_EQ(effectiveTrials(cfg), 8u);
+    unsetenv("PAGESIM_TRIALS");
+}
+
+TEST(Experiment, TrialIsDeterministicForSeed)
+{
+    ExperimentConfig cfg;
+    cfg.workload = WorkloadKind::Tpch;
+    cfg.policy = PolicyKind::MgLru;
+    cfg.scale = ScalePreset::Small;
+    const TrialResult a = runTrial(cfg, 42);
+    const TrialResult b = runTrial(cfg, 42);
+    EXPECT_EQ(a.runtimeNs, b.runtimeNs);
+    EXPECT_EQ(a.majorFaults, b.majorFaults);
+    EXPECT_EQ(a.kernel.evictions, b.kernel.evictions);
+    EXPECT_EQ(a.policy.ptesScanned, b.policy.ptesScanned);
+}
+
+TEST(Experiment, DifferentSeedsVary)
+{
+    ExperimentConfig cfg;
+    cfg.workload = WorkloadKind::Tpch;
+    cfg.policy = PolicyKind::MgLru;
+    cfg.scale = ScalePreset::Small;
+    const TrialResult a = runTrial(cfg, 1);
+    const TrialResult b = runTrial(cfg, 2);
+    EXPECT_NE(a.runtimeNs, b.runtimeNs)
+        << "per-boot jitter must differentiate trials";
+}
+
+TEST(Experiment, SummariesAggregateTrials)
+{
+    ExperimentResult res;
+    TrialResult t1, t2;
+    t1.runtimeNs = 100;
+    t1.majorFaults = 10;
+    t2.runtimeNs = 300;
+    t2.majorFaults = 30;
+    res.trials = {t1, t2};
+    EXPECT_DOUBLE_EQ(res.runtimeSummary().mean(), 200.0);
+    EXPECT_DOUBLE_EQ(res.faultSummary().mean(), 20.0);
+}
+
+TEST(Experiment, RunExperimentProducesAllTrials)
+{
+    ExperimentConfig cfg;
+    cfg.workload = WorkloadKind::YcsbA;
+    cfg.policy = PolicyKind::Clock;
+    cfg.scale = ScalePreset::Small;
+    cfg.trials = 3;
+    unsetenv("PAGESIM_TRIALS");
+    const ExperimentResult res = runExperiment(cfg);
+    ASSERT_EQ(res.trials.size(), 3u);
+    for (const auto &t : res.trials) {
+        EXPECT_GT(t.runtimeNs, 0u);
+        EXPECT_GT(t.readLatency.count() + t.writeLatency.count(), 0u);
+    }
+    EXPECT_GT(res.mergedReadLatency().count(), 0u);
+    EXPECT_GT(res.meanRequestNs(), 0.0);
+}
+
+} // namespace
+} // namespace pagesim

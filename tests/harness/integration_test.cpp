@@ -1,0 +1,136 @@
+/**
+ * @file
+ * End-to-end invariants: full trials across the experiment grid must
+ * conserve pages, account faults sanely, and reproduce the coarse
+ * physics of the paper's setup (pressure monotonicity, device speed
+ * ordering).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+TEST(Integration, EveryGridCellRunsClean)
+{
+    for (WorkloadKind wk :
+         {WorkloadKind::Tpch, WorkloadKind::PageRank,
+          WorkloadKind::YcsbA}) {
+        for (PolicyKind pk : {PolicyKind::Clock, PolicyKind::MgLru,
+                              PolicyKind::ScanNone}) {
+            for (SwapKind sk : {SwapKind::Ssd, SwapKind::Zram}) {
+                ExperimentConfig cfg;
+                cfg.workload = wk;
+                cfg.policy = pk;
+                cfg.swap = sk;
+                cfg.scale = ScalePreset::Small;
+                const TrialResult t = runTrial(cfg, 5);
+                const std::string label = cfg.label();
+                EXPECT_GT(t.runtimeNs, 0u) << label;
+                // Fault accounting: every major fault is a device
+                // read (plus readahead reads on top).
+                EXPECT_GE(t.swap.reads + t.kernel.writebackRemaps,
+                          t.majorFaults)
+                    << label;
+                // Writebacks never exceed evictions.
+                EXPECT_LE(t.kernel.dirtyWritebacks,
+                          t.kernel.evictions)
+                    << label;
+                EXPECT_EQ(t.kernel.dirtyWritebacks +
+                              t.kernel.cleanDrops,
+                          t.kernel.evictions)
+                    << label;
+                // Thread completion times recorded for every thread.
+                for (const SimTime ft : t.threadFinishNs)
+                    EXPECT_GT(ft, 0u) << label;
+            }
+        }
+    }
+}
+
+TEST(Integration, MorePressureMeansMoreFaults)
+{
+    ExperimentConfig cfg;
+    cfg.workload = WorkloadKind::Tpch;
+    cfg.policy = PolicyKind::MgLru;
+    cfg.scale = ScalePreset::Small;
+
+    cfg.capacityRatio = 0.5;
+    const TrialResult heavy = runTrial(cfg, 9);
+    cfg.capacityRatio = 0.9;
+    const TrialResult light = runTrial(cfg, 9);
+    EXPECT_GT(heavy.majorFaults, light.majorFaults);
+    EXPECT_GT(heavy.runtimeNs, light.runtimeNs);
+}
+
+TEST(Integration, ZramRunsFasterThanSsdUnderPressure)
+{
+    ExperimentConfig cfg;
+    cfg.workload = WorkloadKind::PageRank;
+    cfg.policy = PolicyKind::MgLru;
+    cfg.scale = ScalePreset::Small;
+    cfg.capacityRatio = 0.5;
+
+    cfg.swap = SwapKind::Ssd;
+    const TrialResult ssd = runTrial(cfg, 3);
+    cfg.swap = SwapKind::Zram;
+    const TrialResult zram = runTrial(cfg, 3);
+    EXPECT_LT(zram.runtimeNs, ssd.runtimeNs / 2)
+        << "20us swap vs 7.5ms swap must show up";
+}
+
+TEST(Integration, YcsbLatencyTailsOrdered)
+{
+    ExperimentConfig cfg;
+    cfg.workload = WorkloadKind::YcsbB;
+    cfg.policy = PolicyKind::Clock;
+    cfg.scale = ScalePreset::Small;
+    const TrialResult t = runTrial(cfg, 4);
+    ASSERT_GT(t.readLatency.count(), 0u);
+    EXPECT_LE(t.readLatency.p50(), t.readLatency.p99());
+    EXPECT_LE(t.readLatency.p99(), t.readLatency.p9999());
+    // Mix B: ~5% writes.
+    const double wfrac =
+        static_cast<double>(t.writeLatency.count()) /
+        static_cast<double>(t.readLatency.count() +
+                            t.writeLatency.count());
+    EXPECT_NEAR(wfrac, 0.05, 0.02);
+}
+
+TEST(Integration, AgingWalksOnlyUnderMgLru)
+{
+    // Aging runs in reclaim contexts (no dedicated daemon in the
+    // default harness configuration): MG-LRU variants perform
+    // page-table walks, Clock never does.
+    ExperimentConfig cfg;
+    cfg.workload = WorkloadKind::Tpch;
+    cfg.scale = ScalePreset::Small;
+    cfg.policy = PolicyKind::ScanAll;
+    const TrialResult scanall = runTrial(cfg, 6);
+    EXPECT_GT(scanall.policy.agingPasses, 0u);
+    EXPECT_GT(scanall.policy.regionsVisited, 0u);
+    EXPECT_GT(scanall.kernel.directAging, 0u)
+        << "faulting tasks pay the walks under the cgroup limit";
+    cfg.policy = PolicyKind::Clock;
+    const TrialResult clock = runTrial(cfg, 6);
+    EXPECT_EQ(clock.policy.regionsVisited, 0u);
+    EXPECT_EQ(clock.agingCpuNs, 0u);
+}
+
+TEST(Integration, Gen14UsesMoreGenerationsWithoutBlocking)
+{
+    ExperimentConfig cfg;
+    cfg.workload = WorkloadKind::PageRank;
+    cfg.scale = ScalePreset::Small;
+    cfg.policy = PolicyKind::Gen14;
+    const TrialResult t = runTrial(cfg, 8);
+    EXPECT_EQ(t.mglru.genCreationBlocked, 0u)
+        << "2^14 generations cannot exhaust in a short run";
+}
+
+} // namespace
+} // namespace pagesim

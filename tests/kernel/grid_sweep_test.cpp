@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Parameterized sweep over (policy x swap medium): full small-scale
+ * trials for every combination, checking cross-cutting invariants the
+ * individual unit tests can't see — I/O accounting against the swap
+ * device, watermark discipline, latency sanity, and monotonicity in
+ * capacity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "harness/experiment.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+using Cell = std::tuple<PolicyKind, SwapKind>;
+
+class GridSweep : public ::testing::TestWithParam<Cell>
+{
+};
+
+TEST_P(GridSweep, TrialInvariantsHold)
+{
+    const auto [policy, swap] = GetParam();
+    for (WorkloadKind wk :
+         {WorkloadKind::Tpch, WorkloadKind::YcsbA}) {
+        ExperimentConfig cfg;
+        cfg.workload = wk;
+        cfg.policy = policy;
+        cfg.swap = swap;
+        cfg.scale = ScalePreset::Small;
+        const TrialResult t = runTrial(cfg, 21);
+        const std::string label = cfg.label();
+
+        EXPECT_GT(t.runtimeNs, 0u) << label;
+        // Device accounting: every major fault required a device read
+        // unless it was satisfied by a writeback remap.
+        EXPECT_GE(t.swap.reads + t.kernel.writebackRemaps,
+                  t.majorFaults)
+            << label;
+        // Device writes == dirty writebacks exactly.
+        EXPECT_EQ(t.swap.writes, t.kernel.dirtyWritebacks) << label;
+        // Eviction split is exhaustive.
+        EXPECT_EQ(t.kernel.cleanDrops + t.kernel.dirtyWritebacks,
+                  t.kernel.evictions)
+            << label;
+        // Policy shadows: eviction count from the policy matches the
+        // kernel's, give or take balloon frames (never policy-owned).
+        EXPECT_EQ(t.policy.evicted, t.kernel.evictions) << label;
+        // Scanning was never free under pressure.
+        EXPECT_GT(t.policy.ptesScanned + t.policy.rmapWalks, 0u)
+            << label;
+    }
+}
+
+TEST_P(GridSweep, CapacityMonotonicity)
+{
+    const auto [policy, swap] = GetParam();
+    ExperimentConfig cfg;
+    cfg.workload = WorkloadKind::Tpch;
+    cfg.policy = policy;
+    cfg.swap = swap;
+    cfg.scale = ScalePreset::Small;
+
+    cfg.capacityRatio = 0.5;
+    const TrialResult tight = runTrial(cfg, 33);
+    cfg.capacityRatio = 0.95;
+    const TrialResult roomy = runTrial(cfg, 33);
+    EXPECT_GT(tight.majorFaults, roomy.majorFaults) << cfg.label();
+    EXPECT_GE(tight.kernel.evictions, roomy.kernel.evictions)
+        << cfg.label();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyBySwap, GridSweep,
+    ::testing::Combine(::testing::Values(PolicyKind::Clock,
+                                         PolicyKind::MgLru,
+                                         PolicyKind::Gen14,
+                                         PolicyKind::ScanAll,
+                                         PolicyKind::ScanNone,
+                                         PolicyKind::ScanRand),
+                       ::testing::Values(SwapKind::Ssd,
+                                         SwapKind::Zram)),
+    [](const ::testing::TestParamInfo<Cell> &info) {
+        std::string name =
+            policyKindName(std::get<0>(info.param)) + "_" +
+            swapKindName(std::get<1>(info.param));
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace pagesim

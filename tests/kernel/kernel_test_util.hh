@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Kernel-layer test fixture: a full machine (sim + frames + swap +
+ * policy + MM) with a scriptable probe actor for driving accesses.
+ */
+
+#ifndef PAGESIM_TESTS_KERNEL_TEST_UTIL_HH
+#define PAGESIM_TESTS_KERNEL_TEST_UTIL_HH
+
+#include <functional>
+#include <memory>
+
+#include "kernel/aging_daemon.hh"
+#include "kernel/kswapd.hh"
+#include "kernel/memory_manager.hh"
+#include "policy/policy_factory.hh"
+#include "sim/simulation.hh"
+#include "swap/ssd_device.hh"
+#include "swap/swap_manager.hh"
+#include "swap/zram_device.hh"
+
+namespace pagesim
+{
+
+/** An actor whose step() runs a user-provided script. */
+class ProbeActor : public SimActor
+{
+  public:
+    using Script = std::function<void(ProbeActor &)>;
+
+    ProbeActor(Simulation &sim, Script script)
+        : SimActor(sim, "probe", true), script_(std::move(script))
+    {
+    }
+
+    using SimActor::block;
+    using SimActor::finish;
+    using SimActor::yieldAfter;
+
+  protected:
+    void step() override { script_(*this); }
+
+  private:
+    Script script_;
+};
+
+/** A machine with pluggable swap and policy for kernel tests. */
+struct KernelHarness
+{
+    Simulation sim;
+    FrameTable frames;
+    AddressSpace space;
+    std::unique_ptr<SwapDevice> device;
+    std::unique_ptr<SwapManager> swap;
+    std::unique_ptr<ReplacementPolicy> policy;
+    MmConfig config;
+    std::unique_ptr<MemoryManager> mm;
+
+    explicit
+    KernelHarness(std::uint32_t nframes = 64,
+                  std::uint64_t vma_pages = 256,
+                  bool zram = false,
+                  PolicyKind kind = PolicyKind::MgLru)
+        : sim(4, 7), frames(nframes), space(0)
+    {
+        space.map("test", vma_pages);
+        if (zram) {
+            device = std::make_unique<ZramSwapDevice>();
+        } else {
+            SsdConfig ssd;
+            ssd.jitterSigma = 0.0;
+            device = std::make_unique<SsdSwapDevice>(
+                sim.events(), sim.forkRng("ssd"), ssd);
+        }
+        swap = std::make_unique<SwapManager>(*device, 4096);
+        config.totalFrames = nframes;
+        config.deriveWatermarks();
+        policy = makePolicy(kind, frames, {&space}, config.costs,
+                            sim.forkRng("policy"), {}, &sim.events());
+        mm = std::make_unique<MemoryManager>(sim, frames, *swap,
+                                             *policy, config);
+    }
+
+    Vpn base() const { return space.vmas().front().start; }
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_TESTS_KERNEL_TEST_UTIL_HH

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "kernel_test_util.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+using Outcome = MemoryManager::AccessOutcome;
+
+/** Actor that touches a working set larger than memory, twice. */
+class SweepActor : public ProbeActor
+{
+  public:
+    SweepActor(KernelHarness &h, std::uint64_t pages, int rounds)
+        : ProbeActor(h.sim,
+                     [this](ProbeActor &self) { this->run(self); }),
+          h_(h), pages_(pages), rounds_(rounds)
+    {
+    }
+
+    std::uint64_t touches = 0;
+
+  private:
+    void
+    run(ProbeActor &self)
+    {
+        while (round_ < rounds_) {
+            while (i_ < pages_) {
+                CostSink sink;
+                const Outcome o = h_.mm->access(
+                    self, h_.space, h_.base() + i_, true, sink);
+                if (o == Outcome::Blocked) {
+                    self.block();
+                    return;
+                }
+                ++touches;
+                ++i_;
+                if (touches % 32 == 0) {
+                    self.yieldAfter(sink.total() + 1000);
+                    return;
+                }
+            }
+            i_ = 0;
+            ++round_;
+        }
+        self.finish();
+    }
+
+    KernelHarness &h_;
+    std::uint64_t pages_;
+    int rounds_;
+    std::uint64_t i_ = 0;
+    int round_ = 0;
+};
+
+TEST(Reclaim, OversubscribedSweepCompletesWithDirectReclaim)
+{
+    // 64 frames, 200-page working set: the sweep must force reclaim.
+    KernelHarness h(64, 256);
+    SweepActor sweeper(h, 200, 2);
+    sweeper.start();
+    ASSERT_TRUE(h.sim.runToCompletion(50000000));
+    EXPECT_EQ(sweeper.touches, 400u);
+    EXPECT_GT(h.mm->stats().evictions, 100u);
+    EXPECT_GT(h.mm->stats().majorFaults, 0u) << "second round refaults";
+    // Memory never exceeded capacity.
+    EXPECT_LE(h.frames.usedFrames(), h.frames.totalFrames());
+}
+
+TEST(Reclaim, KswapdKeepsFreePagesAboveWatermark)
+{
+    // A machine large enough that kswapd has real runway between the
+    // low watermark and exhaustion.
+    KernelHarness h(256, 1024);
+    Kswapd kswapd(h.sim, *h.mm);
+    h.mm->attachKswapd(&kswapd);
+    kswapd.start();
+    AgingDaemon aging(h.sim, *h.mm, h.sim.forkRng("aging"));
+    h.mm->attachAgingDaemon(&aging);
+    aging.start();
+
+    SweepActor sweeper(h, 700, 2);
+    sweeper.start();
+    ASSERT_TRUE(h.sim.runToCompletion(50000000));
+    EXPECT_GT(kswapd.reclaimed(), 0u)
+        << "background reclaim participated";
+    // After the run settles, kswapd balanced free memory.
+    h.sim.events().runUntil(h.sim.now() + secs(1));
+    EXPECT_GE(h.frames.freeFrames(), h.config.lowWatermark);
+}
+
+TEST(Reclaim, AgingDaemonRunsPassesForMgLru)
+{
+    KernelHarness h(64, 256, false, PolicyKind::MgLru);
+    Kswapd kswapd(h.sim, *h.mm);
+    h.mm->attachKswapd(&kswapd);
+    kswapd.start();
+    AgingDaemon aging(h.sim, *h.mm, h.sim.forkRng("aging"));
+    h.mm->attachAgingDaemon(&aging);
+    aging.start();
+
+    SweepActor sweeper(h, 200, 3);
+    sweeper.start();
+    ASSERT_TRUE(h.sim.runToCompletion(50000000));
+    EXPECT_GT(h.policy->stats().agingPasses, 0u);
+}
+
+TEST(Reclaim, ClockWorksWithoutAgingDaemon)
+{
+    KernelHarness h(64, 256, false, PolicyKind::Clock);
+    Kswapd kswapd(h.sim, *h.mm);
+    h.mm->attachKswapd(&kswapd);
+    kswapd.start();
+    SweepActor sweeper(h, 200, 2);
+    sweeper.start();
+    ASSERT_TRUE(h.sim.runToCompletion(50000000));
+    EXPECT_GT(h.mm->stats().evictions, 100u);
+}
+
+TEST(Reclaim, ZramSweepIsFasterThanSsd)
+{
+    SimTime ssd_time, zram_time;
+    {
+        KernelHarness h(64, 256, /*zram=*/false);
+        SweepActor sweeper(h, 200, 2);
+        sweeper.start();
+        ASSERT_TRUE(h.sim.runToCompletion(50000000));
+        ssd_time = h.sim.now();
+    }
+    {
+        KernelHarness h(64, 256, /*zram=*/true);
+        SweepActor sweeper(h, 200, 2);
+        sweeper.start();
+        ASSERT_TRUE(h.sim.runToCompletion(50000000));
+        zram_time = h.sim.now();
+    }
+    EXPECT_LT(zram_time, ssd_time / 10)
+        << "two orders of magnitude cheaper swap must show";
+}
+
+TEST(Reclaim, EveryPolicySurvivesThrash)
+{
+    for (PolicyKind kind : allPolicyKinds()) {
+        KernelHarness h(48, 256, false, kind);
+        Kswapd kswapd(h.sim, *h.mm);
+        h.mm->attachKswapd(&kswapd);
+        kswapd.start();
+        std::unique_ptr<AgingDaemon> aging;
+        if (kind != PolicyKind::Clock) {
+            aging = std::make_unique<AgingDaemon>(
+                h.sim, *h.mm, h.sim.forkRng("aging"));
+            h.mm->attachAgingDaemon(aging.get());
+            aging->start();
+        }
+        SweepActor sweeper(h, 200, 2);
+        sweeper.start();
+        ASSERT_TRUE(h.sim.runToCompletion(100000000))
+            << policyKindName(kind);
+        EXPECT_EQ(sweeper.touches, 400u) << policyKindName(kind);
+    }
+}
+
+} // namespace
+} // namespace pagesim

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+TEST(AddressSpace, MapCreatesRegionAlignedVma)
+{
+    AddressSpace space(0);
+    const Vpn base = space.map("heap", 100);
+    EXPECT_EQ(base % kPtesPerRegion, 0u);
+    EXPECT_EQ(space.vmas().size(), 1u);
+    EXPECT_EQ(space.mappedPages(), 100u);
+    for (Vpn v = base; v < base + 100; ++v)
+        EXPECT_TRUE(space.table().at(v).mapped());
+}
+
+TEST(AddressSpace, VmasDoNotOverlapAndLeaveGaps)
+{
+    AddressSpace space(0);
+    const Vpn a = space.map("a", 10);
+    const Vpn b = space.map("b", 10);
+    EXPECT_GT(b, a + 10) << "gap pages between VMAs";
+    // The gap is unmapped.
+    EXPECT_FALSE(space.table().at(a + 10).mapped());
+}
+
+TEST(AddressSpace, FindVma)
+{
+    AddressSpace space(0);
+    const Vpn a = space.map("a", 5);
+    const Vpn b = space.map("b", 5, true);
+    const Vma *va = space.findVma(a + 2);
+    ASSERT_NE(va, nullptr);
+    EXPECT_EQ(va->name, "a");
+    const Vma *vb = space.findVma(b);
+    ASSERT_NE(vb, nullptr);
+    EXPECT_TRUE(vb->file);
+    EXPECT_EQ(space.findVma(a + 7), nullptr);
+}
+
+TEST(AddressSpace, FileVmaSetsPteFileFlag)
+{
+    AddressSpace space(0);
+    const Vpn base = space.map("cache", 4, true);
+    EXPECT_TRUE(space.table().at(base).file());
+    const Vpn anon = space.map("anon", 4, false);
+    EXPECT_FALSE(space.table().at(anon).file());
+}
+
+TEST(AddressSpace, MappedPagesSumsVmas)
+{
+    AddressSpace space(0);
+    space.map("a", 3);
+    space.map("b", 7);
+    EXPECT_EQ(space.mappedPages(), 10u);
+    EXPECT_EQ(space.table().totalMapped(), 10u);
+}
+
+} // namespace
+} // namespace pagesim

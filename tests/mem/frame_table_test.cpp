@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hh"
+#include "mem/frame_table.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+TEST(FrameTable, AllocateUntilExhausted)
+{
+    FrameTable ft(4);
+    AddressSpace space(0);
+    EXPECT_EQ(ft.freeFrames(), 4u);
+    for (int i = 0; i < 4; ++i) {
+        const Pfn pfn = ft.allocate(&space, i, false);
+        ASSERT_NE(pfn, kInvalidPfn);
+    }
+    EXPECT_EQ(ft.allocate(&space, 99, false), kInvalidPfn);
+    EXPECT_EQ(ft.freeFrames(), 0u);
+    EXPECT_EQ(ft.usedFrames(), 4u);
+}
+
+TEST(FrameTable, AllocationIsLowPfnFirst)
+{
+    FrameTable ft(8);
+    AddressSpace space(0);
+    EXPECT_EQ(ft.allocate(&space, 0, false), 0u);
+    EXPECT_EQ(ft.allocate(&space, 1, false), 1u);
+}
+
+TEST(FrameTable, ReleaseRecycles)
+{
+    FrameTable ft(2);
+    AddressSpace space(0);
+    const Pfn a = ft.allocate(&space, 0, false);
+    ft.release(a);
+    EXPECT_EQ(ft.freeFrames(), 2u);
+    const Pfn b = ft.allocate(&space, 1, false);
+    EXPECT_EQ(b, a) << "LIFO recycling";
+}
+
+TEST(FrameTable, InfoResetOnAllocate)
+{
+    FrameTable ft(1);
+    AddressSpace space(0);
+    Pfn pfn = ft.allocate(&space, 7, true);
+    PageInfo &pi = ft.info(pfn);
+    pi.gen = 99;
+    pi.tier = 3;
+    pi.refs = 12;
+    pi.backing = 5;
+    pi.listId = 0;
+    ft.release(pfn);
+    pfn = ft.allocate(&space, 8, false);
+    const PageInfo &fresh = ft.info(pfn);
+    EXPECT_EQ(fresh.vpn, 8u);
+    EXPECT_FALSE(fresh.file);
+    EXPECT_EQ(fresh.gen, 0u);
+    EXPECT_EQ(fresh.tier, 0);
+    EXPECT_EQ(fresh.refs, 0u);
+    EXPECT_EQ(fresh.backing, kInvalidSlot);
+}
+
+TEST(FrameList, PushPopOrder)
+{
+    FrameTable ft(8);
+    AddressSpace space(0);
+    FrameList list(ft, 1);
+    for (Vpn v = 0; v < 4; ++v)
+        list.pushFront(ft.allocate(&space, v, false));
+    EXPECT_EQ(list.size(), 4u);
+    // pushFront order 0,1,2,3 -> tail is 0.
+    EXPECT_EQ(ft.info(list.tail()).vpn, 0u);
+    EXPECT_EQ(ft.info(list.head()).vpn, 3u);
+    const Pfn popped = list.popBack();
+    EXPECT_EQ(ft.info(popped).vpn, 0u);
+    EXPECT_EQ(list.size(), 3u);
+    EXPECT_EQ(ft.info(popped).listId, 0);
+}
+
+TEST(FrameList, RemoveMiddle)
+{
+    FrameTable ft(8);
+    AddressSpace space(0);
+    FrameList list(ft, 1);
+    Pfn pfns[3];
+    for (int i = 0; i < 3; ++i) {
+        pfns[i] = ft.allocate(&space, i, false);
+        list.pushBack(pfns[i]);
+    }
+    list.remove(pfns[1]);
+    EXPECT_EQ(list.size(), 2u);
+    EXPECT_EQ(list.popFront(), pfns[0]);
+    EXPECT_EQ(list.popFront(), pfns[2]);
+    EXPECT_TRUE(list.empty());
+    EXPECT_EQ(list.head(), kInvalidPfn);
+    EXPECT_EQ(list.tail(), kInvalidPfn);
+}
+
+TEST(FrameList, MoveBetweenLists)
+{
+    FrameTable ft(4);
+    AddressSpace space(0);
+    FrameList a(ft, 1), b(ft, 2);
+    const Pfn pfn = ft.allocate(&space, 0, false);
+    a.pushFront(pfn);
+    EXPECT_TRUE(a.contains(pfn));
+    EXPECT_FALSE(b.contains(pfn));
+    a.remove(pfn);
+    b.pushBack(pfn);
+    EXPECT_TRUE(b.contains(pfn));
+    EXPECT_EQ(a.size(), 0u);
+    EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(FrameList, PopOnEmptyReturnsInvalid)
+{
+    FrameTable ft(1);
+    FrameList list(ft, 1);
+    EXPECT_EQ(list.popBack(), kInvalidPfn);
+    EXPECT_EQ(list.popFront(), kInvalidPfn);
+}
+
+TEST(FrameList, SingleElementBothEnds)
+{
+    FrameTable ft(1);
+    AddressSpace space(0);
+    FrameList list(ft, 1);
+    const Pfn pfn = ft.allocate(&space, 0, false);
+    list.pushBack(pfn);
+    EXPECT_EQ(list.head(), pfn);
+    EXPECT_EQ(list.tail(), pfn);
+    EXPECT_EQ(list.popFront(), pfn);
+    EXPECT_TRUE(list.empty());
+}
+
+} // namespace
+} // namespace pagesim

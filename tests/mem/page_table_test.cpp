@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "mem/page_table.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+TEST(PageTable, GrowsToRegionGranularity)
+{
+    PageTable t;
+    t.growTo(1);
+    EXPECT_EQ(t.numRegions(), 1u);
+    EXPECT_EQ(t.span(), kPtesPerRegion);
+    t.growTo(kPtesPerRegion + 1);
+    EXPECT_EQ(t.numRegions(), 2u);
+}
+
+TEST(PageTable, GrowNeverShrinks)
+{
+    PageTable t;
+    t.growTo(10 * kPtesPerRegion);
+    const auto regions = t.numRegions();
+    t.growTo(1);
+    EXPECT_EQ(t.numRegions(), regions);
+}
+
+TEST(PageTable, RegionCountersTrackMappedAndPresent)
+{
+    PageTable t;
+    t.growTo(2 * kPtesPerRegion);
+    t.markMapped(0, false);
+    t.markMapped(1, false);
+    t.markMapped(kPtesPerRegion, true);
+    EXPECT_EQ(t.region(0).mapped, 2u);
+    EXPECT_EQ(t.region(1).mapped, 1u);
+    EXPECT_TRUE(t.at(kPtesPerRegion).file());
+
+    t.at(0).mapFrame(5);
+    t.notePresent(0);
+    EXPECT_EQ(t.region(0).present, 1u);
+    t.noteNotPresent(0);
+    EXPECT_EQ(t.region(0).present, 0u);
+}
+
+TEST(PageTable, Totals)
+{
+    PageTable t;
+    t.growTo(3 * kPtesPerRegion);
+    for (Vpn v = 0; v < 5; ++v)
+        t.markMapped(v, false);
+    t.notePresent(0);
+    t.notePresent(1);
+    EXPECT_EQ(t.totalMapped(), 5u);
+    EXPECT_EQ(t.totalPresent(), 2u);
+}
+
+TEST(PageTable, RegionOfMath)
+{
+    EXPECT_EQ(regionOf(0), 0u);
+    EXPECT_EQ(regionOf(kPtesPerRegion - 1), 0u);
+    EXPECT_EQ(regionOf(kPtesPerRegion), 1u);
+    EXPECT_EQ(regionBase(3), 3 * kPtesPerRegion);
+}
+
+} // namespace
+} // namespace pagesim

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "mem/pte.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+TEST(Pte, StartsEmpty)
+{
+    Pte pte;
+    EXPECT_FALSE(pte.present());
+    EXPECT_FALSE(pte.accessed());
+    EXPECT_FALSE(pte.dirty());
+    EXPECT_FALSE(pte.swapped());
+    EXPECT_FALSE(pte.mapped());
+    EXPECT_EQ(pte.shadow(), 0u);
+}
+
+TEST(Pte, MapFrameSetsPresent)
+{
+    Pte pte;
+    pte.mapFrame(42);
+    EXPECT_TRUE(pte.present());
+    EXPECT_FALSE(pte.swapped());
+    EXPECT_EQ(pte.pfn(), 42u);
+}
+
+TEST(Pte, TestAndClearAccessed)
+{
+    Pte pte;
+    pte.setFlag(Pte::Accessed);
+    EXPECT_TRUE(pte.testAndClearAccessed());
+    EXPECT_FALSE(pte.accessed());
+    EXPECT_FALSE(pte.testAndClearAccessed());
+}
+
+TEST(Pte, UnmapToSwapRoundTrip)
+{
+    Pte pte;
+    pte.mapFrame(7);
+    pte.setFlag(Pte::Accessed);
+    pte.setFlag(Pte::Dirty);
+    pte.unmapToSwap(123, 0xBEEF);
+    EXPECT_FALSE(pte.present());
+    EXPECT_TRUE(pte.swapped());
+    EXPECT_FALSE(pte.accessed()) << "unmap clears architectural bits";
+    EXPECT_FALSE(pte.dirty());
+    EXPECT_EQ(pte.swapSlot(), 123u);
+    EXPECT_EQ(pte.shadow(), 0xBEEFu);
+
+    pte.mapFrame(9);
+    EXPECT_TRUE(pte.present());
+    EXPECT_FALSE(pte.swapped());
+    EXPECT_EQ(pte.pfn(), 9u);
+    // Shadow survives until explicitly cleared (refault detection).
+    EXPECT_EQ(pte.shadow(), 0xBEEFu);
+    pte.clearShadow();
+    EXPECT_EQ(pte.shadow(), 0u);
+}
+
+TEST(Pte, UnmapDiscardClearsSwap)
+{
+    Pte pte;
+    pte.mapFrame(7);
+    pte.unmapDiscard(0x11);
+    EXPECT_FALSE(pte.present());
+    EXPECT_FALSE(pte.swapped());
+    EXPECT_EQ(pte.shadow(), 0x11u);
+}
+
+TEST(Pte, MapFrameClearsInIo)
+{
+    Pte pte;
+    pte.unmapToSwap(5, 1);
+    pte.setFlag(Pte::InIo);
+    EXPECT_TRUE(pte.inIo());
+    pte.mapFrame(3);
+    EXPECT_FALSE(pte.inIo());
+}
+
+TEST(Pte, FileAndMappedFlagsIndependent)
+{
+    Pte pte;
+    pte.setFlag(Pte::Mapped);
+    pte.setFlag(Pte::File);
+    pte.mapFrame(1);
+    pte.unmapToSwap(2, 3);
+    EXPECT_TRUE(pte.mapped());
+    EXPECT_TRUE(pte.file());
+}
+
+} // namespace
+} // namespace pagesim

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "policy/clock_lru.hh"
+#include "policy_test_util.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+TEST(ClockLru, NewPagesStartActive)
+{
+    PolicyHarness h;
+    ClockLru clock(h.frames, h.costs);
+    h.makeResident(clock, h.base());
+    h.makeResident(clock, h.base() + 1);
+    EXPECT_EQ(clock.activeSize(), 2u);
+    EXPECT_EQ(clock.inactiveSize(), 0u);
+}
+
+TEST(ClockLru, ReadaheadStartsInactive)
+{
+    PolicyHarness h;
+    ClockLru clock(h.frames, h.costs);
+    const Pfn pfn = h.frames.allocate(&h.space, h.base(), false);
+    clock.onPageResident(pfn, ResidencyKind::SwapInReadahead, 0);
+    EXPECT_EQ(clock.inactiveSize(), 1u);
+}
+
+TEST(ClockLru, AgingDemotesColdKeepsHot)
+{
+    PolicyHarness h;
+    ClockLru clock(h.frames, h.costs);
+    std::vector<Pfn> pfns;
+    for (Vpn v = 0; v < 12; ++v)
+        pfns.push_back(h.makeResident(clock, h.base() + v));
+    // Clear all A bits, then re-touch only the first three pages.
+    for (Vpn v = 0; v < 12; ++v)
+        h.space.table().at(h.base() + v).clearFlag(Pte::Accessed);
+    for (Vpn v = 0; v < 3; ++v)
+        h.touch(h.base() + v);
+
+    CostSink sink;
+    clock.age(sink); // shrink active toward the 1/3 target
+    EXPECT_GT(clock.inactiveSize(), 0u);
+    // The hot pages must still be active.
+    for (Vpn v = 0; v < 3; ++v) {
+        const Pfn pfn = h.space.table().at(h.base() + v).pfn();
+        EXPECT_EQ(h.frames.info(pfn).listId, 1) << "vpn " << v;
+    }
+    EXPECT_GT(sink.total(), 0u) << "aging charges rmap cost";
+}
+
+TEST(ClockLru, SelectVictimsEvictsColdTail)
+{
+    PolicyHarness h;
+    ClockLru clock(h.frames, h.costs);
+    for (Vpn v = 0; v < 16; ++v)
+        h.makeResident(clock, h.base() + v);
+    for (Vpn v = 0; v < 16; ++v)
+        h.space.table().at(h.base() + v).clearFlag(Pte::Accessed);
+
+    CostSink sink;
+    std::vector<Pfn> victims;
+    const std::size_t got = clock.selectVictims(victims, 4, sink);
+    EXPECT_EQ(got, 4u);
+    // Victims are off the lists.
+    for (const Pfn pfn : victims)
+        EXPECT_EQ(h.frames.info(pfn).listId, 0);
+    // Victims are the oldest (lowest VPNs were inserted first).
+    EXPECT_EQ(h.frames.info(victims[0]).vpn, h.base());
+}
+
+TEST(ClockLru, SecondChancePromotesAccessed)
+{
+    PolicyHarness h;
+    ClockLru clock(h.frames, h.costs);
+    for (Vpn v = 0; v < 8; ++v)
+        h.makeResident(clock, h.base() + v);
+    for (Vpn v = 0; v < 8; ++v)
+        h.space.table().at(h.base() + v).clearFlag(Pte::Accessed);
+    CostSink sink;
+    clock.age(sink); // move everything toward inactive
+    // Re-touch the page at the inactive tail (first demoted = vpn 0).
+    h.touch(h.base());
+
+    std::vector<Pfn> victims;
+    clock.selectVictims(victims, 2, sink);
+    for (const Pfn pfn : victims)
+        EXPECT_NE(h.frames.info(pfn).vpn, h.base())
+            << "accessed page must get its second chance";
+    EXPECT_GT(clock.stats().secondChances, 0u);
+}
+
+TEST(ClockLru, RmapWalkChargedPerScan)
+{
+    PolicyHarness h;
+    ClockLru clock(h.frames, h.costs);
+    for (Vpn v = 0; v < 8; ++v)
+        h.makeResident(clock, h.base() + v);
+    for (Vpn v = 0; v < 8; ++v)
+        h.space.table().at(h.base() + v).clearFlag(Pte::Accessed);
+    CostSink sink;
+    std::vector<Pfn> victims;
+    clock.selectVictims(victims, 8, sink);
+    // Every scanned page pays one rmap walk: cost >= 8 * rmapWalk.
+    EXPECT_GE(sink.total(), 8 * h.costs.rmapWalk);
+    EXPECT_EQ(clock.stats().rmapWalks, clock.stats().ptesScanned);
+}
+
+TEST(ClockLru, ForceEvictionAfterStarvation)
+{
+    PolicyHarness h;
+    ClockLru clock(h.frames, h.costs);
+    for (Vpn v = 0; v < 8; ++v)
+        h.makeResident(clock, h.base() + v);
+    // Everything stays hot: re-touch after every scan round.
+    CostSink sink;
+    std::vector<Pfn> victims;
+    for (int round = 0; round < 4 && victims.empty(); ++round) {
+        for (Vpn v = 0; v < 8; ++v)
+            h.touch(h.base() + v);
+        clock.selectVictims(victims, 2, sink);
+    }
+    EXPECT_FALSE(victims.empty())
+        << "escalation must eventually reclaim hot pages";
+}
+
+TEST(ClockLru, RemovedPagesLeaveLists)
+{
+    PolicyHarness h;
+    ClockLru clock(h.frames, h.costs);
+    const Pfn pfn = h.makeResident(clock, h.base());
+    EXPECT_EQ(clock.activeSize() + clock.inactiveSize(), 1u);
+    h.completeEviction(clock, pfn);
+    EXPECT_EQ(clock.activeSize() + clock.inactiveSize(), 0u);
+}
+
+TEST(ClockLru, ShadowIsNonZeroAndCountsRefaults)
+{
+    PolicyHarness h;
+    ClockLru clock(h.frames, h.costs);
+    const Pfn pfn = h.makeResident(clock, h.base());
+    const std::uint32_t shadow = clock.onPageRemoved(pfn);
+    EXPECT_NE(shadow, 0u);
+    h.frames.release(pfn);
+    const Pfn again = h.frames.allocate(&h.space, h.base(), false);
+    clock.onPageResident(again, ResidencyKind::SwapInDemand, shadow);
+    EXPECT_EQ(clock.stats().refaults, 1u);
+}
+
+TEST(ClockLru, WantsAgingWhenInactiveLow)
+{
+    PolicyHarness h;
+    ClockLru clock(h.frames, h.costs);
+    for (Vpn v = 0; v < 9; ++v)
+        h.makeResident(clock, h.base() + v);
+    EXPECT_TRUE(clock.wantsAging()) << "all pages active";
+    for (Vpn v = 0; v < 9; ++v)
+        h.space.table().at(h.base() + v).clearFlag(Pte::Accessed);
+    CostSink sink;
+    clock.age(sink);
+    EXPECT_FALSE(clock.wantsAging());
+}
+
+} // namespace
+} // namespace pagesim

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "policy/policy_factory.hh"
+#include "policy_test_util.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+TEST(PolicyFactory, NamesRoundTrip)
+{
+    for (PolicyKind kind : allPolicyKinds()) {
+        EXPECT_EQ(policyKindFromName(policyKindName(kind)), kind);
+    }
+    EXPECT_THROW(policyKindFromName("bogus"), std::invalid_argument);
+}
+
+TEST(PolicyFactory, VariantConfigs)
+{
+    EXPECT_EQ(mgLruConfigFor(PolicyKind::MgLru).maxNrGens, 4u);
+    EXPECT_EQ(mgLruConfigFor(PolicyKind::Gen14).maxNrGens, 1u << 14);
+    EXPECT_EQ(mgLruConfigFor(PolicyKind::ScanAll).scanMode,
+              ScanMode::All);
+    EXPECT_EQ(mgLruConfigFor(PolicyKind::ScanNone).scanMode,
+              ScanMode::None);
+    EXPECT_EQ(mgLruConfigFor(PolicyKind::ScanRand).scanMode,
+              ScanMode::Random);
+    EXPECT_DOUBLE_EQ(
+        mgLruConfigFor(PolicyKind::ScanRand).randomScanProb, 0.5);
+    EXPECT_THROW(mgLruConfigFor(PolicyKind::Clock),
+                 std::invalid_argument);
+}
+
+TEST(PolicyFactory, BuildsEveryKind)
+{
+    PolicyHarness h;
+    for (PolicyKind kind : allPolicyKinds()) {
+        auto policy = makePolicy(kind, h.frames, {&h.space}, h.costs,
+                                 Rng(1));
+        ASSERT_NE(policy, nullptr);
+        EXPECT_EQ(policy->name(), policyKindName(kind));
+    }
+}
+
+TEST(PolicyFactory, TweakHookApplies)
+{
+    PolicyHarness h;
+    auto policy = makePolicy(
+        PolicyKind::MgLru, h.frames, {&h.space}, h.costs, Rng(1),
+        [](MgLruConfig &cfg) { cfg.maxNrGens = 7; });
+    auto *mg = dynamic_cast<MgLruPolicy *>(policy.get());
+    ASSERT_NE(mg, nullptr);
+    // Age repeatedly: numGens can never exceed the tweaked budget.
+    CostSink sink;
+    for (int i = 0; i < 20; ++i)
+        mg->age(sink);
+    EXPECT_LE(mg->numGens(), 7u);
+}
+
+TEST(PolicyFactory, VariantListOrder)
+{
+    const auto &variants = mgLruVariantKinds();
+    ASSERT_EQ(variants.size(), 4u);
+    EXPECT_EQ(variants[0], PolicyKind::Gen14);
+    EXPECT_EQ(variants[3], PolicyKind::ScanRand);
+}
+
+} // namespace
+} // namespace pagesim

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Property tests driven across every policy configuration: whatever
+ * the policy, randomized workloads must preserve the structural
+ * invariants the kernel layer relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "policy/policy_factory.hh"
+#include "policy_test_util.hh"
+#include "sim/rng.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+class PolicyProperty : public ::testing::TestWithParam<PolicyKind>
+{
+  protected:
+    PolicyProperty()
+        : harness_(512, 4096),
+          policy_(makePolicy(GetParam(), harness_.frames,
+                             {&harness_.space}, harness_.costs,
+                             Rng(2024), [](MgLruConfig &mg) {
+                                 mg.agingLowPages = 0;
+                                 mg.agingEvictGate = 0;
+                             }))
+    {
+    }
+
+    /** Count resident pages tracked via the frame table. */
+    std::uint64_t
+    residentFrames() const
+    {
+        return harness_.frames.usedFrames();
+    }
+
+    PolicyHarness harness_;
+    std::unique_ptr<ReplacementPolicy> policy_;
+};
+
+TEST_P(PolicyProperty, RandomChurnPreservesConservation)
+{
+    Rng rng(77);
+    std::set<Vpn> resident;
+    CostSink sink;
+    std::vector<Pfn> victims;
+
+    for (int step = 0; step < 4000; ++step) {
+        const double dice = rng.nextDouble();
+        if (dice < 0.55 || resident.empty()) {
+            // Touch (possibly faulting in) a random page.
+            const Vpn vpn =
+                harness_.base() + rng.uniformInt(0, 1023);
+            Pte &pte = harness_.space.table().at(vpn);
+            if (pte.present()) {
+                pte.setFlag(Pte::Accessed);
+            } else if (harness_.frames.freeFrames() > 0) {
+                harness_.makeResident(*policy_, vpn);
+                resident.insert(vpn);
+            }
+        } else if (dice < 0.85) {
+            // Reclaim a few pages.
+            victims.clear();
+            policy_->selectVictims(victims, 4, sink);
+            for (const Pfn pfn : victims) {
+                const PageInfo &pi = harness_.frames.info(pfn);
+                ASSERT_EQ(pi.listId, 0)
+                    << "victims must be off policy lists";
+                ASSERT_EQ(resident.count(pi.vpn), 1u)
+                    << "victim must be a resident page";
+                resident.erase(pi.vpn);
+                harness_.completeEviction(*policy_, pfn);
+            }
+        } else if (dice < 0.95) {
+            policy_->age(sink);
+        } else if (policy_->wantsAging()) {
+            policy_->age(sink);
+        }
+        // Conservation: tracked == frame table's notion.
+        ASSERT_EQ(resident.size(), residentFrames());
+        ASSERT_EQ(resident.size(),
+                  harness_.space.table().totalPresent());
+    }
+    EXPECT_GT(policy_->stats().evicted, 0u);
+}
+
+TEST_P(PolicyProperty, VictimsAreUniqueAndValid)
+{
+    for (Vpn v = 0; v < 64; ++v)
+        harness_.makeResident(*policy_, harness_.base() + v);
+    for (Vpn v = 0; v < 64; ++v)
+        harness_.space.table()
+            .at(harness_.base() + v)
+            .clearFlag(Pte::Accessed);
+    CostSink sink;
+    policy_->age(sink);
+    policy_->age(sink);
+
+    std::vector<Pfn> victims;
+    policy_->selectVictims(victims, 32, sink);
+    std::set<Pfn> unique(victims.begin(), victims.end());
+    EXPECT_EQ(unique.size(), victims.size());
+    for (const Pfn pfn : victims)
+        EXPECT_FALSE(harness_.frames.info(pfn).free());
+}
+
+TEST_P(PolicyProperty, ProgressUnderFullRetouch)
+{
+    // Even when the application re-touches everything between rounds,
+    // reclaim must eventually produce victims (escalation).
+    for (Vpn v = 0; v < 64; ++v)
+        harness_.makeResident(*policy_, harness_.base() + v);
+    CostSink sink;
+    std::vector<Pfn> victims;
+    for (int round = 0; round < 12 && victims.empty(); ++round) {
+        for (Vpn v = 0; v < 64; ++v)
+            harness_.touch(harness_.base() + v);
+        if (policy_->wantsAging())
+            policy_->age(sink);
+        policy_->selectVictims(victims, 8, sink);
+    }
+    EXPECT_FALSE(victims.empty());
+}
+
+TEST_P(PolicyProperty, ShadowsAreNonZeroAndRefaultsCounted)
+{
+    const Pfn pfn = harness_.makeResident(*policy_, harness_.base());
+    const std::uint32_t shadow = policy_->onPageRemoved(pfn);
+    EXPECT_NE(shadow, 0u);
+    harness_.frames.release(pfn);
+    const Pfn again =
+        harness_.frames.allocate(&harness_.space, harness_.base(),
+                                 false);
+    policy_->onPageResident(again, ResidencyKind::SwapInDemand,
+                            shadow);
+    EXPECT_EQ(policy_->stats().refaults, 1u);
+}
+
+TEST_P(PolicyProperty, ScanCostsAreCharged)
+{
+    for (Vpn v = 0; v < 32; ++v)
+        harness_.makeResident(*policy_, harness_.base() + v);
+    CostSink sink;
+    std::vector<Pfn> victims;
+    policy_->age(sink);
+    policy_->selectVictims(victims, 8, sink);
+    EXPECT_GT(sink.total(), 0u)
+        << "scanning must never be free: the paper's central tension";
+}
+
+TEST_P(PolicyProperty, DeterministicAcrossIdenticalRuns)
+{
+    auto drive = [this](ReplacementPolicy &policy,
+                        PolicyHarness &harness) {
+        Rng rng(5);
+        CostSink sink;
+        std::vector<Pfn> victims;
+        std::uint64_t signature = 0;
+        for (int step = 0; step < 800; ++step) {
+            const Vpn vpn = harness.base() + rng.uniformInt(0, 255);
+            Pte &pte = harness.space.table().at(vpn);
+            if (pte.present()) {
+                pte.setFlag(Pte::Accessed);
+            } else if (harness.frames.freeFrames() > 0) {
+                harness.makeResident(policy, vpn);
+            } else {
+                victims.clear();
+                policy.selectVictims(victims, 2, sink);
+                if (victims.empty() && policy.wantsAging())
+                    policy.age(sink);
+                for (const Pfn pfn : victims) {
+                    signature =
+                        splitmix64(signature ^ harness.frames
+                                                   .info(pfn)
+                                                   .vpn);
+                    harness.completeEviction(policy, pfn);
+                }
+            }
+        }
+        return signature ^ policy.stats().evicted ^
+               (policy.stats().ptesScanned << 20);
+    };
+
+    PolicyHarness h2(512, 4096);
+    auto p2 = makePolicy(GetParam(), h2.frames, {&h2.space}, h2.costs,
+                         Rng(2024), [](MgLruConfig &mg) {
+                             mg.agingLowPages = 0;
+                             mg.agingEvictGate = 0;
+                         });
+    EXPECT_EQ(drive(*policy_, harness_), drive(*p2, h2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyProperty,
+    ::testing::Values(PolicyKind::Clock, PolicyKind::MgLru,
+                      PolicyKind::Gen14, PolicyKind::ScanAll,
+                      PolicyKind::ScanNone, PolicyKind::ScanRand),
+    [](const ::testing::TestParamInfo<PolicyKind> &info) {
+        std::string name = policyKindName(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace pagesim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared fixture helpers for policy unit tests: a tiny machine with a
+ * frame table, one address space, and manual page residency control
+ * (standing in for the kernel layer).
+ */
+
+#ifndef PAGESIM_TESTS_POLICY_TEST_UTIL_HH
+#define PAGESIM_TESTS_POLICY_TEST_UTIL_HH
+
+#include <memory>
+
+#include "mem/address_space.hh"
+#include "mem/frame_table.hh"
+#include "policy/replacement_policy.hh"
+
+namespace pagesim
+{
+
+/** A miniature machine for driving policies by hand. */
+struct PolicyHarness
+{
+    FrameTable frames;
+    AddressSpace space;
+    MmCosts costs;
+
+    explicit
+    PolicyHarness(std::uint32_t nframes = 256,
+                  std::uint64_t vma_pages = 1024)
+        : frames(nframes), space(0)
+    {
+        space.map("test", vma_pages);
+    }
+
+    Vpn base() const { return space.vmas().front().start; }
+
+    /** Make @p vpn resident and tell @p policy; returns the frame. */
+    Pfn
+    makeResident(ReplacementPolicy &policy, Vpn vpn,
+                 ResidencyKind kind = ResidencyKind::NewAnon,
+                 std::uint32_t shadow = 0)
+    {
+        Pte &pte = space.table().at(vpn);
+        const Pfn pfn = frames.allocate(&space, vpn, pte.file());
+        EXPECT_NE(pfn, kInvalidPfn);
+        pte.mapFrame(pfn);
+        space.table().notePresent(vpn);
+        policy.onPageResident(pfn, kind, shadow);
+        pte.setFlag(Pte::Accessed);
+        return pfn;
+    }
+
+    /** Simulate an application touch (hardware sets the A bit). */
+    void
+    touch(Vpn vpn, bool write = false)
+    {
+        Pte &pte = space.table().at(vpn);
+        ASSERT_TRUE(pte.present());
+        pte.setFlag(Pte::Accessed);
+        if (write)
+            pte.setFlag(Pte::Dirty);
+    }
+
+    /** Complete an eviction the way the kernel layer would. */
+    void
+    completeEviction(ReplacementPolicy &policy, Pfn pfn,
+                     SwapSlot slot = 1)
+    {
+        PageInfo &pi = frames.info(pfn);
+        const std::uint32_t shadow = policy.onPageRemoved(pfn);
+        Pte &pte = space.table().at(pi.vpn);
+        pte.unmapToSwap(slot, shadow);
+        space.table().noteNotPresent(pi.vpn);
+        pi.backing = kInvalidSlot;
+        frames.release(pfn);
+    }
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_TESTS_POLICY_TEST_UTIL_HH

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/actor.hh"
+#include "sim/simulation.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+/** Actor that charges fixed work chunks N times then finishes. */
+class ChunkActor : public SimActor
+{
+  public:
+    ChunkActor(Simulation &sim, int chunks, SimDuration work)
+        : SimActor(sim, "chunk", true), chunks_(chunks), work_(work)
+    {
+    }
+
+    std::vector<SimTime> stepTimes;
+
+  protected:
+    void
+    step() override
+    {
+        stepTimes.push_back(now());
+        if (chunks_-- > 0)
+            yieldAfter(work_);
+        else
+            finish();
+    }
+
+  private:
+    int chunks_;
+    SimDuration work_;
+};
+
+TEST(SimActor, RunsToCompletionAndChargesWork)
+{
+    Simulation sim(4);
+    ChunkActor actor(sim, 3, 100);
+    actor.start();
+    EXPECT_TRUE(sim.runToCompletion());
+    EXPECT_TRUE(actor.finished());
+    EXPECT_EQ(actor.cpuWork(), 300u);
+    EXPECT_EQ(sim.now(), 300u);
+    // Steps at 0, 100, 200, 300.
+    ASSERT_EQ(actor.stepTimes.size(), 4u);
+    EXPECT_EQ(actor.stepTimes[3], 300u);
+}
+
+TEST(SimActor, ContentionDilatesWallTime)
+{
+    Simulation sim(1); // one CPU
+    ChunkActor a(sim, 1, 100);
+    ChunkActor b(sim, 1, 100);
+    a.start();
+    b.start();
+    EXPECT_TRUE(sim.runToCompletion());
+    // Two runnable actors on one CPU: each 100ns chunk takes 200ns of
+    // wall time under processor sharing.
+    EXPECT_EQ(sim.now(), 200u);
+}
+
+class SleeperActor : public SimActor
+{
+  public:
+    SleeperActor(Simulation &sim, SimDuration nap)
+        : SimActor(sim, "sleeper", true), nap_(nap)
+    {
+    }
+
+  protected:
+    void
+    step() override
+    {
+        if (!slept_) {
+            slept_ = true;
+            sleepFor(nap_);
+        } else {
+            finish();
+        }
+    }
+
+  private:
+    SimDuration nap_;
+    bool slept_ = false;
+};
+
+TEST(SimActor, SleepForWakesAtDeadline)
+{
+    Simulation sim(4);
+    SleeperActor actor(sim, 5000);
+    actor.start();
+    EXPECT_TRUE(sim.runToCompletion());
+    EXPECT_EQ(sim.now(), 5000u);
+    EXPECT_EQ(actor.blockedTime(), 5000u);
+}
+
+class BlockingActor : public SimActor
+{
+  public:
+    BlockingActor(Simulation &sim)
+        : SimActor(sim, "blocker", true)
+    {
+    }
+
+    bool wasWoken = false;
+
+  protected:
+    void
+    step() override
+    {
+        if (!blocked_) {
+            blocked_ = true;
+            block();
+        } else {
+            wasWoken = true;
+            finish();
+        }
+    }
+
+  private:
+    bool blocked_ = false;
+};
+
+TEST(SimActor, BlockAndExternalWake)
+{
+    Simulation sim(4);
+    BlockingActor actor(sim);
+    actor.start();
+    sim.events().schedule(700, [&] { actor.wake(); });
+    EXPECT_TRUE(sim.runToCompletion());
+    EXPECT_TRUE(actor.wasWoken);
+    EXPECT_EQ(sim.now(), 700u);
+    EXPECT_EQ(actor.blockedTime(), 700u);
+}
+
+TEST(SimActor, WakeWhileRunnableIsNoop)
+{
+    Simulation sim(4);
+    ChunkActor actor(sim, 2, 100);
+    actor.start();
+    sim.events().schedule(50, [&] { actor.wake(); }); // mid-chunk
+    EXPECT_TRUE(sim.runToCompletion());
+    // The spurious wake must not duplicate dispatches or lose work.
+    EXPECT_EQ(actor.cpuWork(), 200u);
+    EXPECT_TRUE(actor.finished());
+}
+
+TEST(SimActor, EarlyWakeCancelsSleepTimeout)
+{
+    Simulation sim(4);
+    SleeperActor actor(sim, 10000);
+    actor.start();
+    sim.events().schedule(1000, [&] { actor.wake(); });
+    EXPECT_TRUE(sim.runToCompletion());
+    // Finishes right after the early wake, not at the sleep deadline.
+    EXPECT_EQ(sim.now(), 1000u);
+}
+
+TEST(SimActor, ForegroundCountGovernsCompletion)
+{
+    Simulation sim(2);
+    ChunkActor fg(sim, 1, 50);
+    fg.start();
+    // A daemon that never finishes must not block completion.
+    class Daemon : public SimActor
+    {
+      public:
+        explicit Daemon(Simulation &sim) : SimActor(sim, "d", false) {}
+
+      protected:
+        void step() override { sleepFor(10); }
+    };
+    Daemon daemon(sim);
+    daemon.start();
+    EXPECT_TRUE(sim.runToCompletion(100000));
+    EXPECT_TRUE(fg.finished());
+    EXPECT_FALSE(daemon.finished());
+}
+
+} // namespace
+} // namespace pagesim

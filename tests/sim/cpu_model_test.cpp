@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "sim/cpu_model.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+TEST(CpuModel, NoDilationWhenUndersubscribed)
+{
+    CpuModel cpus(4);
+    cpus.onRunnable(0);
+    cpus.onRunnable(0);
+    EXPECT_DOUBLE_EQ(cpus.loadFactor(), 1.0);
+    EXPECT_EQ(cpus.wallTimeFor(1000), 1000u);
+}
+
+TEST(CpuModel, DilatesProportionallyWhenOversubscribed)
+{
+    CpuModel cpus(2);
+    for (int i = 0; i < 6; ++i)
+        cpus.onRunnable(0);
+    EXPECT_DOUBLE_EQ(cpus.loadFactor(), 3.0);
+    EXPECT_EQ(cpus.wallTimeFor(1000), 3000u);
+}
+
+TEST(CpuModel, BlockedReducesLoad)
+{
+    CpuModel cpus(1);
+    cpus.onRunnable(0);
+    cpus.onRunnable(0);
+    EXPECT_DOUBLE_EQ(cpus.loadFactor(), 2.0);
+    cpus.onBlocked(10);
+    EXPECT_DOUBLE_EQ(cpus.loadFactor(), 1.0);
+}
+
+TEST(CpuModel, TracksPeakRunnable)
+{
+    CpuModel cpus(2);
+    cpus.onRunnable(0);
+    cpus.onRunnable(0);
+    cpus.onRunnable(0);
+    cpus.onBlocked(5);
+    cpus.onBlocked(5);
+    EXPECT_EQ(cpus.peakRunnable(), 3u);
+    EXPECT_EQ(cpus.runnable(), 1u);
+}
+
+TEST(CpuModel, MeanRunnableTimeWeighted)
+{
+    CpuModel cpus(8);
+    cpus.onRunnable(0);  // 1 runnable over [0, 100)
+    cpus.onRunnable(100); // 2 runnable over [100, 200)
+    const double mean = cpus.meanRunnable(200);
+    EXPECT_DOUBLE_EQ(mean, 1.5);
+}
+
+TEST(CpuModel, ExactCpuCountIsNotOversubscribed)
+{
+    CpuModel cpus(3);
+    for (int i = 0; i < 3; ++i)
+        cpus.onRunnable(0);
+    EXPECT_DOUBLE_EQ(cpus.loadFactor(), 1.0);
+}
+
+} // namespace
+} // namespace pagesim

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+TEST(EventQueue, StartsEmptyAtTimeZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_FALSE(q.runOne());
+}
+
+TEST(EventQueue, DispatchesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(42, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ClockAdvancesToEventTime)
+{
+    EventQueue q;
+    SimTime seen = 0;
+    q.schedule(1000, [&] { seen = q.now(); });
+    q.run();
+    EXPECT_EQ(seen, 1000u);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue q;
+    SimTime seen = 0;
+    q.schedule(100, [&] {
+        q.scheduleAfter(50, [&] { seen = q.now(); });
+    });
+    q.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, PastScheduleClampsToNow)
+{
+    EventQueue q;
+    SimTime seen = 0;
+    q.schedule(100, [&] {
+        q.schedule(10, [&] { seen = q.now(); }); // in the past
+    });
+    q.run();
+    EXPECT_EQ(seen, 100u);
+    EXPECT_EQ(q.pastSchedules(), 1u);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(10, [&] { ++count; });
+    q.schedule(20, [&] { ++count; });
+    q.schedule(30, [&] { ++count; });
+    q.runUntil(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.now(), 20u);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle)
+{
+    EventQueue q;
+    q.runUntil(500);
+    EXPECT_EQ(q.now(), 500u);
+}
+
+TEST(EventQueue, RunWithLimitStopsEarly)
+{
+    EventQueue q;
+    int count = 0;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(i, [&] { ++count; });
+    q.run(4);
+    EXPECT_EQ(count, 4);
+    EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            q.scheduleAfter(1, chain);
+    };
+    q.schedule(0, chain);
+    q.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(q.now(), 4u);
+    EXPECT_EQ(q.dispatched(), 5u);
+}
+
+TEST(EventQueue, RunWhileHonorsPredicate)
+{
+    EventQueue q;
+    int count = 0;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(i, [&] { ++count; });
+    q.runWhile([&] { return count < 3; });
+    EXPECT_EQ(count, 3);
+}
+
+} // namespace
+} // namespace pagesim

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "sim/actor.hh"
+#include "sim/simulation.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+TEST(Simulation, ForkRngByNameIsStableAndDistinct)
+{
+    Simulation sim(4, 99);
+    Rng a1 = sim.forkRng("ssd");
+    Rng a2 = sim.forkRng("ssd");
+    Rng b = sim.forkRng("policy");
+    EXPECT_EQ(a1.nextU64(), a2.nextU64())
+        << "same component name -> same stream";
+    Rng a3 = sim.forkRng("ssd");
+    EXPECT_NE(a3.nextU64(), b.nextU64())
+        << "different names -> different streams";
+}
+
+TEST(Simulation, SeedChangesAllStreams)
+{
+    Simulation s1(4, 1), s2(4, 2);
+    EXPECT_NE(s1.forkRng("x").nextU64(), s2.forkRng("x").nextU64());
+}
+
+TEST(Simulation, RunToCompletionFailsWhenForegroundStuck)
+{
+    Simulation sim(2, 1);
+    // A foreground actor that blocks forever.
+    class Stuck : public SimActor
+    {
+      public:
+        explicit Stuck(Simulation &sim) : SimActor(sim, "stuck", true)
+        {
+        }
+
+      protected:
+        void step() override { block(); }
+    };
+    Stuck actor(sim);
+    actor.start();
+    EXPECT_FALSE(sim.runToCompletion(1000));
+    EXPECT_EQ(sim.foregroundRunning(), 1u);
+}
+
+TEST(Simulation, MaxEventsGuardStopsRunaway)
+{
+    Simulation sim(2, 1);
+    class Spinner : public SimActor
+    {
+      public:
+        explicit Spinner(Simulation &sim)
+            : SimActor(sim, "spin", true)
+        {
+        }
+
+      protected:
+        void step() override { yieldAfter(1); }
+    };
+    Spinner actor(sim);
+    actor.start();
+    EXPECT_FALSE(sim.runToCompletion(500));
+    EXPECT_LE(sim.events().dispatched(), 501u);
+}
+
+TEST(Simulation, ClockAndCpusAreWired)
+{
+    Simulation sim(6, 1);
+    EXPECT_EQ(sim.cpus().numCpus(), 6u);
+    EXPECT_EQ(sim.now(), 0u);
+    sim.events().schedule(123, [] {});
+    sim.events().run();
+    EXPECT_EQ(sim.now(), 123u);
+    EXPECT_EQ(sim.seed(), 1u);
+}
+
+} // namespace
+} // namespace pagesim

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Property tests for LatencyHistogram, parameterized over value
+ * distributions: quantiles must be monotone, bounded by min/max, and
+ * within the structure's relative-error guarantee of exact order
+ * statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "stats/histogram.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+enum class Dist
+{
+    Uniform,
+    Exponential,
+    LogNormal,
+    Bimodal,
+    Constant,
+    PowersOfTwo,
+};
+
+const char *
+distName(Dist d)
+{
+    switch (d) {
+      case Dist::Uniform:
+        return "Uniform";
+      case Dist::Exponential:
+        return "Exponential";
+      case Dist::LogNormal:
+        return "LogNormal";
+      case Dist::Bimodal:
+        return "Bimodal";
+      case Dist::Constant:
+        return "Constant";
+      case Dist::PowersOfTwo:
+      default:
+        return "PowersOfTwo";
+    }
+}
+
+std::uint64_t
+draw(Dist d, Rng &rng)
+{
+    switch (d) {
+      case Dist::Uniform:
+        return rng.uniformInt(1, 1000000);
+      case Dist::Exponential:
+        return static_cast<std::uint64_t>(rng.exponential(50000.0));
+      case Dist::LogNormal:
+        return static_cast<std::uint64_t>(
+            rng.logNormalMean(100000.0, 1.0));
+      case Dist::Bimodal:
+        return rng.bernoulli(0.95) ? rng.uniformInt(50, 150)
+                                   : rng.uniformInt(7000000, 8000000);
+      case Dist::Constant:
+        return 42;
+      case Dist::PowersOfTwo:
+      default:
+        return 1ull << rng.uniformInt(0, 40);
+    }
+}
+
+class HistogramProperty : public ::testing::TestWithParam<Dist>
+{
+};
+
+TEST_P(HistogramProperty, QuantilesMatchExactOrderStatistics)
+{
+    Rng rng(31337);
+    LatencyHistogram hist;
+    std::vector<std::uint64_t> exact;
+    constexpr int kN = 60000;
+    exact.reserve(kN);
+    for (int i = 0; i < kN; ++i) {
+        const std::uint64_t v = draw(GetParam(), rng);
+        hist.record(v);
+        exact.push_back(v);
+    }
+    std::sort(exact.begin(), exact.end());
+
+    std::uint64_t prev = 0;
+    for (double q :
+         {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+        const std::uint64_t got = hist.quantile(q);
+        // Monotone in q.
+        EXPECT_GE(got, prev) << "q=" << q;
+        prev = got;
+        // Bounded by observed extremes.
+        EXPECT_GE(got, hist.minValue());
+        EXPECT_LE(got, hist.maxValue());
+        // Within the log-bucket relative error of the exact value.
+        const std::uint64_t truth = exact[static_cast<std::size_t>(
+            q * (exact.size() - 1))];
+        if (truth > 64) {
+            const double rel =
+                std::fabs(static_cast<double>(got) -
+                          static_cast<double>(truth)) /
+                static_cast<double>(truth);
+            EXPECT_LT(rel, 0.05)
+                << "q=" << q << " got=" << got << " truth=" << truth;
+        }
+    }
+    // Mean is exact regardless of bucketing.
+    double exact_mean = 0;
+    for (std::uint64_t v : exact)
+        exact_mean += static_cast<double>(v);
+    exact_mean /= static_cast<double>(exact.size());
+    EXPECT_NEAR(hist.mean(), exact_mean, exact_mean * 1e-9 + 1e-9);
+}
+
+TEST_P(HistogramProperty, MergeEqualsCombinedRecording)
+{
+    Rng rng(99);
+    LatencyHistogram combined, a, b;
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t v = draw(GetParam(), rng);
+        combined.record(v);
+        (i % 2 == 0 ? a : b).record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_EQ(a.maxValue(), combined.maxValue());
+    EXPECT_EQ(a.minValue(), combined.minValue());
+    for (double q : {0.5, 0.9, 0.99, 0.9999})
+        EXPECT_EQ(a.quantile(q), combined.quantile(q)) << "q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, HistogramProperty,
+    ::testing::Values(Dist::Uniform, Dist::Exponential,
+                      Dist::LogNormal, Dist::Bimodal, Dist::Constant,
+                      Dist::PowersOfTwo),
+    [](const ::testing::TestParamInfo<Dist> &info) {
+        return distName(info.param);
+    });
+
+} // namespace
+} // namespace pagesim

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+#include "stats/histogram.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+TEST(LatencyHistogram, SmallValuesAreExact)
+{
+    LatencyHistogram h;
+    for (std::uint64_t v = 0; v < 64; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 64u);
+    EXPECT_EQ(h.minValue(), 0u);
+    EXPECT_EQ(h.maxValue(), 63u);
+    EXPECT_EQ(h.quantile(0.0), 0u);
+    EXPECT_EQ(h.quantile(1.0), 63u);
+}
+
+TEST(LatencyHistogram, BoundedRelativeError)
+{
+    LatencyHistogram h(6); // 64 sub-buckets: ~1.6% error bound
+    Rng rng(1);
+    for (int i = 0; i < 100000; ++i)
+        h.record(rng.uniformInt(1000, 10000000));
+    // Quantiles of a uniform distribution over [a, b].
+    for (double q : {0.5, 0.9, 0.99}) {
+        const double expect = 1000 + q * (10000000 - 1000);
+        const double got = static_cast<double>(h.quantile(q));
+        EXPECT_NEAR(got, expect, expect * 0.03)
+            << "quantile " << q;
+    }
+}
+
+TEST(LatencyHistogram, MeanIsExact)
+{
+    LatencyHistogram h;
+    h.record(10);
+    h.record(20);
+    h.record(60);
+    EXPECT_DOUBLE_EQ(h.mean(), 30.0);
+}
+
+TEST(LatencyHistogram, WeightedRecord)
+{
+    LatencyHistogram h;
+    h.record(5, 10);
+    EXPECT_EQ(h.count(), 10u);
+    EXPECT_EQ(h.p50(), 5u);
+}
+
+TEST(LatencyHistogram, MergeCombines)
+{
+    LatencyHistogram a, b;
+    for (int i = 0; i < 100; ++i)
+        a.record(10);
+    for (int i = 0; i < 100; ++i)
+        b.record(1000000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 200u);
+    EXPECT_EQ(a.p50(), 10u);
+    // p99 falls in the big-value mass; bucket midpoint is within the
+    // octave of 1e6.
+    EXPECT_GT(a.p99(), 900000u);
+    EXPECT_EQ(a.maxValue(), 1000000u);
+}
+
+TEST(LatencyHistogram, TailQuantilesOrdering)
+{
+    LatencyHistogram h;
+    Rng rng(7);
+    for (int i = 0; i < 200000; ++i)
+        h.record(static_cast<std::uint64_t>(rng.exponential(10000.0)));
+    EXPECT_LE(h.p50(), h.p90());
+    EXPECT_LE(h.p90(), h.p99());
+    EXPECT_LE(h.p99(), h.p999());
+    EXPECT_LE(h.p999(), h.p9999());
+    EXPECT_LE(h.p9999(), h.maxValue());
+}
+
+TEST(LatencyHistogram, EmptyIsSafe)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.99), 0u);
+    EXPECT_EQ(h.minValue(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, HugeValuesDoNotOverflow)
+{
+    LatencyHistogram h;
+    h.record(1ull << 62);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_GT(h.quantile(1.0), 1ull << 61);
+}
+
+} // namespace
+} // namespace pagesim

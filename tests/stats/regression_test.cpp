@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+#include "stats/regression.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+TEST(Regression, PerfectLineGivesR2One)
+{
+    std::vector<double> x{1, 2, 3, 4, 5};
+    std::vector<double> y{3, 5, 7, 9, 11}; // y = 1 + 2x
+    const LinearFit fit = linearRegression(x, y);
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Regression, NoisyLineKeepsHighR2)
+{
+    Rng rng(1);
+    std::vector<double> x, y;
+    for (int i = 0; i < 200; ++i) {
+        const double xi = i;
+        x.push_back(xi);
+        y.push_back(10 + 3 * xi + rng.normal(0, 2));
+    }
+    const LinearFit fit = linearRegression(x, y);
+    EXPECT_NEAR(fit.slope, 3.0, 0.05);
+    EXPECT_GT(fit.r2, 0.98); // the paper's TPC-H criterion
+}
+
+TEST(Regression, UncorrelatedGivesLowR2)
+{
+    Rng rng(2);
+    std::vector<double> x, y;
+    for (int i = 0; i < 500; ++i) {
+        x.push_back(rng.nextDouble());
+        y.push_back(rng.nextDouble());
+    }
+    const LinearFit fit = linearRegression(x, y);
+    EXPECT_LT(fit.r2, 0.05);
+}
+
+TEST(Regression, NegativeSlope)
+{
+    std::vector<double> x{0, 1, 2, 3};
+    std::vector<double> y{9, 7, 5, 3};
+    const LinearFit fit = linearRegression(x, y);
+    EXPECT_NEAR(fit.slope, -2.0, 1e-12);
+    EXPECT_LT(fit.pearsonR, -0.999);
+}
+
+TEST(Regression, DegenerateInputs)
+{
+    EXPECT_EQ(linearRegression({}, {}).n, 0u);
+    EXPECT_DOUBLE_EQ(linearRegression({1.0}, {2.0}).slope, 0.0);
+    // Constant x: undefined slope -> 0.
+    const LinearFit fit = linearRegression({5, 5, 5}, {1, 2, 3});
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+    EXPECT_DOUBLE_EQ(fit.r2, 0.0);
+}
+
+TEST(Regression, ConstantYIsExactFit)
+{
+    const LinearFit fit = linearRegression({1, 2, 3}, {7, 7, 7});
+    EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+    EXPECT_DOUBLE_EQ(fit.intercept, 7.0);
+    EXPECT_DOUBLE_EQ(fit.r2, 1.0);
+}
+
+} // namespace
+} // namespace pagesim

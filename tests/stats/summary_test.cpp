@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hh"
+#include "stats/summary.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+TEST(Summary, BasicMoments)
+{
+    Summary s;
+    s.addAll({2, 4, 4, 4, 5, 5, 7, 9});
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, EmptyIsSafe)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_TRUE(std::isnan(s.min()));
+}
+
+TEST(Summary, SingleSample)
+{
+    Summary s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 42.0);
+}
+
+TEST(Summary, QuantilesInterpolate)
+{
+    Summary s;
+    s.addAll({10, 20, 30, 40});
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 40.0);
+    EXPECT_DOUBLE_EQ(s.median(), 25.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0 / 3.0), 20.0);
+}
+
+TEST(Summary, QuantileAfterLateAdd)
+{
+    Summary s;
+    s.addAll({1, 2, 3});
+    EXPECT_DOUBLE_EQ(s.median(), 2.0);
+    s.add(100);
+    // Sorted cache must invalidate.
+    EXPECT_DOUBLE_EQ(s.max(), 100.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+}
+
+TEST(Summary, SpreadFactor)
+{
+    Summary s;
+    s.addAll({700, 1000, 2100});
+    EXPECT_DOUBLE_EQ(s.spreadFactor(), 3.0);
+}
+
+TEST(Summary, CvOfConstantIsZero)
+{
+    Summary s;
+    s.addAll({5, 5, 5, 5});
+    EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(WelchTTest, DistinguishesSeparatedSamples)
+{
+    Rng rng(1);
+    Summary a, b;
+    for (int i = 0; i < 30; ++i) {
+        a.add(rng.normal(100, 5));
+        b.add(rng.normal(110, 5));
+    }
+    const WelchResult r = welchTTest(a, b);
+    EXPECT_LT(r.pValue, 0.01);
+    EXPECT_LT(r.t, 0.0); // a < b
+}
+
+TEST(WelchTTest, SameDistributionUsuallyInsignificant)
+{
+    Rng rng(2);
+    Summary a, b;
+    for (int i = 0; i < 30; ++i) {
+        a.add(rng.normal(100, 5));
+        b.add(rng.normal(100, 5));
+    }
+    const WelchResult r = welchTTest(a, b);
+    EXPECT_GT(r.pValue, 0.05);
+}
+
+TEST(WelchTTest, TooFewSamplesReturnsNeutral)
+{
+    Summary a, b;
+    a.add(1.0);
+    b.addAll({1.0, 2.0});
+    const WelchResult r = welchTTest(a, b);
+    EXPECT_DOUBLE_EQ(r.pValue, 1.0);
+}
+
+TEST(StudentT, KnownValues)
+{
+    // Two-sided p for t=2.0, df=10 is ~0.0734 (standard tables).
+    EXPECT_NEAR(studentTPValue(2.0, 10.0), 0.0734, 0.002);
+    // t=0 is always p=1.
+    EXPECT_NEAR(studentTPValue(0.0, 5.0), 1.0, 1e-9);
+    // Symmetric in t.
+    EXPECT_NEAR(studentTPValue(-2.0, 10.0),
+                studentTPValue(2.0, 10.0), 1e-12);
+}
+
+} // namespace
+} // namespace pagesim

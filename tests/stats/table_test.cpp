@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "stats/table.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"long-name", "12345"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("| long-name"), std::string::npos);
+    // Every line has the same width.
+    std::size_t width = 0;
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        const std::size_t eol = out.find('\n', pos);
+        const std::size_t len = eol - pos;
+        if (width == 0)
+            width = len;
+        EXPECT_EQ(len, width);
+        pos = eol + 1;
+    }
+}
+
+TEST(TextTable, SeparatorRendersRule)
+{
+    TextTable t;
+    t.header({"x"});
+    t.row({"1"});
+    t.separator();
+    t.row({"2"});
+    const std::string out = t.render();
+    // header top/bottom + separator + final = at least 4 rules.
+    int rules = 0;
+    std::size_t pos = 0;
+    while ((pos = out.find("---", pos)) != std::string::npos) {
+        ++rules;
+        pos = out.find('\n', pos);
+    }
+    EXPECT_GE(rules, 4);
+}
+
+TEST(TextTable, ShortRowsPadded)
+{
+    TextTable t;
+    t.header({"a", "b", "c"});
+    t.row({"only-one"});
+    EXPECT_NO_THROW(t.render());
+}
+
+TEST(Format, Numbers)
+{
+    EXPECT_EQ(fmtF(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtX(1.5), "1.50x");
+    EXPECT_EQ(fmtPct(12.345), "12.3%");
+}
+
+TEST(Format, CountsWithSeparators)
+{
+    EXPECT_EQ(fmtCount(0), "0");
+    EXPECT_EQ(fmtCount(999), "999");
+    EXPECT_EQ(fmtCount(1000), "1,000");
+    EXPECT_EQ(fmtCount(1234567), "1,234,567");
+}
+
+TEST(Format, AdaptiveNanos)
+{
+    EXPECT_EQ(fmtNanos(500), "500 ns");
+    EXPECT_EQ(fmtNanos(1500), "1.50 us");
+    EXPECT_EQ(fmtNanos(2500000), "2.50 ms");
+    EXPECT_EQ(fmtNanos(3.2e9), "3.200 s");
+}
+
+} // namespace
+} // namespace pagesim

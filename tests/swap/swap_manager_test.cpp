@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "swap/ssd_device.hh"
+#include "swap/swap_manager.hh"
+#include "swap/zram_device.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+TEST(SwapManager, AllocatesDistinctSlots)
+{
+    EventQueue events;
+    SsdSwapDevice ssd(events, Rng(1));
+    SwapManager mgr(ssd, 10);
+    std::set<SwapSlot> seen;
+    for (int i = 0; i < 10; ++i) {
+        const SwapSlot s = mgr.allocate();
+        ASSERT_NE(s, kInvalidSlot);
+        EXPECT_TRUE(seen.insert(s).second);
+    }
+    EXPECT_EQ(mgr.usedSlots(), 10u);
+    EXPECT_EQ(mgr.allocate(), kInvalidSlot) << "area exhausted";
+}
+
+TEST(SwapManager, ReleaseRecyclesLifo)
+{
+    EventQueue events;
+    SsdSwapDevice ssd(events, Rng(1));
+    SwapManager mgr(ssd, 4);
+    const SwapSlot a = mgr.allocate();
+    const SwapSlot b = mgr.allocate();
+    mgr.release(a);
+    mgr.release(b);
+    EXPECT_EQ(mgr.usedSlots(), 0u);
+    EXPECT_EQ(mgr.allocate(), b);
+    EXPECT_EQ(mgr.allocate(), a);
+}
+
+TEST(SwapManager, ZramReleaseDropsPoolBytes)
+{
+    ZramSwapDevice zram;
+    SwapManager mgr(zram, 8);
+    const SwapSlot s = mgr.allocate();
+    mgr.recordContents(s, 0x1234);
+    EXPECT_GT(zram.poolBytes(), 0u);
+    mgr.release(s);
+    EXPECT_EQ(zram.poolBytes(), 0u);
+}
+
+TEST(SwapManager, RecordContentsOnSsdIsNoop)
+{
+    EventQueue events;
+    SsdSwapDevice ssd(events, Rng(1));
+    SwapManager mgr(ssd, 8);
+    const SwapSlot s = mgr.allocate();
+    EXPECT_NO_FATAL_FAILURE(mgr.recordContents(s, 42));
+}
+
+} // namespace
+} // namespace pagesim

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "../kernel/kernel_test_util.hh"
+#include "trace/trace.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+TEST(TraceBuffer, RecordsInOrder)
+{
+    TraceBuffer trace(64);
+    trace.emit(10, TraceEvent::MajorFault, 5);
+    trace.emit(20, TraceEvent::Eviction, 6);
+    trace.emit(30, TraceEvent::MinorFault, 7);
+    const auto records = trace.snapshot();
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].at, 10u);
+    EXPECT_EQ(records[0].event, TraceEvent::MajorFault);
+    EXPECT_EQ(records[0].vpn, 5u);
+    EXPECT_EQ(records[2].at, 30u);
+    EXPECT_EQ(trace.count(TraceEvent::MajorFault), 1u);
+    EXPECT_EQ(trace.count(TraceEvent::Eviction), 1u);
+}
+
+TEST(TraceBuffer, FlightRecorderDropsOldest)
+{
+    TraceBuffer trace(4);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        trace.emit(i * 100, TraceEvent::MajorFault, i);
+    EXPECT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace.droppedRecords(), 6u);
+    EXPECT_EQ(trace.totalEmitted(), 10u);
+    const auto records = trace.snapshot();
+    ASSERT_EQ(records.size(), 4u);
+    // The newest four, chronological.
+    EXPECT_EQ(records.front().vpn, 6u);
+    EXPECT_EQ(records.back().vpn, 9u);
+    for (std::size_t i = 1; i < records.size(); ++i)
+        EXPECT_GT(records[i].at, records[i - 1].at);
+    // Per-event counts track retained records only.
+    EXPECT_EQ(trace.count(TraceEvent::MajorFault), 4u);
+}
+
+TEST(TraceBuffer, RateSeriesBucketsCorrectly)
+{
+    TraceBuffer trace;
+    // 3 events in bucket 0, 1 in bucket 2.
+    trace.emit(usecs(10), TraceEvent::MajorFault);
+    trace.emit(usecs(20), TraceEvent::MajorFault);
+    trace.emit(usecs(90), TraceEvent::MajorFault);
+    trace.emit(usecs(210), TraceEvent::MajorFault);
+    trace.emit(usecs(50), TraceEvent::Eviction); // other event
+    const auto series =
+        trace.rateSeries(TraceEvent::MajorFault, usecs(100),
+                         usecs(250));
+    ASSERT_EQ(series.size(), 3u);
+    EXPECT_EQ(series[0], 3u);
+    EXPECT_EQ(series[1], 0u);
+    EXPECT_EQ(series[2], 1u);
+}
+
+TEST(TraceBuffer, BurstinessSeparatesSteadyFromBursty)
+{
+    TraceBuffer steady, bursty;
+    for (int i = 0; i < 100; ++i)
+        steady.emit(msecs(i), TraceEvent::MajorFault);
+    for (int i = 0; i < 100; ++i)
+        bursty.emit(msecs(i < 50 ? 1 : 90), TraceEvent::MajorFault);
+    const double s =
+        steady.burstiness(TraceEvent::MajorFault, msecs(10),
+                          msecs(99));
+    const double b =
+        bursty.burstiness(TraceEvent::MajorFault, msecs(10),
+                          msecs(99));
+    EXPECT_LT(s, 0.3);
+    EXPECT_GT(b, 1.5);
+}
+
+TEST(TraceBuffer, CsvExport)
+{
+    TraceBuffer trace;
+    trace.emit(42, TraceEvent::Demotion, 7);
+    const std::string csv = trace.toCsv();
+    EXPECT_NE(csv.find("time_ns,event,vpn"), std::string::npos);
+    EXPECT_NE(csv.find("42,demotion,7"), std::string::npos);
+}
+
+TEST(TraceBuffer, Sparkline)
+{
+    EXPECT_EQ(asciiSparkline({}), "");
+    const std::string s = asciiSparkline({0, 1, 4, 8});
+    EXPECT_FALSE(s.empty());
+    // Max maps to the full block.
+    EXPECT_NE(s.find("█"), std::string::npos);
+    // All-zero series renders the lowest level everywhere.
+    const std::string z = asciiSparkline({0, 0, 0});
+    EXPECT_EQ(z, "▁▁▁");
+}
+
+TEST(TraceIntegration, MemoryManagerEmitsWhenAttached)
+{
+    KernelHarness h(48, 256);
+    TraceBuffer trace;
+    h.mm->attachTrace(&trace);
+    Vpn v = h.base(); // persists across fault-retry wakeups
+    ProbeActor probe(h.sim, [&](ProbeActor &self) {
+        CostSink sink;
+        for (; v < h.base() + 100; ++v) {
+            const auto o = h.mm->access(self, h.space, v, true, sink);
+            if (o == MemoryManager::AccessOutcome::Blocked) {
+                self.block();
+                return;
+            }
+        }
+        self.finish();
+    });
+    probe.start();
+    ASSERT_TRUE(h.sim.runToCompletion(20000000));
+    h.sim.events().run();
+    EXPECT_EQ(trace.count(TraceEvent::MinorFault), 100u);
+    EXPECT_EQ(trace.count(TraceEvent::Eviction),
+              h.mm->stats().evictions);
+    EXPECT_EQ(trace.count(TraceEvent::DirtyWriteback),
+              h.mm->stats().dirtyWritebacks);
+    // Timestamps are monotone.
+    const auto records = trace.snapshot();
+    for (std::size_t i = 1; i < records.size(); ++i)
+        EXPECT_GE(records[i].at, records[i - 1].at);
+}
+
+TEST(TraceIntegration, DetachedTraceCostsNothing)
+{
+    KernelHarness h(48, 256);
+    // No attachTrace: nothing should break, nothing recorded.
+    ProbeActor probe(h.sim, [&](ProbeActor &self) {
+        CostSink sink;
+        h.mm->access(self, h.space, h.base(), true, sink);
+        self.finish();
+    });
+    probe.start();
+    EXPECT_TRUE(h.sim.runToCompletion());
+}
+
+} // namespace
+} // namespace pagesim

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hh"
+#include "workload/barrier.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+/** Actor that alternates work and barrier laps. */
+class BarrierActor : public SimActor
+{
+  public:
+    BarrierActor(Simulation &sim, SimBarrier &barrier,
+                 SimDuration work, int laps)
+        : SimActor(sim, "b", true), barrier_(barrier), work_(work),
+          laps_(laps)
+    {
+    }
+
+    std::vector<SimTime> passTimes;
+
+  protected:
+    void
+    step() override
+    {
+        if (pendingPass_) {
+            // Just released from (or passed) the barrier.
+            pendingPass_ = false;
+            passTimes.push_back(now());
+        }
+        if (phase_ == Phase::Work) {
+            if (laps_-- == 0) {
+                finish();
+                return;
+            }
+            phase_ = Phase::Arrive;
+            yieldAfter(work_);
+            return;
+        }
+        // Arrive at the barrier.
+        phase_ = Phase::Work;
+        pendingPass_ = true;
+        if (!barrier_.arrive(*this)) {
+            block(); // wake() records the pass on the next step
+            return;
+        }
+        yieldAfter(0); // last arriver: continue immediately
+    }
+
+  private:
+    enum class Phase
+    {
+        Work,
+        Arrive,
+    };
+
+    SimBarrier &barrier_;
+    SimDuration work_;
+    int laps_;
+    Phase phase_ = Phase::Work;
+    bool pendingPass_ = false;
+};
+
+TEST(SimBarrier, ReleasesAtStragglerArrival)
+{
+    Simulation sim(8);
+    SimBarrier barrier(3);
+    BarrierActor a(sim, barrier, 10, 1);
+    BarrierActor b(sim, barrier, 100, 1);
+    BarrierActor c(sim, barrier, 500, 1); // the straggler
+    a.start();
+    b.start();
+    c.start();
+    EXPECT_TRUE(sim.runToCompletion());
+    ASSERT_EQ(a.passTimes.size(), 1u);
+    ASSERT_EQ(c.passTimes.size(), 1u);
+    EXPECT_EQ(a.passTimes[0], 500u);
+    EXPECT_EQ(b.passTimes[0], 500u);
+    EXPECT_EQ(c.passTimes[0], 500u);
+}
+
+TEST(SimBarrier, ReusableAcrossGenerations)
+{
+    Simulation sim(8);
+    SimBarrier barrier(2);
+    BarrierActor a(sim, barrier, 10, 3);
+    BarrierActor b(sim, barrier, 30, 3);
+    a.start();
+    b.start();
+    EXPECT_TRUE(sim.runToCompletion());
+    EXPECT_EQ(barrier.generation(), 3u);
+    EXPECT_EQ(barrier.arrived(), 0u);
+    // Each lap gated by the slower actor: passes at 30, 60, 90.
+    ASSERT_EQ(a.passTimes.size(), 3u);
+    EXPECT_EQ(a.passTimes[0], 30u);
+    EXPECT_EQ(a.passTimes[1], 60u);
+    EXPECT_EQ(a.passTimes[2], 90u);
+}
+
+TEST(SimBarrier, SinglePartyPassesThrough)
+{
+    Simulation sim(2);
+    SimBarrier barrier(1);
+    BarrierActor a(sim, barrier, 5, 2);
+    a.start();
+    EXPECT_TRUE(sim.runToCompletion());
+    EXPECT_EQ(barrier.generation(), 2u);
+    EXPECT_EQ(a.passTimes.size(), 2u);
+}
+
+TEST(SimBarrier, PartiesAccessors)
+{
+    SimBarrier barrier(5);
+    EXPECT_EQ(barrier.parties(), 5u);
+    EXPECT_EQ(barrier.arrived(), 0u);
+    EXPECT_EQ(barrier.generation(), 0u);
+}
+
+} // namespace
+} // namespace pagesim

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/file_buffer_workload.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+FileBufferConfig
+smallConfig()
+{
+    FileBufferConfig cfg;
+    cfg.anonPages = 128;
+    cfg.streamChunkPages = 256;
+    cfg.hotFilePages = 32;
+    cfg.threads = 2;
+    cfg.rounds = 3;
+    cfg.hotReadsPerRound = 200;
+    return cfg;
+}
+
+TEST(FileBuffer, FootprintCoversAllRounds)
+{
+    FileBufferWorkload wl(smallConfig());
+    EXPECT_EQ(wl.footprintPages(), 128u + 256u * 3 + 32u);
+}
+
+TEST(FileBuffer, StreamPagesAreReadOnce)
+{
+    FileBufferWorkload wl(smallConfig());
+    AddressSpace space(0);
+    WorkloadContext ctx;
+    ctx.space = &space;
+    wl.build(ctx);
+
+    // Collect fd-touches on the stream VMA across both threads: every
+    // stream page must be touched exactly once over the whole run.
+    const Vma *stream = nullptr;
+    for (const auto &vma : space.vmas())
+        if (vma.name == "fb.stream")
+            stream = &vma;
+    ASSERT_NE(stream, nullptr);
+
+    std::map<Vpn, int> touches;
+    for (unsigned tid = 0; tid < 2; ++tid) {
+        auto s = wl.stream(tid);
+        Op op;
+        while (s->next(op)) {
+            if (op.kind == Op::Kind::FdTouch &&
+                stream->contains(op.vpn))
+                ++touches[op.vpn];
+        }
+    }
+    EXPECT_EQ(touches.size(), stream->npages)
+        << "every stream page read";
+    for (const auto &[vpn, count] : touches)
+        EXPECT_EQ(count, 1) << "read-once data must be read once";
+}
+
+TEST(FileBuffer, HotFileIsReReadViaFd)
+{
+    FileBufferWorkload wl(smallConfig());
+    AddressSpace space(0);
+    WorkloadContext ctx;
+    ctx.space = &space;
+    wl.build(ctx);
+    const Vma *hot = nullptr;
+    for (const auto &vma : space.vmas())
+        if (vma.name == "fb.hotfile")
+            hot = &vma;
+    ASSERT_NE(hot, nullptr);
+    EXPECT_TRUE(hot->file);
+
+    auto s = wl.stream(0);
+    Op op;
+    std::uint64_t hot_touches = 0;
+    while (s->next(op))
+        if (op.kind == Op::Kind::FdTouch && hot->contains(op.vpn))
+            ++hot_touches;
+    EXPECT_GE(hot_touches, 3u * 200u)
+        << "hot region hammered every round";
+}
+
+TEST(FileBuffer, AnonPagesUsePteAccesses)
+{
+    FileBufferWorkload wl(smallConfig());
+    AddressSpace space(0);
+    WorkloadContext ctx;
+    ctx.space = &space;
+    wl.build(ctx);
+    const Vma *anon = nullptr;
+    for (const auto &vma : space.vmas())
+        if (vma.name == "fb.anon")
+            anon = &vma;
+    ASSERT_NE(anon, nullptr);
+    EXPECT_FALSE(anon->file);
+
+    auto s = wl.stream(1);
+    Op op;
+    bool saw_anon_touch = false;
+    while (s->next(op)) {
+        if (anon->contains(op.vpn)) {
+            EXPECT_EQ(op.kind, Op::Kind::Touch)
+                << "anon accesses go through PTEs, not fd";
+            saw_anon_touch = true;
+        }
+    }
+    EXPECT_TRUE(saw_anon_touch);
+}
+
+TEST(FileBuffer, RoundsAreBarrierSeparated)
+{
+    FileBufferWorkload wl(smallConfig());
+    AddressSpace space(0);
+    WorkloadContext ctx;
+    ctx.space = &space;
+    wl.build(ctx);
+    auto s = wl.stream(0);
+    Op op;
+    int barriers = 0;
+    while (s->next(op))
+        if (op.kind == Op::Kind::Barrier)
+            ++barriers;
+    EXPECT_EQ(barriers, 1 + 3) << "warmup barrier + one per round";
+    EXPECT_NE(wl.barrier(0), nullptr);
+}
+
+} // namespace
+} // namespace pagesim

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/access_pattern.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+std::vector<Op>
+drain(PatternStream &s, std::size_t limit = 1u << 20)
+{
+    std::vector<Op> ops;
+    Op op;
+    while (ops.size() < limit && s.next(op))
+        ops.push_back(op);
+    return ops;
+}
+
+TEST(PatternStream, SeqTouchEmitsEveryPageInOrder)
+{
+    PatternStream s({SeqTouch{100, 5, true, false, 10}});
+    const auto ops = drain(s);
+    ASSERT_EQ(ops.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(ops[i].kind, Op::Kind::Touch);
+        EXPECT_EQ(ops[i].vpn, 100 + i);
+        EXPECT_TRUE(ops[i].write);
+        EXPECT_EQ(ops[i].compute, 10u);
+    }
+}
+
+TEST(PatternStream, EmptyStream)
+{
+    PatternStream s({});
+    Op op;
+    EXPECT_FALSE(s.next(op));
+    EXPECT_FALSE(s.next(op)) << "end must be idempotent";
+}
+
+TEST(PatternStream, RandTouchStaysInSpan)
+{
+    RandTouch rt;
+    rt.base = 1000;
+    rt.span = 50;
+    rt.count = 500;
+    rt.seed = 3;
+    PatternStream s({rt});
+    const auto ops = drain(s);
+    ASSERT_EQ(ops.size(), 500u);
+    for (const Op &op : ops) {
+        EXPECT_GE(op.vpn, 1000u);
+        EXPECT_LT(op.vpn, 1050u);
+    }
+}
+
+TEST(PatternStream, RandTouchDeterministicPerSeed)
+{
+    RandTouch rt;
+    rt.base = 0;
+    rt.span = 100;
+    rt.count = 50;
+    rt.seed = 42;
+    PatternStream s1({rt}), s2({rt});
+    const auto a = drain(s1), b = drain(s2);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].vpn, b[i].vpn);
+}
+
+TEST(PatternStream, ZipfRandTouchIsSkewed)
+{
+    RandTouch rt;
+    rt.base = 0;
+    rt.span = 1000;
+    rt.count = 20000;
+    rt.zipfTheta = 0.99;
+    rt.scrambled = false;
+    rt.seed = 5;
+    PatternStream s({rt});
+    std::map<Vpn, int> counts;
+    Op op;
+    while (s.next(op))
+        ++counts[op.vpn];
+    EXPECT_GT(counts[0], 1000) << "page 0 is the hot page";
+}
+
+TEST(PatternStream, IndexedTouchReplaysList)
+{
+    const std::vector<std::uint32_t> offsets{5, 1, 9, 1};
+    PatternStream s({IndexedTouch{offsets.data(), offsets.size(), 200,
+                                  false, 7}});
+    const auto ops = drain(s);
+    ASSERT_EQ(ops.size(), 4u);
+    EXPECT_EQ(ops[0].vpn, 205u);
+    EXPECT_EQ(ops[1].vpn, 201u);
+    EXPECT_EQ(ops[2].vpn, 209u);
+    EXPECT_EQ(ops[3].vpn, 201u);
+}
+
+TEST(PatternStream, MixedSegmentsInOrder)
+{
+    PatternStream s({
+        ComputeSeg{123},
+        SeqTouch{10, 2, false, false, 0},
+        BarrierSeg{7},
+        PhaseSeg{3},
+    });
+    const auto ops = drain(s);
+    ASSERT_EQ(ops.size(), 5u);
+    EXPECT_EQ(ops[0].kind, Op::Kind::Compute);
+    EXPECT_EQ(ops[0].compute, 123u);
+    EXPECT_EQ(ops[1].kind, Op::Kind::Touch);
+    EXPECT_EQ(ops[2].kind, Op::Kind::Touch);
+    EXPECT_EQ(ops[3].kind, Op::Kind::Barrier);
+    EXPECT_EQ(ops[3].id, 7u);
+    EXPECT_EQ(ops[4].kind, Op::Kind::Phase);
+    EXPECT_EQ(ops[4].id, 3u);
+}
+
+TEST(PatternStream, FdTouchFlag)
+{
+    PatternStream s({SeqTouch{0, 1, false, /*fd=*/true, 0}});
+    Op op;
+    ASSERT_TRUE(s.next(op));
+    EXPECT_EQ(op.kind, Op::Kind::FdTouch);
+}
+
+TEST(PatternStream, ZeroCountSegmentsSkipped)
+{
+    PatternStream s({SeqTouch{0, 0, false, false, 0},
+                     SeqTouch{50, 1, false, false, 0}});
+    const auto ops = drain(s);
+    ASSERT_EQ(ops.size(), 1u);
+    EXPECT_EQ(ops[0].vpn, 50u);
+}
+
+} // namespace
+} // namespace pagesim
