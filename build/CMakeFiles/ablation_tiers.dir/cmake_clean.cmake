@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tiers.dir/bench/ablation_tiers.cpp.o"
+  "CMakeFiles/ablation_tiers.dir/bench/ablation_tiers.cpp.o.d"
+  "bench/ablation_tiers"
+  "bench/ablation_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

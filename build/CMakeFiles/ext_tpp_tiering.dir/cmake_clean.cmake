@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tpp_tiering.dir/bench/ext_tpp_tiering.cpp.o"
+  "CMakeFiles/ext_tpp_tiering.dir/bench/ext_tpp_tiering.cpp.o.d"
+  "bench/ext_tpp_tiering"
+  "bench/ext_tpp_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tpp_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig01_mean_ssd50.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_joint_ssd50.dir/bench/fig02_joint_ssd50.cpp.o"
+  "CMakeFiles/fig02_joint_ssd50.dir/bench/fig02_joint_ssd50.cpp.o.d"
+  "bench/fig02_joint_ssd50"
+  "bench/fig02_joint_ssd50.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_joint_ssd50.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

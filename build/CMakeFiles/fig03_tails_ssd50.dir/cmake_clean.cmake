@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_tails_ssd50.dir/bench/fig03_tails_ssd50.cpp.o"
+  "CMakeFiles/fig03_tails_ssd50.dir/bench/fig03_tails_ssd50.cpp.o.d"
+  "bench/fig03_tails_ssd50"
+  "bench/fig03_tails_ssd50.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_tails_ssd50.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_tails_ssd50.
+# This may be replaced when dependencies are built.

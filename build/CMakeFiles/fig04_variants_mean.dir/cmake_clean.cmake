@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_variants_mean.dir/bench/fig04_variants_mean.cpp.o"
+  "CMakeFiles/fig04_variants_mean.dir/bench/fig04_variants_mean.cpp.o.d"
+  "bench/fig04_variants_mean"
+  "bench/fig04_variants_mean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_variants_mean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_variants_joint.dir/bench/fig05_variants_joint.cpp.o"
+  "CMakeFiles/fig05_variants_joint.dir/bench/fig05_variants_joint.cpp.o.d"
+  "bench/fig05_variants_joint"
+  "bench/fig05_variants_joint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_variants_joint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_capacity_mean.dir/bench/fig06_capacity_mean.cpp.o"
+  "CMakeFiles/fig06_capacity_mean.dir/bench/fig06_capacity_mean.cpp.o.d"
+  "bench/fig06_capacity_mean"
+  "bench/fig06_capacity_mean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_capacity_mean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_capacity_faults.dir/bench/fig07_capacity_faults.cpp.o"
+  "CMakeFiles/fig07_capacity_faults.dir/bench/fig07_capacity_faults.cpp.o.d"
+  "bench/fig07_capacity_faults"
+  "bench/fig07_capacity_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_capacity_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_capacity_tails.dir/bench/fig08_capacity_tails.cpp.o"
+  "CMakeFiles/fig08_capacity_tails.dir/bench/fig08_capacity_tails.cpp.o.d"
+  "bench/fig08_capacity_tails"
+  "bench/fig08_capacity_tails.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_capacity_tails.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_zram_mean.dir/bench/fig09_zram_mean.cpp.o"
+  "CMakeFiles/fig09_zram_mean.dir/bench/fig09_zram_mean.cpp.o.d"
+  "bench/fig09_zram_mean"
+  "bench/fig09_zram_mean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_zram_mean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_zram_faults.dir/bench/fig10_zram_faults.cpp.o"
+  "CMakeFiles/fig10_zram_faults.dir/bench/fig10_zram_faults.cpp.o.d"
+  "bench/fig10_zram_faults"
+  "bench/fig10_zram_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_zram_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

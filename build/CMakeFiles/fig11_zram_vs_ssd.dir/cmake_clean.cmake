@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_zram_vs_ssd.dir/bench/fig11_zram_vs_ssd.cpp.o"
+  "CMakeFiles/fig11_zram_vs_ssd.dir/bench/fig11_zram_vs_ssd.cpp.o.d"
+  "bench/fig11_zram_vs_ssd"
+  "bench/fig11_zram_vs_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_zram_vs_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

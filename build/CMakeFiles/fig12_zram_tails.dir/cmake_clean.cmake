@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_zram_tails.dir/bench/fig12_zram_tails.cpp.o"
+  "CMakeFiles/fig12_zram_tails.dir/bench/fig12_zram_tails.cpp.o.d"
+  "bench/fig12_zram_tails"
+  "bench/fig12_zram_tails.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_zram_tails.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

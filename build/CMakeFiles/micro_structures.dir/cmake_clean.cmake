@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_structures.dir/bench/micro_structures.cpp.o"
+  "CMakeFiles/micro_structures.dir/bench/micro_structures.cpp.o.d"
+  "bench/micro_structures"
+  "bench/micro_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

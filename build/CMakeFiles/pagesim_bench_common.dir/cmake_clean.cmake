@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagesim_bench_common.dir/bench/common.cc.o"
+  "CMakeFiles/pagesim_bench_common.dir/bench/common.cc.o.d"
+  "lib/libpagesim_bench_common.a"
+  "lib/libpagesim_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagesim_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "lib/libpagesim_bench_common.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/grid_search.cpp" "examples/CMakeFiles/grid_search.dir/grid_search.cpp.o" "gcc" "examples/CMakeFiles/grid_search.dir/grid_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/pagesim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/pagesim_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pagesim_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/pagesim_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pagesim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pagesim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/pagesim_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/swap/CMakeFiles/pagesim_swap.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pagesim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/pagesim_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pagesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

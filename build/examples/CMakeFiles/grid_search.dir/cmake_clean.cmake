@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_search.dir/grid_search.cpp.o"
+  "CMakeFiles/grid_search.dir/grid_search.cpp.o.d"
+  "grid_search"
+  "grid_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_walks.dir/tuning_walks.cpp.o"
+  "CMakeFiles/tuning_walks.dir/tuning_walks.cpp.o.d"
+  "tuning_walks"
+  "tuning_walks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_walks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagesim_graph.dir/generator.cc.o"
+  "CMakeFiles/pagesim_graph.dir/generator.cc.o.d"
+  "CMakeFiles/pagesim_graph.dir/pagerank_workload.cc.o"
+  "CMakeFiles/pagesim_graph.dir/pagerank_workload.cc.o.d"
+  "libpagesim_graph.a"
+  "libpagesim_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagesim_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

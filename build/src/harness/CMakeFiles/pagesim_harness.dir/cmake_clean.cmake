@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagesim_harness.dir/experiment.cc.o"
+  "CMakeFiles/pagesim_harness.dir/experiment.cc.o.d"
+  "libpagesim_harness.a"
+  "libpagesim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagesim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

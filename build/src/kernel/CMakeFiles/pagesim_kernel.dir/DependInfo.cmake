@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/aging_daemon.cc" "src/kernel/CMakeFiles/pagesim_kernel.dir/aging_daemon.cc.o" "gcc" "src/kernel/CMakeFiles/pagesim_kernel.dir/aging_daemon.cc.o.d"
+  "/root/repo/src/kernel/background_noise.cc" "src/kernel/CMakeFiles/pagesim_kernel.dir/background_noise.cc.o" "gcc" "src/kernel/CMakeFiles/pagesim_kernel.dir/background_noise.cc.o.d"
+  "/root/repo/src/kernel/kswapd.cc" "src/kernel/CMakeFiles/pagesim_kernel.dir/kswapd.cc.o" "gcc" "src/kernel/CMakeFiles/pagesim_kernel.dir/kswapd.cc.o.d"
+  "/root/repo/src/kernel/memory_manager.cc" "src/kernel/CMakeFiles/pagesim_kernel.dir/memory_manager.cc.o" "gcc" "src/kernel/CMakeFiles/pagesim_kernel.dir/memory_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pagesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/swap/CMakeFiles/pagesim_swap.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/pagesim_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pagesim_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagesim_kernel.dir/aging_daemon.cc.o"
+  "CMakeFiles/pagesim_kernel.dir/aging_daemon.cc.o.d"
+  "CMakeFiles/pagesim_kernel.dir/background_noise.cc.o"
+  "CMakeFiles/pagesim_kernel.dir/background_noise.cc.o.d"
+  "CMakeFiles/pagesim_kernel.dir/kswapd.cc.o"
+  "CMakeFiles/pagesim_kernel.dir/kswapd.cc.o.d"
+  "CMakeFiles/pagesim_kernel.dir/memory_manager.cc.o"
+  "CMakeFiles/pagesim_kernel.dir/memory_manager.cc.o.d"
+  "libpagesim_kernel.a"
+  "libpagesim_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagesim_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagesim_kv.dir/kv_store.cc.o"
+  "CMakeFiles/pagesim_kv.dir/kv_store.cc.o.d"
+  "CMakeFiles/pagesim_kv.dir/ycsb_workload.cc.o"
+  "CMakeFiles/pagesim_kv.dir/ycsb_workload.cc.o.d"
+  "libpagesim_kv.a"
+  "libpagesim_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagesim_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

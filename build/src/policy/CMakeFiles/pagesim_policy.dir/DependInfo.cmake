@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/clock_lru.cc" "src/policy/CMakeFiles/pagesim_policy.dir/clock_lru.cc.o" "gcc" "src/policy/CMakeFiles/pagesim_policy.dir/clock_lru.cc.o.d"
+  "/root/repo/src/policy/mglru/bloom_filter.cc" "src/policy/CMakeFiles/pagesim_policy.dir/mglru/bloom_filter.cc.o" "gcc" "src/policy/CMakeFiles/pagesim_policy.dir/mglru/bloom_filter.cc.o.d"
+  "/root/repo/src/policy/mglru/mglru_policy.cc" "src/policy/CMakeFiles/pagesim_policy.dir/mglru/mglru_policy.cc.o" "gcc" "src/policy/CMakeFiles/pagesim_policy.dir/mglru/mglru_policy.cc.o.d"
+  "/root/repo/src/policy/mglru/pid_controller.cc" "src/policy/CMakeFiles/pagesim_policy.dir/mglru/pid_controller.cc.o" "gcc" "src/policy/CMakeFiles/pagesim_policy.dir/mglru/pid_controller.cc.o.d"
+  "/root/repo/src/policy/policy_factory.cc" "src/policy/CMakeFiles/pagesim_policy.dir/policy_factory.cc.o" "gcc" "src/policy/CMakeFiles/pagesim_policy.dir/policy_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pagesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagesim_policy.dir/clock_lru.cc.o"
+  "CMakeFiles/pagesim_policy.dir/clock_lru.cc.o.d"
+  "CMakeFiles/pagesim_policy.dir/mglru/bloom_filter.cc.o"
+  "CMakeFiles/pagesim_policy.dir/mglru/bloom_filter.cc.o.d"
+  "CMakeFiles/pagesim_policy.dir/mglru/mglru_policy.cc.o"
+  "CMakeFiles/pagesim_policy.dir/mglru/mglru_policy.cc.o.d"
+  "CMakeFiles/pagesim_policy.dir/mglru/pid_controller.cc.o"
+  "CMakeFiles/pagesim_policy.dir/mglru/pid_controller.cc.o.d"
+  "CMakeFiles/pagesim_policy.dir/policy_factory.cc.o"
+  "CMakeFiles/pagesim_policy.dir/policy_factory.cc.o.d"
+  "libpagesim_policy.a"
+  "libpagesim_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagesim_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagesim_sim.dir/actor.cc.o"
+  "CMakeFiles/pagesim_sim.dir/actor.cc.o.d"
+  "CMakeFiles/pagesim_sim.dir/event_queue.cc.o"
+  "CMakeFiles/pagesim_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/pagesim_sim.dir/rng.cc.o"
+  "CMakeFiles/pagesim_sim.dir/rng.cc.o.d"
+  "CMakeFiles/pagesim_sim.dir/simulation.cc.o"
+  "CMakeFiles/pagesim_sim.dir/simulation.cc.o.d"
+  "libpagesim_sim.a"
+  "libpagesim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagesim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

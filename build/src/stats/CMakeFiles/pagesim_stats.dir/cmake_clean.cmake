@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagesim_stats.dir/histogram.cc.o"
+  "CMakeFiles/pagesim_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/pagesim_stats.dir/regression.cc.o"
+  "CMakeFiles/pagesim_stats.dir/regression.cc.o.d"
+  "CMakeFiles/pagesim_stats.dir/summary.cc.o"
+  "CMakeFiles/pagesim_stats.dir/summary.cc.o.d"
+  "CMakeFiles/pagesim_stats.dir/table.cc.o"
+  "CMakeFiles/pagesim_stats.dir/table.cc.o.d"
+  "libpagesim_stats.a"
+  "libpagesim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagesim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagesim_swap.dir/ssd_device.cc.o"
+  "CMakeFiles/pagesim_swap.dir/ssd_device.cc.o.d"
+  "CMakeFiles/pagesim_swap.dir/zram_device.cc.o"
+  "CMakeFiles/pagesim_swap.dir/zram_device.cc.o.d"
+  "libpagesim_swap.a"
+  "libpagesim_swap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagesim_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

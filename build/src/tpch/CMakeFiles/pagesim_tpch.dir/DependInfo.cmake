@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpch/queries.cc" "src/tpch/CMakeFiles/pagesim_tpch.dir/queries.cc.o" "gcc" "src/tpch/CMakeFiles/pagesim_tpch.dir/queries.cc.o.d"
+  "/root/repo/src/tpch/schema.cc" "src/tpch/CMakeFiles/pagesim_tpch.dir/schema.cc.o" "gcc" "src/tpch/CMakeFiles/pagesim_tpch.dir/schema.cc.o.d"
+  "/root/repo/src/tpch/stage.cc" "src/tpch/CMakeFiles/pagesim_tpch.dir/stage.cc.o" "gcc" "src/tpch/CMakeFiles/pagesim_tpch.dir/stage.cc.o.d"
+  "/root/repo/src/tpch/tpch_workload.cc" "src/tpch/CMakeFiles/pagesim_tpch.dir/tpch_workload.cc.o" "gcc" "src/tpch/CMakeFiles/pagesim_tpch.dir/tpch_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/pagesim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/pagesim_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/swap/CMakeFiles/pagesim_swap.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/pagesim_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pagesim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pagesim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

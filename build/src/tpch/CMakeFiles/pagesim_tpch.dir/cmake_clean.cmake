@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagesim_tpch.dir/queries.cc.o"
+  "CMakeFiles/pagesim_tpch.dir/queries.cc.o.d"
+  "CMakeFiles/pagesim_tpch.dir/schema.cc.o"
+  "CMakeFiles/pagesim_tpch.dir/schema.cc.o.d"
+  "CMakeFiles/pagesim_tpch.dir/stage.cc.o"
+  "CMakeFiles/pagesim_tpch.dir/stage.cc.o.d"
+  "CMakeFiles/pagesim_tpch.dir/tpch_workload.cc.o"
+  "CMakeFiles/pagesim_tpch.dir/tpch_workload.cc.o.d"
+  "libpagesim_tpch.a"
+  "libpagesim_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagesim_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

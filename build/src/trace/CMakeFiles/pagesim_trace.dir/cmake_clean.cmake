@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagesim_trace.dir/trace.cc.o"
+  "CMakeFiles/pagesim_trace.dir/trace.cc.o.d"
+  "libpagesim_trace.a"
+  "libpagesim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagesim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/access_pattern.cc" "src/workload/CMakeFiles/pagesim_workload.dir/access_pattern.cc.o" "gcc" "src/workload/CMakeFiles/pagesim_workload.dir/access_pattern.cc.o.d"
+  "/root/repo/src/workload/file_buffer_workload.cc" "src/workload/CMakeFiles/pagesim_workload.dir/file_buffer_workload.cc.o" "gcc" "src/workload/CMakeFiles/pagesim_workload.dir/file_buffer_workload.cc.o.d"
+  "/root/repo/src/workload/work_thread.cc" "src/workload/CMakeFiles/pagesim_workload.dir/work_thread.cc.o" "gcc" "src/workload/CMakeFiles/pagesim_workload.dir/work_thread.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pagesim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/pagesim_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/swap/CMakeFiles/pagesim_swap.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/pagesim_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pagesim_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

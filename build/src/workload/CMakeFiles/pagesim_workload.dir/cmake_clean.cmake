@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagesim_workload.dir/access_pattern.cc.o"
+  "CMakeFiles/pagesim_workload.dir/access_pattern.cc.o.d"
+  "CMakeFiles/pagesim_workload.dir/file_buffer_workload.cc.o"
+  "CMakeFiles/pagesim_workload.dir/file_buffer_workload.cc.o.d"
+  "CMakeFiles/pagesim_workload.dir/work_thread.cc.o"
+  "CMakeFiles/pagesim_workload.dir/work_thread.cc.o.d"
+  "libpagesim_workload.a"
+  "libpagesim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagesim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

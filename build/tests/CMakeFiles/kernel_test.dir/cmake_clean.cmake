@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_test.dir/kernel/aging_daemon_test.cpp.o"
+  "CMakeFiles/kernel_test.dir/kernel/aging_daemon_test.cpp.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/background_noise_test.cpp.o"
+  "CMakeFiles/kernel_test.dir/kernel/background_noise_test.cpp.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/grid_sweep_test.cpp.o"
+  "CMakeFiles/kernel_test.dir/kernel/grid_sweep_test.cpp.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/memory_manager_test.cpp.o"
+  "CMakeFiles/kernel_test.dir/kernel/memory_manager_test.cpp.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/reclaim_test.cpp.o"
+  "CMakeFiles/kernel_test.dir/kernel/reclaim_test.cpp.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/tiered_memory_test.cpp.o"
+  "CMakeFiles/kernel_test.dir/kernel/tiered_memory_test.cpp.o.d"
+  "kernel_test"
+  "kernel_test.pdb"
+  "kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

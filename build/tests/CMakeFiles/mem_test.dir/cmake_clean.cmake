@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_test.dir/mem/address_space_test.cpp.o"
+  "CMakeFiles/mem_test.dir/mem/address_space_test.cpp.o.d"
+  "CMakeFiles/mem_test.dir/mem/frame_table_test.cpp.o"
+  "CMakeFiles/mem_test.dir/mem/frame_table_test.cpp.o.d"
+  "CMakeFiles/mem_test.dir/mem/page_table_test.cpp.o"
+  "CMakeFiles/mem_test.dir/mem/page_table_test.cpp.o.d"
+  "CMakeFiles/mem_test.dir/mem/pte_test.cpp.o"
+  "CMakeFiles/mem_test.dir/mem/pte_test.cpp.o.d"
+  "mem_test"
+  "mem_test.pdb"
+  "mem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_test.dir/policy/bloom_filter_test.cpp.o"
+  "CMakeFiles/policy_test.dir/policy/bloom_filter_test.cpp.o.d"
+  "CMakeFiles/policy_test.dir/policy/clock_lru_test.cpp.o"
+  "CMakeFiles/policy_test.dir/policy/clock_lru_test.cpp.o.d"
+  "CMakeFiles/policy_test.dir/policy/mglru_test.cpp.o"
+  "CMakeFiles/policy_test.dir/policy/mglru_test.cpp.o.d"
+  "CMakeFiles/policy_test.dir/policy/pid_controller_test.cpp.o"
+  "CMakeFiles/policy_test.dir/policy/pid_controller_test.cpp.o.d"
+  "CMakeFiles/policy_test.dir/policy/policy_behavior_test.cpp.o"
+  "CMakeFiles/policy_test.dir/policy/policy_behavior_test.cpp.o.d"
+  "CMakeFiles/policy_test.dir/policy/policy_factory_test.cpp.o"
+  "CMakeFiles/policy_test.dir/policy/policy_factory_test.cpp.o.d"
+  "CMakeFiles/policy_test.dir/policy/policy_property_test.cpp.o"
+  "CMakeFiles/policy_test.dir/policy/policy_property_test.cpp.o.d"
+  "policy_test"
+  "policy_test.pdb"
+  "policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_test.dir/workload/barrier_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workload/barrier_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workload/file_buffer_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workload/file_buffer_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workload/pattern_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workload/pattern_test.cpp.o.d"
+  "CMakeFiles/workload_test.dir/workload/work_thread_test.cpp.o"
+  "CMakeFiles/workload_test.dir/workload/work_thread_test.cpp.o.d"
+  "workload_test"
+  "workload_test.pdb"
+  "workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
