@@ -37,3 +37,7 @@ target_link_libraries(micro_structures PRIVATE pagesim benchmark::benchmark)
 set_target_properties(micro_structures PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 pagesim_bench(ext_tpp_tiering)
+
+# Core perf baseline: event-queue throughput vs the legacy heap queue
+# and serial-vs-pooled sweep wall time; writes BENCH_core.json.
+pagesim_bench(perf_core)

@@ -25,18 +25,6 @@ banner(const std::string &figure, const std::string &description,
                 effectiveTrials(base));
 }
 
-const ExperimentResult &
-ResultCache::get(const ExperimentConfig &config)
-{
-    const std::string key = config.label() + "/" +
-                            std::to_string(config.trials) + "/" +
-                            std::to_string(config.baseSeed);
-    auto it = cells_.find(key);
-    if (it == cells_.end())
-        it = cells_.emplace(key, runExperiment(config)).first;
-    return it->second;
-}
-
 double
 perfMetric(const ExperimentResult &res)
 {

@@ -11,11 +11,11 @@
 #ifndef PAGESIM_BENCH_COMMON_HH
 #define PAGESIM_BENCH_COMMON_HH
 
-#include <map>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/sweep.hh"
 #include "stats/regression.hh"
 #include "stats/table.hh"
 
@@ -33,17 +33,11 @@ void banner(const std::string &figure, const std::string &description,
 ExperimentConfig baseConfig();
 
 /**
- * Result cache: runs each distinct cell once per process so benches
- * that need the same cell for several sub-tables don't recompute.
+ * Result cache (see harness/sweep.hh): benches declare a figure's
+ * cells up front via prefetch() so all (cell x trial) tasks run on
+ * one shared pool, then render from pure cache hits.
  */
-class ResultCache
-{
-  public:
-    const ExperimentResult &get(const ExperimentConfig &config);
-
-  private:
-    std::map<std::string, ExperimentResult> cells_;
-};
+using pagesim::ResultCache;
 
 /** Primary performance metric: mean runtime, or mean request latency
  *  for YCSB workloads (the paper's Fig. 1 normalization). */

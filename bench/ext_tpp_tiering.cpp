@@ -44,6 +44,20 @@ main()
         {"tiered (CXL) + SSD", SwapKind::Ssd, 0.5},
     };
 
+    ResultCache cache;
+    std::vector<ExperimentConfig> cells;
+    for (WorkloadKind wk :
+         {WorkloadKind::Tpch, WorkloadKind::PageRank,
+          WorkloadKind::YcsbA}) {
+        base.workload = wk;
+        for (const Mode &mode : modes) {
+            base.swap = mode.swap;
+            base.slowTierRatio = mode.slowRatio;
+            cells.push_back(base);
+        }
+    }
+    cache.prefetch(cells);
+
     for (WorkloadKind wk :
          {WorkloadKind::Tpch, WorkloadKind::PageRank,
           WorkloadKind::YcsbA}) {
@@ -55,7 +69,7 @@ main()
             base.workload = wk;
             base.swap = mode.swap;
             base.slowTierRatio = mode.slowRatio;
-            const ExperimentResult res = runExperiment(base);
+            const ExperimentResult &res = cache.get(base);
             double dem = 0, pro = 0, hits = 0, sev = 0;
             for (const auto &t : res.trials) {
                 dem += static_cast<double>(t.tier.demotions);

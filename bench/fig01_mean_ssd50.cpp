@@ -25,6 +25,16 @@ main()
            base);
 
     ResultCache cache;
+    std::vector<ExperimentConfig> cells;
+    for (WorkloadKind wk : allWorkloadKinds()) {
+        base.workload = wk;
+        for (PolicyKind pk : {PolicyKind::Clock, PolicyKind::MgLru}) {
+            base.policy = pk;
+            cells.push_back(base);
+        }
+    }
+    cache.prefetch(cells);
+
     TextTable table;
     table.header({"workload", "metric", "Clock", "MG-LRU",
                   "MG-LRU/Clock"});

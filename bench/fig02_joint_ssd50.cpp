@@ -28,6 +28,17 @@ main()
            base);
 
     ResultCache cache;
+    std::vector<ExperimentConfig> cells;
+    for (WorkloadKind wk :
+         {WorkloadKind::Tpch, WorkloadKind::PageRank}) {
+        base.workload = wk;
+        for (PolicyKind pk : {PolicyKind::Clock, PolicyKind::MgLru}) {
+            base.policy = pk;
+            cells.push_back(base);
+        }
+    }
+    cache.prefetch(cells);
+
     for (WorkloadKind wk :
          {WorkloadKind::Tpch, WorkloadKind::PageRank}) {
         for (PolicyKind pk : {PolicyKind::Clock, PolicyKind::MgLru}) {

@@ -30,6 +30,18 @@ main()
            base);
 
     ResultCache cache;
+    std::vector<ExperimentConfig> cells;
+    for (WorkloadKind wk : allWorkloadKinds()) {
+        base.workload = wk;
+        base.policy = PolicyKind::MgLru;
+        cells.push_back(base);
+        for (PolicyKind pk : mgLruVariantKinds()) {
+            base.policy = pk;
+            cells.push_back(base);
+        }
+    }
+    cache.prefetch(cells);
+
     TextTable table;
     std::vector<std::string> header{"workload", "metric"};
     for (PolicyKind pk : mgLruVariantKinds())

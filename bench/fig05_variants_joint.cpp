@@ -32,6 +32,17 @@ main()
     for (PolicyKind pk : mgLruVariantKinds())
         kinds.push_back(pk);
 
+    std::vector<ExperimentConfig> cells;
+    for (WorkloadKind wk :
+         {WorkloadKind::Tpch, WorkloadKind::PageRank}) {
+        base.workload = wk;
+        for (PolicyKind pk : kinds) {
+            base.policy = pk;
+            cells.push_back(base);
+        }
+    }
+    cache.prefetch(cells);
+
     for (WorkloadKind wk :
          {WorkloadKind::Tpch, WorkloadKind::PageRank}) {
         std::printf("--- %s ---\n", workloadKindName(wk).c_str());

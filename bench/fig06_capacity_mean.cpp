@@ -28,6 +28,19 @@ main()
            base);
 
     ResultCache cache;
+    std::vector<ExperimentConfig> cells;
+    for (double ratio : {0.75, 0.90}) {
+        base.capacityRatio = ratio;
+        for (WorkloadKind wk : allWorkloadKinds()) {
+            base.workload = wk;
+            for (PolicyKind pk : allPolicyKinds()) {
+                base.policy = pk;
+                cells.push_back(base);
+            }
+        }
+    }
+    cache.prefetch(cells);
+
     for (double ratio : {0.75, 0.90}) {
         std::printf("--- capacity ratio %.0f%% ---\n", ratio * 100);
         base.capacityRatio = ratio;

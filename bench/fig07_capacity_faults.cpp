@@ -28,6 +28,20 @@ main()
            base);
 
     ResultCache cache;
+    std::vector<ExperimentConfig> cells;
+    for (double ratio : {0.75, 0.90}) {
+        base.capacityRatio = ratio;
+        for (WorkloadKind wk :
+             {WorkloadKind::Tpch, WorkloadKind::PageRank}) {
+            base.workload = wk;
+            for (PolicyKind pk : allPolicyKinds()) {
+                base.policy = pk;
+                cells.push_back(base);
+            }
+        }
+    }
+    cache.prefetch(cells);
+
     for (double ratio : {0.75, 0.90}) {
         for (WorkloadKind wk :
              {WorkloadKind::Tpch, WorkloadKind::PageRank}) {

@@ -23,6 +23,22 @@ main()
     banner("Figure 8", "YCSB tails at 75%/90% capacity (SSD)", base);
 
     ResultCache cache;
+    std::vector<ExperimentConfig> cells;
+    for (double ratio : {0.75, 0.90}) {
+        base.capacityRatio = ratio;
+        for (WorkloadKind wk :
+             {WorkloadKind::YcsbA, WorkloadKind::YcsbB,
+              WorkloadKind::YcsbC}) {
+            base.workload = wk;
+            for (PolicyKind pk :
+                 {PolicyKind::Clock, PolicyKind::MgLru}) {
+                base.policy = pk;
+                cells.push_back(base);
+            }
+        }
+    }
+    cache.prefetch(cells);
+
     for (double ratio : {0.75, 0.90}) {
         for (WorkloadKind wk :
              {WorkloadKind::YcsbA, WorkloadKind::YcsbB,

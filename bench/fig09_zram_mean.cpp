@@ -26,6 +26,16 @@ main()
            base);
 
     ResultCache cache;
+    std::vector<ExperimentConfig> cells;
+    for (WorkloadKind wk : allWorkloadKinds()) {
+        base.workload = wk;
+        for (PolicyKind pk : allPolicyKinds()) {
+            base.policy = pk;
+            cells.push_back(base);
+        }
+    }
+    cache.prefetch(cells);
+
     TextTable table;
     std::vector<std::string> header{"workload"};
     for (PolicyKind pk : allPolicyKinds())

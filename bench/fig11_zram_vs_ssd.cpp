@@ -27,6 +27,16 @@ main()
            "ZRAM vs SSD deltas for MG-LRU at 50% capacity", base);
 
     ResultCache cache;
+    std::vector<ExperimentConfig> cells;
+    for (WorkloadKind wk : allWorkloadKinds()) {
+        base.workload = wk;
+        for (SwapKind sk : {SwapKind::Ssd, SwapKind::Zram}) {
+            base.swap = sk;
+            cells.push_back(base);
+        }
+    }
+    cache.prefetch(cells);
+
     TextTable table;
     table.header({"workload", "runtime SSD", "runtime ZRAM",
                   "speedup", "faults SSD", "faults ZRAM",

@@ -24,6 +24,17 @@ main()
     banner("Figure 12", "YCSB tails under ZRAM swap (50%)", base);
 
     ResultCache cache;
+    std::vector<ExperimentConfig> cells;
+    for (WorkloadKind wk : {WorkloadKind::YcsbA, WorkloadKind::YcsbB,
+                            WorkloadKind::YcsbC}) {
+        base.workload = wk;
+        for (PolicyKind pk : {PolicyKind::Clock, PolicyKind::MgLru}) {
+            base.policy = pk;
+            cells.push_back(base);
+        }
+    }
+    cache.prefetch(cells);
+
     for (WorkloadKind wk : {WorkloadKind::YcsbA, WorkloadKind::YcsbB,
                             WorkloadKind::YcsbC}) {
         std::printf("--- %s ---\n", workloadKindName(wk).c_str());

@@ -137,6 +137,31 @@ BM_EventQueueScheduleRun(benchmark::State &state)
 BENCHMARK(BM_EventQueueScheduleRun);
 
 void
+BM_EventQueueChurn(benchmark::State &state)
+{
+    // Actor-like steady state: many outstanding self-rescheduling
+    // events with mixed deltas — the calendar queue's design point
+    // (BM_EventQueueScheduleRun above only ever has one pending).
+    EventQueue events;
+    const unsigned outstanding =
+        static_cast<unsigned>(state.range(0));
+    Rng rng(11);
+    std::uint64_t fired = 0;
+    std::function<void()> pump = [&] {
+        ++fired;
+        const SimDuration d = rng.uniformInt(1000, 200000);
+        events.scheduleAfter(d, [&pump] { pump(); });
+    };
+    for (unsigned i = 0; i < outstanding; ++i)
+        events.scheduleAfter(i, [&pump] { pump(); });
+    for (auto _ : state)
+        events.runOne();
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(64)->Arg(2048);
+
+void
 BM_RngNextU64(benchmark::State &state)
 {
     Rng rng(3);

@@ -1,11 +1,11 @@
 #include "harness/experiment.hh"
 
-#include <atomic>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
-#include <thread>
+
+#include "harness/sweep.hh"
 
 #include "graph/pagerank_workload.hh"
 #include "kernel/aging_daemon.hh"
@@ -292,47 +292,52 @@ runTrial(const ExperimentConfig &config, std::uint64_t trial_seed)
     return r;
 }
 
+std::optional<unsigned>
+parseTrialsOverride(const char *text)
+{
+    if (text == nullptr || *text == '\0')
+        return std::nullopt;
+    char *end = nullptr;
+    const long n = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || n <= 0 ||
+        n > static_cast<long>(UINT32_MAX)) {
+        return std::nullopt;
+    }
+    return static_cast<unsigned>(n);
+}
+
+namespace
+{
+
+std::optional<unsigned> &
+trialsOverrideCache()
+{
+    static std::optional<unsigned> cache =
+        parseTrialsOverride(std::getenv("PAGESIM_TRIALS"));
+    return cache;
+}
+
+} // namespace
+
 unsigned
 effectiveTrials(const ExperimentConfig &config)
 {
-    if (const char *env = std::getenv("PAGESIM_TRIALS")) {
-        const long n = std::strtol(env, nullptr, 10);
-        if (n > 0)
-            return static_cast<unsigned>(n);
-    }
-    return config.trials;
+    return trialsOverrideCache().value_or(config.trials);
+}
+
+void
+detail::refreshTrialsOverrideCacheForTests()
+{
+    trialsOverrideCache() =
+        parseTrialsOverride(std::getenv("PAGESIM_TRIALS"));
 }
 
 ExperimentResult
 runExperiment(const ExperimentConfig &config)
 {
-    ExperimentResult result;
-    result.config = config;
-    const unsigned trials = effectiveTrials(config);
-    result.trials.resize(trials);
-
-    unsigned workers = std::thread::hardware_concurrency();
-    if (workers == 0)
-        workers = 4;
-    workers = std::min(workers, trials);
-
-    std::atomic<unsigned> next{0};
-    auto run = [&] {
-        while (true) {
-            const unsigned i = next.fetch_add(1);
-            if (i >= trials)
-                return;
-            result.trials[i] =
-                runTrial(config, config.baseSeed + 1000003ull * i);
-        }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w)
-        pool.emplace_back(run);
-    for (auto &t : pool)
-        t.join();
-    return result;
+    // One cell is just a degenerate sweep; the shared pool sizes
+    // itself to min(host threads, trials) exactly as before.
+    return std::move(runSweep({config}).front());
 }
 
 double

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -164,8 +165,25 @@ TrialResult runTrial(const ExperimentConfig &config,
  */
 ExperimentResult runExperiment(const ExperimentConfig &config);
 
-/** config.trials after applying the PAGESIM_TRIALS env override. */
+/**
+ * Parse a PAGESIM_TRIALS-style override string.
+ * @return nullopt for missing, empty, non-numeric, trailing-garbage,
+ *         zero, or negative values (i.e. "no override").
+ */
+std::optional<unsigned> parseTrialsOverride(const char *text);
+
+/**
+ * config.trials after applying the PAGESIM_TRIALS env override.
+ * The environment is read and parsed once per process (the override
+ * is a launch-time knob, and this sits on the sweep hot path).
+ */
 unsigned effectiveTrials(const ExperimentConfig &config);
+
+namespace detail
+{
+/** Re-read PAGESIM_TRIALS; only tests mutate the environment. */
+void refreshTrialsOverrideCacheForTests();
+} // namespace detail
 
 } // namespace pagesim
 

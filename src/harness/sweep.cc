@@ -1,0 +1,130 @@
+#include "harness/sweep.hh"
+
+#include <atomic>
+#include <thread>
+
+namespace pagesim
+{
+
+std::uint64_t
+trialSeed(const ExperimentConfig &config, unsigned trial)
+{
+    return config.baseSeed + 1000003ull * trial;
+}
+
+std::vector<ExperimentResult>
+runSweep(const std::vector<ExperimentConfig> &cells,
+         const SweepOptions &options)
+{
+    struct Task
+    {
+        std::size_t cell;
+        unsigned trial;
+    };
+
+    std::vector<ExperimentResult> results(cells.size());
+    std::vector<Task> tasks;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        results[c].config = cells[c];
+        const unsigned trials = effectiveTrials(cells[c]);
+        results[c].trials.resize(trials);
+        for (unsigned t = 0; t < trials; ++t)
+            tasks.push_back({c, t});
+    }
+    if (tasks.empty())
+        return results;
+
+    unsigned workers = options.workers;
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 4;
+    }
+    workers = std::min<std::size_t>(workers, tasks.size());
+
+    // Task claiming is a single atomic chase; each task writes only
+    // its own pre-sized result slot, so no further synchronization is
+    // needed and results are independent of claim order.
+    std::atomic<std::size_t> next{0};
+    auto drain = [&] {
+        while (true) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= tasks.size())
+                return;
+            const Task &task = tasks[i];
+            const ExperimentConfig &config = cells[task.cell];
+            results[task.cell].trials[task.trial] =
+                runTrial(config, trialSeed(config, task.trial));
+        }
+    };
+
+    if (workers == 1) {
+        drain();
+        return results;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(drain);
+    for (auto &t : pool)
+        t.join();
+    return results;
+}
+
+std::string
+ResultCache::key(const ExperimentConfig &config)
+{
+    return config.label() + "/" + std::to_string(config.trials) + "/" +
+           std::to_string(config.baseSeed) + "/" +
+           std::to_string(static_cast<int>(config.scale)) + "/" +
+           std::to_string(static_cast<int>(config.slowTierRatio * 100)) +
+           "/" + std::to_string(config.numCpus);
+}
+
+const ExperimentResult &
+ResultCache::get(const ExperimentConfig &config)
+{
+    const std::string k = key(config);
+    auto it = cells_.find(k);
+    if (it == cells_.end()) {
+        ++misses_;
+        it = cells_.emplace(k, runExperiment(config)).first;
+    } else {
+        ++hits_;
+    }
+    return it->second;
+}
+
+void
+ResultCache::prefetch(const std::vector<ExperimentConfig> &cells,
+                      const SweepOptions &options)
+{
+    std::vector<ExperimentConfig> cold;
+    std::vector<std::string> coldKeys;
+    for (const ExperimentConfig &config : cells) {
+        std::string k = key(config);
+        if (cells_.count(k) != 0)
+            continue;
+        // A figure may legitimately list the same cell twice (e.g. a
+        // shared normalization baseline); run it once.
+        bool queued = false;
+        for (const std::string &seen : coldKeys)
+            if (seen == k) {
+                queued = true;
+                break;
+            }
+        if (queued)
+            continue;
+        cold.push_back(config);
+        coldKeys.push_back(std::move(k));
+    }
+    if (cold.empty())
+        return;
+    std::vector<ExperimentResult> results = runSweep(cold, options);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        ++misses_;
+        cells_.emplace(coldKeys[i], std::move(results[i]));
+    }
+}
+
+} // namespace pagesim

@@ -1,24 +1,131 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace pagesim
 {
 
-bool
-EventQueue::runOne()
+EventQueue::EventQueue() : buckets_(kLevels * kBucketsPerLevel) {}
+
+void
+EventQueue::rehome()
 {
-    if (heap_.empty())
-        return false;
-    // priority_queue::top() returns const&; the callback must be moved
-    // out before pop. const_cast is confined to this one spot.
-    Record &top = const_cast<Record &>(heap_.top());
-    now_ = top.when;
-    Callback cb = std::move(top.cb);
-    heap_.pop();
-    ++dispatched_;
-    cb();
-    return true;
+    std::vector<Record> live;
+    live.reserve(bucketed_);
+    for (unsigned level = 0; level < kLevels; ++level) {
+        for (int idx = bits_[level].findGE(0); idx >= 0;
+             idx = bits_[level].findGE(idx + 1)) {
+            Bucket &bucket = bucketAt(level, idx);
+            if (bucket.builtDay != kNoDay) {
+                // Partially dispatched bucket: only keyed slots are
+                // still live.
+                for (const Key &key : bucket.keys)
+                    live.push_back(std::move(bucket.slots[key.slot]));
+                bucket.keys.clear();
+                bucket.builtDay = kNoDay;
+            } else {
+                for (Record &rec : bucket.slots)
+                    live.push_back(std::move(rec));
+            }
+            bucket.slots.clear();
+            bits_[level].clear(idx);
+        }
+    }
+    // Every pending event is at or after now_ (dispatch is in time
+    // order), so this cursor is behind the whole set.
+    cursor_ = now_ & ~((1ull << kBaseBits) - 1);
+    for (Record &rec : live) {
+        if (!place(rec.when, rec.seq, std::move(rec.cb)))
+            --bucketed_; // fell past the horizon of the new cursor
+    }
+}
+
+void
+EventQueue::cascade(unsigned level, unsigned idx)
+{
+    Bucket &bucket = bucketAt(level, idx);
+    bits_[level].clear(idx);
+    // Records re-file at a strictly lower level: the cursor now sits at
+    // this bucket's window start, so every record is within one bucket
+    // width of it. place() never touches this bucket again, so moving
+    // out of slots while inserting elsewhere is safe.
+    for (Record &rec : bucket.slots)
+        place(rec.when, rec.seq, std::move(rec.cb));
+    bucket.slots.clear();
+}
+
+void
+EventQueue::migrateOverflow()
+{
+    while (!overflow_.empty() &&
+           ((overflow_.front().when ^ cursor_) >> kHorizonBits) == 0) {
+        std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+        Record rec = std::move(overflow_.back());
+        overflow_.pop_back();
+        if (place(rec.when, rec.seq, std::move(rec.cb)))
+            ++bucketed_;
+    }
+}
+
+bool
+EventQueue::positionCursorSlow()
+{
+    while (true) {
+        const int idx = bits_[0].findGE(
+            static_cast<unsigned>((cursor_ >> kBaseBits) & kIdxMask));
+        if (idx >= 0) {
+            constexpr std::uint64_t window =
+                (1ull << (kBaseBits + kLevelBits)) - 1;
+            cursor_ = (cursor_ & ~window) |
+                      (static_cast<std::uint64_t>(idx) << kBaseBits);
+            Bucket &bucket = bucketAt(0, idx);
+            const std::uint64_t day = dayOf(cursor_);
+            if (bucket.builtDay != day) {
+                // First visit: order the accumulated slots. Nothing
+                // has been dispatched from an unbuilt bucket, so every
+                // slot is live.
+                bucket.keys.clear();
+                bucket.keys.reserve(bucket.slots.size());
+                for (std::uint32_t i = 0; i < bucket.slots.size(); ++i) {
+                    bucket.keys.push_back(Key{bucket.slots[i].when,
+                                              bucket.slots[i].seq, i});
+                }
+                std::make_heap(bucket.keys.begin(), bucket.keys.end(),
+                               Later{});
+                bucket.builtDay = day;
+            }
+            return true;
+        }
+        // Level 0 is dry: open the next occupied higher-level bucket.
+        // Levels above the cursor hold only strictly-later windows, so
+        // the search is strictly-greater and never wraps.
+        bool advanced = false;
+        for (unsigned level = 1; level < kLevels; ++level) {
+            const unsigned shift = levelShift(level);
+            const int next = bits_[level].findGE(
+                static_cast<unsigned>((cursor_ >> shift) & kIdxMask) +
+                1);
+            if (next >= 0) {
+                const std::uint64_t window =
+                    (1ull << (shift + kLevelBits)) - 1;
+                cursor_ = (cursor_ & ~window) |
+                          (static_cast<std::uint64_t>(next) << shift);
+                cascade(level, next);
+                advanced = true;
+                break;
+            }
+        }
+        if (advanced)
+            continue;
+        // The whole wheel is dry: everything pending sits beyond the
+        // horizon. Jump the cursor to the earliest far event and pull
+        // the now-reachable ones in.
+        assert(bucketed_ == 0 && !overflow_.empty());
+        cursor_ = overflow_.front().when & ~((1ull << kBaseBits) - 1);
+        migrateOverflow();
+    }
 }
 
 void
@@ -31,10 +138,8 @@ EventQueue::run(std::uint64_t limit)
 void
 EventQueue::runUntil(SimTime deadline)
 {
-    while (!heap_.empty() && heap_.top().when <= deadline) {
-        if (!runOne())
-            break;
-    }
+    while (positionCursor() && front().when <= deadline)
+        dispatchFront();
     if (now_ < deadline)
         now_ = deadline;
 }

@@ -38,17 +38,46 @@ TEST(Experiment, MakeWorkloadBuildsEveryKind)
     }
 }
 
+TEST(Experiment, ParseTrialsOverride)
+{
+    EXPECT_EQ(parseTrialsOverride(nullptr), std::nullopt);
+    EXPECT_EQ(parseTrialsOverride(""), std::nullopt);
+    EXPECT_EQ(parseTrialsOverride("garbage"), std::nullopt);
+    EXPECT_EQ(parseTrialsOverride("3x"), std::nullopt);
+    EXPECT_EQ(parseTrialsOverride("0"), std::nullopt);
+    EXPECT_EQ(parseTrialsOverride("-2"), std::nullopt);
+    EXPECT_EQ(parseTrialsOverride("99999999999999"), std::nullopt);
+    EXPECT_EQ(parseTrialsOverride("1"), 1u);
+    EXPECT_EQ(parseTrialsOverride("3"), 3u);
+    EXPECT_EQ(parseTrialsOverride("64"), 64u);
+}
+
 TEST(Experiment, EffectiveTrialsHonorsEnv)
 {
     ExperimentConfig cfg;
     cfg.trials = 8;
-    unsetenv("PAGESIM_TRIALS");
-    EXPECT_EQ(effectiveTrials(cfg), 8u);
+    // The override is read from the environment once per process; the
+    // test hook re-reads it so each case here sees its own value.
     setenv("PAGESIM_TRIALS", "3", 1);
+    detail::refreshTrialsOverrideCacheForTests();
     EXPECT_EQ(effectiveTrials(cfg), 3u);
+    // Malformed values fall back to the config.
     setenv("PAGESIM_TRIALS", "garbage", 1);
+    detail::refreshTrialsOverrideCacheForTests();
+    EXPECT_EQ(effectiveTrials(cfg), 8u);
+    setenv("PAGESIM_TRIALS", "0", 1);
+    detail::refreshTrialsOverrideCacheForTests();
     EXPECT_EQ(effectiveTrials(cfg), 8u);
     unsetenv("PAGESIM_TRIALS");
+    detail::refreshTrialsOverrideCacheForTests();
+    EXPECT_EQ(effectiveTrials(cfg), 8u);
+    // Mutating the environment without the hook has no effect: the
+    // cached value keeps every cell of a sweep on the same trial
+    // count no matter when it is scheduled.
+    setenv("PAGESIM_TRIALS", "5", 1);
+    EXPECT_EQ(effectiveTrials(cfg), 8u);
+    unsetenv("PAGESIM_TRIALS");
+    detail::refreshTrialsOverrideCacheForTests();
 }
 
 TEST(Experiment, TrialIsDeterministicForSeed)

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "harness/sweep.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+std::vector<ExperimentConfig>
+smallCells()
+{
+    std::vector<ExperimentConfig> cells;
+    ExperimentConfig base;
+    base.scale = ScalePreset::Small;
+    base.trials = 2;
+    for (WorkloadKind wk :
+         {WorkloadKind::Tpch, WorkloadKind::PageRank}) {
+        base.workload = wk;
+        for (PolicyKind pk : {PolicyKind::Clock, PolicyKind::MgLru}) {
+            base.policy = pk;
+            cells.push_back(base);
+        }
+    }
+    return cells;
+}
+
+void
+expectSameResults(const std::vector<ExperimentResult> &a,
+                  const std::vector<ExperimentResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t c = 0; c < a.size(); ++c) {
+        ASSERT_EQ(a[c].trials.size(), b[c].trials.size());
+        for (std::size_t t = 0; t < a[c].trials.size(); ++t) {
+            EXPECT_EQ(a[c].trials[t].runtimeNs,
+                      b[c].trials[t].runtimeNs);
+            EXPECT_EQ(a[c].trials[t].majorFaults,
+                      b[c].trials[t].majorFaults);
+            EXPECT_EQ(a[c].trials[t].kernel.evictions,
+                      b[c].trials[t].kernel.evictions);
+        }
+    }
+}
+
+TEST(Sweep, TrialSeedIndependentOfScheduling)
+{
+    ExperimentConfig cfg;
+    cfg.baseSeed = 12345;
+    // The derivation is pure config + trial index: no global state,
+    // no worker identity.
+    EXPECT_EQ(trialSeed(cfg, 0), 12345u);
+    EXPECT_EQ(trialSeed(cfg, 2) - trialSeed(cfg, 1),
+              trialSeed(cfg, 1) - trialSeed(cfg, 0));
+    ExperimentConfig other = cfg;
+    other.workload = WorkloadKind::PageRank;
+    EXPECT_EQ(trialSeed(cfg, 3), trialSeed(other, 3));
+}
+
+TEST(Sweep, ParallelMatchesSerial)
+{
+    const std::vector<ExperimentConfig> cells = smallCells();
+    SweepOptions serial;
+    serial.workers = 1;
+    SweepOptions parallel;
+    parallel.workers = 4;
+    const std::vector<ExperimentResult> a = runSweep(cells, serial);
+    const std::vector<ExperimentResult> b = runSweep(cells, parallel);
+    expectSameResults(a, b);
+}
+
+TEST(Sweep, MatchesPerCellRunExperiment)
+{
+    const std::vector<ExperimentConfig> cells = smallCells();
+    std::vector<ExperimentResult> per_cell;
+    per_cell.reserve(cells.size());
+    for (const ExperimentConfig &cell : cells)
+        per_cell.push_back(runExperiment(cell));
+    const std::vector<ExperimentResult> pooled = runSweep(cells);
+    expectSameResults(per_cell, pooled);
+}
+
+TEST(Sweep, ResultCacheHitsAndMisses)
+{
+    ResultCache cache;
+    std::vector<ExperimentConfig> cells = smallCells();
+    cells.resize(2);
+    cache.prefetch(cells);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.hits(), 0u);
+
+    // Declared cells now come from the cache...
+    const ExperimentResult &first = cache.get(cells[0]);
+    cache.get(cells[1]);
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(&cache.get(cells[0]), &first); // same stored object
+
+    // ...a re-prefetch of known cells runs nothing new...
+    cache.prefetch(cells);
+    EXPECT_EQ(cache.misses(), 2u);
+
+    // ...and an undeclared cell still works as a one-off miss.
+    ExperimentConfig cold = cells[0];
+    cold.workload = WorkloadKind::PageRank;
+    cache.get(cold);
+    EXPECT_EQ(cache.misses(), 3u);
+
+    // Cached results match a fresh computation.
+    expectSameResults({cache.get(cells[0])}, {runExperiment(cells[0])});
+}
+
+TEST(Sweep, HonorsTrialsOverrideConsistently)
+{
+    // The cached PAGESIM_TRIALS read (tested in experiment_test)
+    // applies to sweeps too: every cell gets the same trial count.
+    const std::vector<ExperimentConfig> cells = smallCells();
+    const std::vector<ExperimentResult> results = runSweep(cells);
+    for (const ExperimentResult &res : results)
+        EXPECT_EQ(res.trials.size(), effectiveTrials(cells.front()));
+}
+
+} // namespace
+} // namespace pagesim

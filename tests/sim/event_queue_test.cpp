@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <iterator>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -127,6 +132,166 @@ TEST(EventQueue, RunWhileHonorsPredicate)
         q.schedule(i, [&] { ++count; });
     q.runWhile([&] { return count < 3; });
     EXPECT_EQ(count, 3);
+}
+
+// The timing wheel must dispatch in exactly the (when, seq) order the
+// original std::priority_queue implementation produced. These tests
+// cross-check against a reference model on randomized schedules that
+// exercise every internal path: same-bucket ties, cascades from every
+// level, the far-future overflow heap, and cursor pull-back.
+
+namespace
+{
+
+/** xorshift64: cheap deterministic randomness for the cross-checks. */
+struct MiniRng
+{
+    std::uint64_t x;
+    std::uint64_t
+    next()
+    {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return x;
+    }
+};
+
+/** Reference ordering: stable sort of (when, insertion index). */
+std::vector<std::pair<SimTime, int>>
+referenceOrder(const std::vector<SimTime> &whens)
+{
+    std::vector<std::pair<SimTime, int>> order;
+    order.reserve(whens.size());
+    for (std::size_t i = 0; i < whens.size(); ++i)
+        order.emplace_back(whens[i], static_cast<int>(i));
+    std::stable_sort(order.begin(), order.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    return order;
+}
+
+} // namespace
+
+TEST(EventQueue, RandomizedOrderMatchesReferenceAcrossTimescales)
+{
+    MiniRng rng{0x2545f4914f6cdd1dull};
+    // Deltas spanning ns to minutes hit every wheel level plus the
+    // overflow heap; coarse quantization forces plenty of exact ties.
+    const SimTime spans[] = {1,         1000,        65536,
+                             1000000,   100000000,   30000000000ull,
+                             2000000000000ull};
+    for (int round = 0; round < 20; ++round) {
+        EventQueue q;
+        std::vector<SimTime> whens;
+        std::vector<int> fired;
+        for (int i = 0; i < 400; ++i) {
+            const SimTime span = spans[rng.next() % std::size(spans)];
+            const SimTime when = (rng.next() % span) & ~0x3ull;
+            const int id = static_cast<int>(whens.size());
+            whens.push_back(when);
+            q.schedule(when, [&fired, id] { fired.push_back(id); });
+        }
+        q.run();
+        const auto expect = referenceOrder(whens);
+        ASSERT_EQ(fired.size(), expect.size());
+        for (std::size_t i = 0; i < expect.size(); ++i)
+            EXPECT_EQ(fired[i], expect[i].second) << "round " << round;
+    }
+}
+
+TEST(EventQueue, RandomizedSelfSchedulingMatchesReference)
+{
+    // Interleaved schedule-from-callback churn: the wheel state when
+    // an event fires differs from when it was inserted, so cascades
+    // and bucket activation run mid-dispatch, like the simulator.
+    MiniRng rng{0x9e3779b97f4a7c15ull};
+    EventQueue q;
+    std::vector<SimTime> whens;
+    std::vector<int> fired;
+    std::function<void(int)> spawn = [&](int fanout) {
+        for (int i = 0; i < fanout; ++i) {
+            const SimTime delta = (rng.next() % 3 == 0)
+                                      ? rng.next() % 300000000
+                                      : rng.next() % 50000;
+            const SimTime when = q.now() + (delta & ~0x3ull);
+            const int id = static_cast<int>(whens.size());
+            whens.push_back(when);
+            q.schedule(when, [&, id] {
+                fired.push_back(id);
+                if (whens.size() < 3000)
+                    spawn(static_cast<int>(rng.next() % 3));
+            });
+        }
+    };
+    spawn(64);
+    q.run();
+    const auto expect = referenceOrder(whens);
+    ASSERT_EQ(fired.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        ASSERT_EQ(fired[i], expect[i].second) << "position " << i;
+}
+
+TEST(EventQueue, InsertBehindParkedCursorKeepsOrder)
+{
+    // runUntil() can park the wheel cursor on a far-future event's
+    // bucket while the clock stays at the deadline; a later insert
+    // between the two must still dispatch first (the rehome path).
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(5000000000ull, [&] { fired.push_back(2); });
+    q.runUntil(1000); // cursor now parked far ahead of the clock
+    EXPECT_EQ(q.now(), 1000u);
+    q.schedule(2000, [&] { fired.push_back(0); });
+    q.schedule(400000000ull, [&] { fired.push_back(1); });
+    q.run();
+    EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(q.pastSchedules(), 0u);
+}
+
+TEST(EventQueue, RunUntilSplitsBucketAndLaterInsertsJoinHeap)
+{
+    // runUntil() can drain half of an activated bucket; survivors must
+    // stay ordered with events inserted into the built heap afterward.
+    EventQueue q;
+    std::vector<int> fired;
+    // Two events in the same level-0 bucket (1 us wide), one early
+    // one late; runUntil splits the bucket.
+    q.schedule(10000000100ull, [&] { fired.push_back(1); });
+    q.schedule(10000000900ull, [&] { fired.push_back(3); });
+    q.runUntil(10000000500ull);
+    EXPECT_EQ(fired, (std::vector<int>{1}));
+    q.schedule(10000000600ull, [&] { fired.push_back(2); });
+    q.runUntil(10000000600ull);
+    q.schedule(10000000700ull, [&] {
+        fired.push_back(4);
+        q.scheduleAfter(50, [&] { fired.push_back(5); });
+    });
+    q.run();
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 4, 5, 3}));
+}
+
+TEST(EventQueue, MassedTiesDispatchFifoAcrossBucketActivation)
+{
+    // FIFO among equal timestamps must survive the append-then-build
+    // bucket activation: insert before and after the bucket's heap is
+    // built, at the same instant.
+    EventQueue q;
+    std::vector<int> fired;
+    const SimTime t = 777777;
+    for (int i = 0; i < 50; ++i)
+        q.schedule(t, [&fired, i] { fired.push_back(i); });
+    // First dispatch activates the bucket; the callback then inserts
+    // more ties, which join the already-built heap.
+    q.schedule(t - 1, [&] {
+        for (int i = 50; i < 80; ++i)
+            q.schedule(t, [&fired, i] { fired.push_back(i); });
+    });
+    q.run();
+    ASSERT_EQ(fired.size(), 80u);
+    for (int i = 0; i < 80; ++i)
+        EXPECT_EQ(fired[i], i);
 }
 
 } // namespace
