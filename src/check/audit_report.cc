@@ -1,0 +1,87 @@
+#include "check/audit_report.hh"
+
+#include <sstream>
+
+namespace pagesim
+{
+
+const char *
+auditSubsystemName(AuditSubsystem s)
+{
+    switch (s) {
+      case AuditSubsystem::Pte:
+        return "Pte";
+      case AuditSubsystem::Frame:
+        return "Frame";
+      case AuditSubsystem::FrameList:
+        return "FrameList";
+      case AuditSubsystem::SlowTier:
+        return "SlowTier";
+      case AuditSubsystem::Policy:
+        return "Policy";
+      case AuditSubsystem::Swap:
+        return "Swap";
+      case AuditSubsystem::Zram:
+        return "Zram";
+      case AuditSubsystem::Waiters:
+        return "Waiters";
+    }
+    return "?";
+}
+
+std::string
+AuditViolation::toString() const
+{
+    std::ostringstream os;
+    os << '[' << auditSubsystemName(subsystem) << "] " << invariant;
+    if (spaceId != kNoSpace)
+        os << " space=" << spaceId;
+    if (vpn != kNoVpn)
+        os << " vpn=" << vpn;
+    if (pfn != kInvalidPfn)
+        os << " pfn=" << pfn;
+    os << ": expected " << expected << "; actual " << actual;
+    return os.str();
+}
+
+bool
+AuditReport::hasInvariant(std::string_view id) const
+{
+    for (const AuditViolation &v : violations)
+        if (v.invariant == id)
+            return true;
+    return false;
+}
+
+std::size_t
+AuditReport::countFor(AuditSubsystem s) const
+{
+    std::size_t n = 0;
+    for (const AuditViolation &v : violations)
+        if (v.subsystem == s)
+            ++n;
+    return n;
+}
+
+std::string
+AuditReport::toString(std::size_t max_lines) const
+{
+    std::ostringstream os;
+    os << "mm_audit #" << auditSeq << ": " << violations.size()
+       << " violation(s) | walked " << ptesWalked << " PTEs, "
+       << framesWalked << " frames, " << slotsChecked << " slots, "
+       << listsWalked << " lists\n";
+    std::size_t shown = 0;
+    for (const AuditViolation &v : violations) {
+        if (shown == max_lines) {
+            os << "  ... (" << (violations.size() - shown)
+               << " more)\n";
+            break;
+        }
+        os << "  " << v.toString() << '\n';
+        ++shown;
+    }
+    return os.str();
+}
+
+} // namespace pagesim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Structured output of a cross-layer MM invariant audit.
+ *
+ * A violation is a first-class record — which subsystem, which
+ * invariant, which page/frame/slot, what was expected versus what was
+ * found — rather than a bare assert, so mutation tests can assert on
+ * the *class* of corruption detected and production runs can log a
+ * catalog instead of dying on the first inconsistency. Hard-fail
+ * behavior (tests, CI) is layered on top by MmAuditor::installPeriodic.
+ */
+
+#ifndef PAGESIM_CHECK_AUDIT_REPORT_HH
+#define PAGESIM_CHECK_AUDIT_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mem/types.hh"
+
+namespace pagesim
+{
+
+/** Which layer's bookkeeping an audit finding implicates. */
+enum class AuditSubsystem
+{
+    Pte,       ///< page-table entry state / flag combinations
+    Frame,     ///< fast-tier frame table + reverse map
+    FrameList, ///< intrusive list link/size coherence
+    SlowTier,  ///< TPP slow-tier frames and demotion FIFO
+    Policy,    ///< replacement-policy lists vs. resident population
+    Swap,      ///< swap-slot allocation / ownership
+    Zram,      ///< compressed-pool contents and accounting
+    Waiters,   ///< I/O waiter table vs. in-flight operations
+};
+
+const char *auditSubsystemName(AuditSubsystem s);
+
+/** One detected invariant violation. */
+struct AuditViolation
+{
+    AuditSubsystem subsystem = AuditSubsystem::Pte;
+    /** Stable invariant identifier (e.g. "present-maps-live-frame"). */
+    std::string invariant;
+    /** Address-space id, or kNoSpace when not applicable. */
+    std::uint32_t spaceId = kNoSpace;
+    /** Virtual page, or kNoVpn when not applicable. */
+    Vpn vpn = kNoVpn;
+    /** Physical frame, or kInvalidPfn when not applicable. */
+    Pfn pfn = kInvalidPfn;
+    std::string expected;
+    std::string actual;
+
+    static constexpr std::uint32_t kNoSpace = 0xffffffffu;
+    static constexpr Vpn kNoVpn = ~static_cast<Vpn>(0);
+
+    /** One-line human-readable rendering. */
+    std::string toString() const;
+};
+
+/** Everything one audit pass found, plus coverage counters. */
+struct AuditReport
+{
+    std::vector<AuditViolation> violations;
+
+    /** Monotone audit number (1-based) within the owning auditor. */
+    std::uint64_t auditSeq = 0;
+
+    // Coverage: what the walk actually visited.
+    std::uint64_t ptesWalked = 0;
+    std::uint64_t framesWalked = 0;
+    std::uint64_t slotsChecked = 0;
+    std::uint64_t listsWalked = 0;
+
+    bool clean() const { return violations.empty(); }
+
+    /** Any violation whose invariant id matches @p id exactly? */
+    bool hasInvariant(std::string_view id) const;
+
+    /** Violations attributed to @p s. */
+    std::size_t countFor(AuditSubsystem s) const;
+
+    /**
+     * Multi-line rendering: header, then up to @p max_lines violation
+     * lines (the rest summarized as a count).
+     */
+    std::string toString(std::size_t max_lines = 32) const;
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_CHECK_AUDIT_REPORT_HH

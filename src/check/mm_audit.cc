@@ -1,0 +1,824 @@
+#include "check/mm_audit.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "policy/clock_lru.hh"
+#include "policy/mglru/mglru_policy.hh"
+#include "swap/zram_device.hh"
+
+namespace pagesim
+{
+
+namespace
+{
+
+std::string
+flagString(const Pte &pte)
+{
+    std::string s;
+    const auto add = [&s](bool on, const char *name) {
+        if (!on)
+            return;
+        if (!s.empty())
+            s += '|';
+        s += name;
+    };
+    add(pte.present(), "Present");
+    add(pte.accessed(), "Accessed");
+    add(pte.dirty(), "Dirty");
+    add(pte.swapped(), "Swapped");
+    add(pte.mapped(), "Mapped");
+    add(pte.file(), "File");
+    add(pte.inIo(), "InIo");
+    add(pte.slow(), "Slow");
+    if (s.empty())
+        s = "none";
+    return s;
+}
+
+std::string
+ownerString(const AddressSpace *space, Vpn vpn)
+{
+    return "(space " + std::to_string(space->id()) + ", vpn " +
+           std::to_string(vpn) + ")";
+}
+
+} // namespace
+
+MmAuditor::MmAuditor(MemoryManager &mm,
+                     std::vector<const AddressSpace *> spaces)
+    : mm_(mm), spaces_(std::move(spaces))
+{
+    for (const AddressSpace *s : spaces_)
+        spaceSet_.insert(s);
+}
+
+bool
+MmAuditor::knownSpace(const AddressSpace *space) const
+{
+    return spaceSet_.count(space) != 0;
+}
+
+void
+MmAuditor::addViolation(AuditReport &rep, AuditSubsystem subsystem,
+                        const char *invariant, std::uint32_t space_id,
+                        Vpn vpn, Pfn pfn, std::string expected,
+                        std::string actual) const
+{
+    AuditViolation v;
+    v.subsystem = subsystem;
+    v.invariant = invariant;
+    v.spaceId = space_id;
+    v.vpn = vpn;
+    v.pfn = pfn;
+    v.expected = std::move(expected);
+    v.actual = std::move(actual);
+    rep.violations.push_back(std::move(v));
+}
+
+void
+MmAuditor::recordSlotRef(WalkContext &ctx, SwapSlot slot,
+                         const AddressSpace *space, Vpn vpn,
+                         const char *via) const
+{
+    ctx.slotRefs[slot].push_back(WalkContext::SlotOwner{space, vpn, via});
+}
+
+AuditReport
+MmAuditor::audit()
+{
+    AuditReport rep;
+    rep.auditSeq = ++auditsRun_;
+    WalkContext ctx;
+    checkPtes(rep, ctx);
+    checkFastFrames(rep, ctx);
+    checkSlowTier(rep, ctx);
+    checkPolicy(rep, ctx);
+    checkSwap(rep, ctx);
+    checkWaiters(rep, ctx);
+    violationsSeen_ += rep.violations.size();
+    return rep;
+}
+
+void
+MmAuditor::installPeriodic(bool hard_fail)
+{
+    mm_.attachAuditHook([this, hard_fail] {
+        const AuditReport rep = audit();
+        if (rep.clean())
+            return;
+        std::fputs(rep.toString().c_str(), stderr);
+        std::fflush(stderr);
+        if (hard_fail)
+            std::abort();
+    });
+}
+
+void
+MmAuditor::checkPtes(AuditReport &rep, WalkContext &ctx) const
+{
+    const FrameTable &fast = mm_.frames();
+    const FrameTable &slow = mm_.slowFrames();
+    const SwapManager &swap = mm_.swap();
+    const ZramSwapDevice *zram = swap.zram();
+
+    for (const AddressSpace *sp : spaces_) {
+        const PageTable &pt = sp->table();
+        for (std::uint64_t r = 0; r < pt.numRegions(); ++r) {
+            std::uint32_t mapped = 0;
+            std::uint32_t present = 0;
+            const Vpn base = r * kPtesPerRegion;
+            for (Vpn vpn = base; vpn < base + kPtesPerRegion; ++vpn) {
+                const Pte &pte = pt.at(vpn);
+                ++rep.ptesWalked;
+                if (pte.mapped())
+                    ++mapped;
+                if (pte.present())
+                    ++present;
+
+                // Flag-combination sanity first; a PTE with an illegal
+                // combination is not interpreted further.
+                if (!pte.mapped()) {
+                    if (pte.present() || pte.swapped() || pte.inIo() ||
+                        pte.slow()) {
+                        addViolation(rep, AuditSubsystem::Pte,
+                                     "state-on-unmapped-pte", sp->id(),
+                                     vpn, kInvalidPfn,
+                                     "no residency/swap state outside "
+                                     "a VMA",
+                                     flagString(pte));
+                    }
+                    continue;
+                }
+                if (pte.present() && pte.swapped()) {
+                    addViolation(rep, AuditSubsystem::Pte,
+                                 "present-and-swapped", sp->id(), vpn,
+                                 kInvalidPfn,
+                                 "Present and Swapped mutually "
+                                 "exclusive",
+                                 flagString(pte));
+                    continue;
+                }
+                if (pte.inIo() && !pte.swapped()) {
+                    addViolation(rep, AuditSubsystem::Pte,
+                                 "inio-without-swapped", sp->id(), vpn,
+                                 kInvalidPfn,
+                                 "InIo only while Swapped (swap I/O "
+                                 "in flight)",
+                                 flagString(pte));
+                    continue;
+                }
+                if (pte.slow() && !pte.present()) {
+                    addViolation(rep, AuditSubsystem::Pte,
+                                 "slow-without-present", sp->id(), vpn,
+                                 kInvalidPfn,
+                                 "Slow implies Present",
+                                 flagString(pte));
+                    continue;
+                }
+
+                if (pte.present() && !pte.slow()) {
+                    ++ctx.presentFastPtes;
+                    const Pfn pfn = pte.pfn();
+                    if (pfn >= fast.totalFrames()) {
+                        addViolation(rep, AuditSubsystem::Pte,
+                                     "present-pfn-out-of-range",
+                                     sp->id(), vpn, pfn,
+                                     "pfn < " +
+                                         std::to_string(
+                                             fast.totalFrames()),
+                                     std::to_string(pfn));
+                        continue;
+                    }
+                    const PageInfo &pi = fast.info(pfn);
+                    if (pi.free() || pi.space != sp || pi.vpn != vpn) {
+                        addViolation(
+                            rep, AuditSubsystem::Pte,
+                            "present-rmap-mismatch", sp->id(), vpn,
+                            pfn,
+                            "frame back-pointer " +
+                                ownerString(sp, vpn),
+                            pi.free() ? std::string("free frame")
+                                      : ownerString(pi.space, pi.vpn));
+                    }
+                } else if (pte.present() && pte.slow()) {
+                    ++ctx.presentSlowPtes;
+                    const Pfn pfn = pte.pfn();
+                    if (pfn >= slow.totalFrames()) {
+                        addViolation(rep, AuditSubsystem::SlowTier,
+                                     "slow-pfn-out-of-range", sp->id(),
+                                     vpn, pfn,
+                                     "pfn < " +
+                                         std::to_string(
+                                             slow.totalFrames()),
+                                     std::to_string(pfn));
+                        continue;
+                    }
+                    const PageInfo &pi = slow.info(pfn);
+                    if (pi.free() || pi.space != sp || pi.vpn != vpn) {
+                        addViolation(
+                            rep, AuditSubsystem::SlowTier,
+                            "slow-rmap-mismatch", sp->id(), vpn, pfn,
+                            "slow-frame back-pointer " +
+                                ownerString(sp, vpn),
+                            pi.free() ? std::string("free frame")
+                                      : ownerString(pi.space, pi.vpn));
+                    }
+                } else if (pte.swapped()) {
+                    const SwapSlot slot = pte.swapSlot();
+                    recordSlotRef(ctx, slot, sp, vpn, "pte");
+                    if (!swap.slotAllocated(slot)) {
+                        addViolation(rep, AuditSubsystem::Swap,
+                                     "swapped-slot-not-allocated",
+                                     sp->id(), vpn, kInvalidPfn,
+                                     "allocated swap slot",
+                                     "slot " + std::to_string(slot) +
+                                         " free or never allocated");
+                    } else if (zram != nullptr && !pte.inIo()) {
+                        // Under writeback the slot's contents are only
+                        // recorded at completion; settled slots must
+                        // hold exactly this page's bytes.
+                        std::uint64_t tag = 0;
+                        const std::uint64_t want =
+                            MemoryManager::contentTag(*sp, vpn);
+                        if (!zram->hasSlotTag(slot, &tag)) {
+                            addViolation(
+                                rep, AuditSubsystem::Zram,
+                                "swapped-slot-untagged", sp->id(), vpn,
+                                kInvalidPfn,
+                                "recorded contents for slot " +
+                                    std::to_string(slot),
+                                "no content tag");
+                        } else if (tag != want) {
+                            addViolation(
+                                rep, AuditSubsystem::Zram,
+                                "swapped-slot-tag-mismatch", sp->id(),
+                                vpn, kInvalidPfn,
+                                "tag " + std::to_string(want),
+                                "tag " + std::to_string(tag));
+                        }
+                    }
+                    if (pte.inIo())
+                        ctx.inIoPtes.emplace_back(sp, vpn);
+                }
+            }
+
+            const RegionInfo &ri = pt.region(r);
+            if (ri.mapped != mapped || ri.present != present) {
+                addViolation(rep, AuditSubsystem::Pte,
+                             "region-counter-mismatch", sp->id(), base,
+                             kInvalidPfn,
+                             "mapped=" + std::to_string(mapped) +
+                                 " present=" + std::to_string(present) +
+                                 " (recount)",
+                             "mapped=" + std::to_string(ri.mapped) +
+                                 " present=" +
+                                 std::to_string(ri.present));
+            }
+        }
+    }
+}
+
+void
+MmAuditor::checkFastFrames(AuditReport &rep, WalkContext &ctx) const
+{
+    const FrameTable &fast = mm_.frames();
+
+    std::unordered_set<Pfn> freeSet;
+    for (const Pfn pfn : fast.freeList()) {
+        if (!freeSet.insert(pfn).second) {
+            addViolation(rep, AuditSubsystem::Frame,
+                         "free-list-duplicate",
+                         AuditViolation::kNoSpace,
+                         AuditViolation::kNoVpn, pfn,
+                         "each free frame listed once",
+                         "duplicate free-list entry");
+        }
+    }
+
+    for (Pfn pfn = 0; pfn < fast.totalFrames(); ++pfn) {
+        const PageInfo &pi = fast.info(pfn);
+        ++rep.framesWalked;
+        const bool onFreeList = freeSet.count(pfn) != 0;
+        if (pi.free() != onFreeList) {
+            addViolation(rep, AuditSubsystem::Frame,
+                         "free-list-membership",
+                         AuditViolation::kNoSpace,
+                         AuditViolation::kNoVpn, pfn,
+                         pi.free() ? "free frame on the free list"
+                                   : "live frame off the free list",
+                         pi.free() ? "free frame missing from free list"
+                                   : "live frame on the free list");
+            continue;
+        }
+        if (pi.free()) {
+            if (pi.listId != 0) {
+                addViolation(rep, AuditSubsystem::Frame,
+                             "free-frame-on-list",
+                             AuditViolation::kNoSpace,
+                             AuditViolation::kNoVpn, pfn,
+                             "free frame on no policy list",
+                             "listId " + std::to_string(pi.listId));
+            }
+            continue;
+        }
+
+        if (pi.space == &mm_.balloonSpace()) {
+            // Balloon frames are kernel-private: the policy never sees
+            // them, so a list tag here means a policy leak.
+            if (pi.listId != 0) {
+                addViolation(rep, AuditSubsystem::Frame,
+                             "balloon-frame-policy-visible",
+                             mm_.balloonSpace().id(), pi.vpn, pfn,
+                             "balloon frame on no policy list",
+                             "listId " + std::to_string(pi.listId));
+            }
+            continue;
+        }
+        if (!knownSpace(pi.space)) {
+            addViolation(rep, AuditSubsystem::Frame,
+                         "frame-unknown-space",
+                         AuditViolation::kNoSpace, pi.vpn, pfn,
+                         "back-pointer into an audited address space",
+                         "unknown AddressSpace");
+            continue;
+        }
+
+        const AddressSpace &sp = *pi.space;
+        if (pi.vpn >= sp.table().span()) {
+            addViolation(rep, AuditSubsystem::Frame,
+                         "frame-vpn-out-of-table", sp.id(), pi.vpn,
+                         pfn,
+                         "vpn < " + std::to_string(sp.table().span()),
+                         std::to_string(pi.vpn));
+            continue;
+        }
+        const Pte &pte = sp.table().at(pi.vpn);
+        if (pte.present() && !pte.slow() && pte.pfn() == pfn) {
+            ++ctx.fastListTagged[pi.listId];
+        } else if (pte.swapped() && pte.inIo()) {
+            // In transit: an async swap-in filling this frame, or a
+            // dirty writeback draining it. Either way the policy must
+            // not be tracking the frame.
+            if (pi.listId != 0) {
+                addViolation(rep, AuditSubsystem::Frame,
+                             "in-transit-frame-on-list", sp.id(),
+                             pi.vpn, pfn,
+                             "in-transit frame on no policy list",
+                             "listId " + std::to_string(pi.listId));
+            }
+            ++ctx.frameClaims[static_cast<const void *>(pi.space)]
+                             [pi.vpn];
+        } else {
+            addViolation(rep, AuditSubsystem::Frame,
+                         "frame-rmap-mismatch", sp.id(), pi.vpn, pfn,
+                         "PTE mapping this frame, or swap I/O in "
+                         "flight",
+                         "PTE flags " + flagString(pte) +
+                             (pte.present()
+                                  ? ", pfn " +
+                                        std::to_string(pte.pfn())
+                                  : std::string()));
+        }
+
+        if (pi.backing != kInvalidSlot)
+            recordSlotRef(ctx, pi.backing, pi.space, pi.vpn,
+                          "frame-backing");
+    }
+}
+
+void
+MmAuditor::checkSlowTier(AuditReport &rep, WalkContext &ctx) const
+{
+    const FrameTable &slow = mm_.slowFrames();
+    if (slow.totalFrames() == 0) {
+        if (ctx.presentSlowPtes != 0) {
+            addViolation(rep, AuditSubsystem::SlowTier,
+                         "slow-ptes-without-slow-tier",
+                         AuditViolation::kNoSpace,
+                         AuditViolation::kNoVpn, kInvalidPfn,
+                         "no Slow PTEs while tiering is off",
+                         std::to_string(ctx.presentSlowPtes) +
+                             " Slow PTEs");
+        }
+        return;
+    }
+
+    const FrameList &fifo = mm_.slowList();
+    std::unordered_set<Pfn> freeSet(slow.freeList().begin(),
+                                    slow.freeList().end());
+
+    for (Pfn pfn = 0; pfn < slow.totalFrames(); ++pfn) {
+        const PageInfo &pi = slow.info(pfn);
+        ++rep.framesWalked;
+        if (pi.free()) {
+            if (freeSet.count(pfn) == 0) {
+                addViolation(rep, AuditSubsystem::SlowTier,
+                             "slow-free-list-membership",
+                             AuditViolation::kNoSpace,
+                             AuditViolation::kNoVpn, pfn,
+                             "free slow frame on the free list",
+                             "missing from free list");
+            }
+            continue;
+        }
+        if (!knownSpace(pi.space)) {
+            addViolation(rep, AuditSubsystem::SlowTier,
+                         "slow-frame-unknown-space",
+                         AuditViolation::kNoSpace, pi.vpn, pfn,
+                         "back-pointer into an audited address space",
+                         "unknown AddressSpace");
+            continue;
+        }
+        const AddressSpace &sp = *pi.space;
+        if (pi.vpn >= sp.table().span()) {
+            addViolation(rep, AuditSubsystem::SlowTier,
+                         "slow-frame-vpn-out-of-table", sp.id(),
+                         pi.vpn, pfn,
+                         "vpn < " + std::to_string(sp.table().span()),
+                         std::to_string(pi.vpn));
+            continue;
+        }
+        const Pte &pte = sp.table().at(pi.vpn);
+        if (pte.present() && pte.slow() && pte.pfn() == pfn) {
+            ++ctx.slowResidentFrames;
+            // Slow-tier pages are never policy-tracked; their only
+            // list is the demotion FIFO.
+            if (pi.listId != fifo.listId()) {
+                addViolation(rep, AuditSubsystem::SlowTier,
+                             "slow-frame-off-fifo", sp.id(), pi.vpn,
+                             pfn,
+                             "resident slow frame on the demotion "
+                             "FIFO (listId " +
+                                 std::to_string(fifo.listId()) + ")",
+                             "listId " + std::to_string(pi.listId));
+            }
+        } else if (pte.swapped() && pte.inIo()) {
+            if (pi.listId != 0) {
+                addViolation(rep, AuditSubsystem::SlowTier,
+                             "slow-in-transit-on-list", sp.id(),
+                             pi.vpn, pfn,
+                             "in-transit slow frame on no list",
+                             "listId " + std::to_string(pi.listId));
+            }
+            ++ctx.frameClaims[static_cast<const void *>(pi.space)]
+                             [pi.vpn];
+        } else {
+            addViolation(rep, AuditSubsystem::SlowTier,
+                         "slow-frame-rmap-mismatch", sp.id(), pi.vpn,
+                         pfn,
+                         "Slow PTE mapping this frame, or swap I/O "
+                         "in flight",
+                         "PTE flags " + flagString(pte));
+        }
+
+        if (pi.backing != kInvalidSlot)
+            recordSlotRef(ctx, pi.backing, pi.space, pi.vpn,
+                          "frame-backing");
+    }
+
+    checkFrameList(rep, AuditSubsystem::SlowTier, "slowList", fifo);
+    if (fifo.size() != ctx.slowResidentFrames) {
+        addViolation(rep, AuditSubsystem::SlowTier,
+                     "slow-fifo-size-mismatch",
+                     AuditViolation::kNoSpace, AuditViolation::kNoVpn,
+                     kInvalidPfn,
+                     std::to_string(ctx.slowResidentFrames) +
+                         " resident slow frames",
+                     "slowList size " + std::to_string(fifo.size()));
+    }
+    if (ctx.presentSlowPtes != ctx.slowResidentFrames) {
+        addViolation(rep, AuditSubsystem::SlowTier,
+                     "slow-pte-frame-count-mismatch",
+                     AuditViolation::kNoSpace, AuditViolation::kNoVpn,
+                     kInvalidPfn,
+                     std::to_string(ctx.slowResidentFrames) +
+                         " resident slow frames",
+                     std::to_string(ctx.presentSlowPtes) +
+                         " Slow PTEs");
+    }
+}
+
+void
+MmAuditor::checkPolicy(AuditReport &rep, WalkContext &ctx) const
+{
+    const FrameTable &fast = mm_.frames();
+    const ReplacementPolicy &policy = mm_.policy();
+
+    if (const auto *mg = dynamic_cast<const MgLruPolicy *>(&policy)) {
+        std::uint64_t sum = 0;
+        for (std::uint64_t seq = mg->minSeq(); seq <= mg->maxSeq();
+             ++seq) {
+            const FrameList &gl = mg->genListAt(seq);
+            checkFrameList(rep, AuditSubsystem::Policy, "genList", gl);
+            sum += gl.size();
+            // Membership: every page's recorded generation must be
+            // live and must resolve back to this very list.
+            Pfn cur = gl.head();
+            std::uint64_t hops = 0;
+            while (cur != kInvalidPfn &&
+                   hops++ < fast.totalFrames()) {
+                const PageInfo &pi = fast.info(cur);
+                if (pi.gen < mg->minSeq() || pi.gen > mg->maxSeq()) {
+                    addViolation(rep, AuditSubsystem::Policy,
+                                 "gen-out-of-range",
+                                 AuditViolation::kNoSpace, pi.vpn, cur,
+                                 "gen in [" +
+                                     std::to_string(mg->minSeq()) +
+                                     ", " +
+                                     std::to_string(mg->maxSeq()) +
+                                     "]",
+                                 "gen " + std::to_string(pi.gen));
+                } else if (&mg->genListAt(pi.gen) != &gl) {
+                    addViolation(rep, AuditSubsystem::Policy,
+                                 "gen-list-mismatch",
+                                 AuditViolation::kNoSpace, pi.vpn, cur,
+                                 "page on the list of its own "
+                                 "generation",
+                                 "on list of seq " +
+                                     std::to_string(seq) +
+                                     ", gen says " +
+                                     std::to_string(pi.gen));
+                }
+                cur = pi.next;
+            }
+        }
+        if (sum != mg->residentPages()) {
+            addViolation(rep, AuditSubsystem::Policy,
+                         "mglru-resident-sum-mismatch",
+                         AuditViolation::kNoSpace,
+                         AuditViolation::kNoVpn, kInvalidPfn,
+                         "resident_ == sum of generation lists (" +
+                             std::to_string(mg->residentPages()) + ")",
+                         "lists sum to " + std::to_string(sum));
+        }
+        if (mg->residentPages() != ctx.presentFastPtes) {
+            addViolation(rep, AuditSubsystem::Policy,
+                         "policy-resident-vs-ptes",
+                         AuditViolation::kNoSpace,
+                         AuditViolation::kNoVpn, kInvalidPfn,
+                         std::to_string(ctx.presentFastPtes) +
+                             " present fast-tier PTEs",
+                         "policy tracks " +
+                             std::to_string(mg->residentPages()));
+        }
+        if (ctx.fastListTagged[MgLruPolicy::kListId] !=
+            mg->residentPages()) {
+            addViolation(rep, AuditSubsystem::Policy,
+                         "mglru-tagged-frames-mismatch",
+                         AuditViolation::kNoSpace,
+                         AuditViolation::kNoVpn, kInvalidPfn,
+                         std::to_string(mg->residentPages()) +
+                             " frames tagged listId " +
+                             std::to_string(MgLruPolicy::kListId),
+                         std::to_string(
+                             ctx.fastListTagged[MgLruPolicy::kListId]) +
+                             " tagged");
+        }
+    } else if (const auto *clock =
+                   dynamic_cast<const ClockLru *>(&policy)) {
+        checkFrameList(rep, AuditSubsystem::Policy, "active",
+                       clock->activeList());
+        checkFrameList(rep, AuditSubsystem::Policy, "inactive",
+                       clock->inactiveList());
+        if (clock->activeSize() + clock->inactiveSize() !=
+            ctx.presentFastPtes) {
+            addViolation(rep, AuditSubsystem::Policy,
+                         "policy-resident-vs-ptes",
+                         AuditViolation::kNoSpace,
+                         AuditViolation::kNoVpn, kInvalidPfn,
+                         std::to_string(ctx.presentFastPtes) +
+                             " present fast-tier PTEs",
+                         "active " +
+                             std::to_string(clock->activeSize()) +
+                             " + inactive " +
+                             std::to_string(clock->inactiveSize()));
+        }
+        if (ctx.fastListTagged[ClockLru::kActiveListId] !=
+            clock->activeSize()) {
+            addViolation(
+                rep, AuditSubsystem::Policy,
+                "clock-active-tag-mismatch",
+                AuditViolation::kNoSpace, AuditViolation::kNoVpn,
+                kInvalidPfn,
+                std::to_string(clock->activeSize()) +
+                    " frames tagged active",
+                std::to_string(
+                    ctx.fastListTagged[ClockLru::kActiveListId]) +
+                    " tagged");
+        }
+        if (ctx.fastListTagged[ClockLru::kInactiveListId] !=
+            clock->inactiveSize()) {
+            addViolation(
+                rep, AuditSubsystem::Policy,
+                "clock-inactive-tag-mismatch",
+                AuditViolation::kNoSpace, AuditViolation::kNoVpn,
+                kInvalidPfn,
+                std::to_string(clock->inactiveSize()) +
+                    " frames tagged inactive",
+                std::to_string(
+                    ctx.fastListTagged[ClockLru::kInactiveListId]) +
+                    " tagged");
+        }
+    }
+}
+
+void
+MmAuditor::checkSwap(AuditReport &rep, WalkContext &ctx) const
+{
+    const SwapManager &swap = mm_.swap();
+    const SwapSlot high = swap.slotHighWater();
+
+    std::unordered_set<SwapSlot> freeSet;
+    for (const SwapSlot s : swap.freeSlotList()) {
+        ++rep.slotsChecked;
+        if (!freeSet.insert(s).second) {
+            addViolation(rep, AuditSubsystem::Swap,
+                         "free-slot-duplicate",
+                         AuditViolation::kNoSpace,
+                         AuditViolation::kNoVpn, kInvalidPfn,
+                         "each free slot listed once",
+                         "slot " + std::to_string(s) + " duplicated");
+        }
+        if (s >= high) {
+            addViolation(rep, AuditSubsystem::Swap,
+                         "free-slot-above-high-water",
+                         AuditViolation::kNoSpace,
+                         AuditViolation::kNoVpn, kInvalidPfn,
+                         "free slots below high water " +
+                             std::to_string(high),
+                         "slot " + std::to_string(s));
+        }
+    }
+
+    const std::int64_t expectUsed =
+        static_cast<std::int64_t>(high) -
+        static_cast<std::int64_t>(freeSet.size());
+    if (static_cast<std::int64_t>(swap.usedSlots()) != expectUsed) {
+        addViolation(rep, AuditSubsystem::Swap, "slot-ledger-imbalance",
+                     AuditViolation::kNoSpace, AuditViolation::kNoVpn,
+                     kInvalidPfn,
+                     "used == high water - free (" +
+                         std::to_string(expectUsed) + ")",
+                     "used " + std::to_string(swap.usedSlots()));
+    }
+
+    std::uint64_t owned = 0;
+    for (const auto &[slot, owners] : ctx.slotRefs) {
+        ++rep.slotsChecked;
+        if (freeSet.count(slot) != 0 || slot >= high) {
+            const auto &o = owners.front();
+            addViolation(rep, AuditSubsystem::Swap,
+                         "referenced-slot-not-allocated",
+                         o.space->id(), o.vpn, kInvalidPfn,
+                         "slot " + std::to_string(slot) +
+                             " allocated (referenced via " + o.via +
+                             ")",
+                         slot >= high ? "slot never allocated"
+                                      : "slot on the free list");
+            continue;
+        }
+        ++owned;
+        const auto &o0 = owners.front();
+        for (std::size_t i = 1; i < owners.size(); ++i) {
+            if (owners[i].space != o0.space || owners[i].vpn != o0.vpn) {
+                addViolation(rep, AuditSubsystem::Swap, "slot-shared",
+                             o0.space->id(), o0.vpn, kInvalidPfn,
+                             "slot " + std::to_string(slot) +
+                                 " owned by one page",
+                             "also referenced by " +
+                                 ownerString(owners[i].space,
+                                             owners[i].vpn) +
+                                 " via " + owners[i].via);
+                break;
+            }
+        }
+    }
+    if (owned != swap.usedSlots()) {
+        addViolation(rep, AuditSubsystem::Swap, "slot-leak",
+                     AuditViolation::kNoSpace, AuditViolation::kNoVpn,
+                     kInvalidPfn,
+                     "every allocated slot referenced by a PTE or "
+                     "frame backing (" +
+                         std::to_string(swap.usedSlots()) +
+                         " allocated)",
+                     std::to_string(owned) + " referenced");
+    }
+
+    if (const ZramSwapDevice *z = swap.zram()) {
+        if (z->auditPoolBytes() != z->poolBytes()) {
+            addViolation(rep, AuditSubsystem::Zram,
+                         "pool-bytes-mismatch",
+                         AuditViolation::kNoSpace,
+                         AuditViolation::kNoVpn, kInvalidPfn,
+                         std::to_string(z->auditPoolBytes()) +
+                             " bytes (recomputed from tags)",
+                         std::to_string(z->poolBytes()) +
+                             " bytes accounted");
+        }
+        for (const auto &[slot, tag] : z->slotTags()) {
+            (void)tag;
+            ++rep.slotsChecked;
+            if (!swap.slotAllocated(slot)) {
+                addViolation(rep, AuditSubsystem::Zram,
+                             "tag-on-free-slot",
+                             AuditViolation::kNoSpace,
+                             AuditViolation::kNoVpn, kInvalidPfn,
+                             "contents recorded only for allocated "
+                             "slots",
+                             "slot " + std::to_string(slot) +
+                                 " is free");
+            }
+        }
+    }
+}
+
+void
+MmAuditor::checkWaiters(AuditReport &rep, WalkContext &ctx) const
+{
+    mm_.forEachIoWaiter([&](const AddressSpace &space, Vpn vpn,
+                            std::size_t n) {
+        if (n == 0)
+            return; // drained entry; harmless
+        if (!knownSpace(&space) || vpn >= space.table().span())
+            return; // reported via the frame/PTE walks
+        const Pte &pte = space.table().at(vpn);
+        if (!pte.inIo()) {
+            addViolation(rep, AuditSubsystem::Waiters,
+                         "waiter-without-inio", space.id(), vpn,
+                         kInvalidPfn,
+                         "swap I/O in flight for the awaited page",
+                         "PTE flags " + flagString(pte) + ", " +
+                             std::to_string(n) + " waiter(s)");
+        }
+    });
+
+    const std::uint64_t flights =
+        static_cast<std::uint64_t>(mm_.writebacksInFlight()) +
+        mm_.swapInsInFlight();
+    if (ctx.inIoPtes.size() != flights) {
+        addViolation(rep, AuditSubsystem::Waiters,
+                     "inio-flight-mismatch", AuditViolation::kNoSpace,
+                     AuditViolation::kNoVpn, kInvalidPfn,
+                     std::to_string(flights) +
+                         " in-flight ops (writebacks " +
+                         std::to_string(mm_.writebacksInFlight()) +
+                         " + swap-ins " +
+                         std::to_string(mm_.swapInsInFlight()) + ")",
+                     std::to_string(ctx.inIoPtes.size()) +
+                         " InIo PTEs");
+    }
+
+    // Every InIo page is being carried by exactly one in-transit frame
+    // (the swap-in target or the writeback source).
+    for (const auto &[space, vpn] : ctx.inIoPtes) {
+        unsigned claims = 0;
+        auto it = ctx.frameClaims.find(space);
+        if (it != ctx.frameClaims.end()) {
+            auto jt = it->second.find(vpn);
+            if (jt != it->second.end())
+                claims = jt->second;
+        }
+        if (claims != 1) {
+            addViolation(rep, AuditSubsystem::Waiters,
+                         "inio-frame-claims", space->id(), vpn,
+                         kInvalidPfn,
+                         "exactly one in-transit frame",
+                         std::to_string(claims) + " frames claim the "
+                                                  "page");
+        }
+    }
+}
+
+void
+MmAuditor::checkFrameList(AuditReport &rep, AuditSubsystem subsystem,
+                          const char *which,
+                          const FrameList &list) const
+{
+    ++rep.listsWalked;
+    const FrameList::WalkCheck wc = list.auditWalk();
+    if (!wc.linksOk) {
+        addViolation(rep, subsystem, "list-links-corrupt",
+                     AuditViolation::kNoSpace, AuditViolation::kNoVpn,
+                     wc.firstBad,
+                     std::string("coherent prev/next/listId chain in ") +
+                         which,
+                     "corruption observed at this frame");
+        return; // size comparison is meaningless on a broken chain
+    }
+    if (wc.count != list.size()) {
+        addViolation(rep, subsystem, "list-size-mismatch",
+                     AuditViolation::kNoSpace, AuditViolation::kNoVpn,
+                     kInvalidPfn,
+                     std::string(which) + " size() == walked "
+                                          "membership (" +
+                         std::to_string(list.size()) + ")",
+                     std::to_string(wc.count) + " members walked");
+    }
+}
+
+} // namespace pagesim

@@ -7,6 +7,7 @@
 
 #include "harness/sweep.hh"
 
+#include "check/mm_audit.hh"
 #include "graph/pagerank_workload.hh"
 #include "kernel/aging_daemon.hh"
 #include "kernel/background_noise.hh"
@@ -147,6 +148,25 @@ ExperimentConfig::label() const
            std::to_string(static_cast<int>(capacityRatio * 100)) + "%";
 }
 
+namespace
+{
+
+/**
+ * PAGESIM_AUDIT_EVERY=N forces a full cross-layer invariant audit
+ * every N reclaim batches in every trial, aborting on the first
+ * violation (the CI sanitizer job sets N=1). Unset or invalid leaves
+ * the MmConfig default (off) — audits are not free.
+ */
+std::optional<unsigned>
+auditEveryOverride()
+{
+    static const std::optional<unsigned> cache =
+        parseTrialsOverride(std::getenv("PAGESIM_AUDIT_EVERY"));
+    return cache;
+}
+
+} // namespace
+
 TrialResult
 runTrial(const ExperimentConfig &config, std::uint64_t trial_seed)
 {
@@ -209,7 +229,17 @@ runTrial(const ExperimentConfig &config, std::uint64_t trial_seed)
         },
         &sim.events());
 
+    if (const auto every = auditEveryOverride())
+        mm_config.auditEvery = *every;
+
     MemoryManager mm(sim, frames, swap, *policy, mm_config);
+
+    std::unique_ptr<MmAuditor> auditor;
+    if (mm_config.auditEvery > 0) {
+        auditor = std::make_unique<MmAuditor>(
+            mm, std::vector<const AddressSpace *>{&space});
+        auditor->installPeriodic(/*hard_fail=*/true);
+    }
 
     Kswapd kswapd(sim, mm);
     mm.attachKswapd(&kswapd);

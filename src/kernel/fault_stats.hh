@@ -16,7 +16,7 @@ struct FaultStats
 {
     /** Demand swap-ins — the "page faults" the paper's figures count. */
     std::uint64_t majorFaults = 0;
-    /** Demand-zero first touches and writeback remaps. */
+    /** Demand-zero first touches. */
     std::uint64_t minorFaults = 0;
     /** Faults that found an I/O already in flight and waited on it. */
     std::uint64_t ioWaitFaults = 0;

@@ -124,20 +124,21 @@ MemoryManager::accessImpl(SimActor &actor, AddressSpace &space, Vpn vpn,
         sink.charge(dev.cpuCost(slot, false));
         dev.noteSyncOp(slot, false);
         finishSwapIn(space, vpn, slot, pfn, ResidencyKind::SwapInDemand,
-                     shadow);
+                     shadow, fd_access);
         if (is_write)
             pte.setFlag(Pte::Dirty);
-        if (fd_access)
-            policy_.onFdAccess(pfn);
         return AccessOutcome::SyncFault;
     }
 
     // Block-device swap: async read; the actor waits for completion.
     pte.setFlag(Pte::InIo);
     addIoWaiter(space, vpn, actor);
-    dev.submit(slot, false, [this, &space, vpn, slot, pfn, shadow] {
+    ++swapInsInFlight_;
+    dev.submit(slot, false,
+               [this, &space, vpn, slot, pfn, shadow, fd_access] {
+        --swapInsInFlight_;
         finishSwapIn(space, vpn, slot, pfn,
-                     ResidencyKind::SwapInDemand, shadow);
+                     ResidencyKind::SwapInDemand, shadow, fd_access);
         wakeIoWaiters(space, vpn);
     });
     issueReadahead(space, vpn);
@@ -258,6 +259,11 @@ MemoryManager::reclaimBatch(CostSink &sink, bool direct)
     }
     for (const Pfn pfn : victimScratch_)
         evictPage(pfn, sink);
+    ++reclaimBatches_;
+    if (auditHook_ && config_.auditEvery != 0 &&
+        reclaimBatches_ % config_.auditEvery == 0) {
+        auditHook_();
+    }
     return static_cast<std::uint32_t>(n);
 }
 
@@ -383,9 +389,12 @@ MemoryManager::swapOutPage(FrameTable &table, Pfn pfn,
     SwapDevice &dev = swap_.device();
     if (dev.synchronous()) {
         // ZRAM: compression is CPU work in the reclaiming context.
+        // Record the slot's new contents BEFORE deriving the CPU cost:
+        // compression effort depends on the page being compressed, not
+        // on whatever the slot held previously.
+        swap_.recordContents(slot, contentTag(space, vpn));
         sink.charge(dev.cpuCost(slot, true));
         dev.noteSyncOp(slot, true);
-        swap_.recordContents(slot, contentTag(space, vpn));
         pi.backing = kInvalidSlot;
         table.release(pfn);
         wakeFrameWaiters();
@@ -404,7 +413,7 @@ MemoryManager::swapOutPage(FrameTable &table, Pfn pfn,
 void
 MemoryManager::finishSwapIn(AddressSpace &space, Vpn vpn, SwapSlot slot,
                             Pfn pfn, ResidencyKind kind,
-                            std::uint32_t shadow)
+                            std::uint32_t shadow, bool fd_access)
 {
     Pte &pte = space.table().at(vpn);
     assert(pte.swapped() || pte.inIo());
@@ -416,7 +425,14 @@ MemoryManager::finishSwapIn(AddressSpace &space, Vpn vpn, SwapSlot slot,
     pi.backing = slot;
     policy_.onPageResident(pfn, kind, shadow);
     if (kind == ResidencyKind::SwapInDemand) {
-        pte.setFlag(Pte::Accessed);
+        if (fd_access) {
+            // Buffered I/O leaves no PTE accessed bit behind; the
+            // policy's use-count path is the only signal (the rule
+            // MG-LRU's tier machinery depends on).
+            policy_.onFdAccess(pfn);
+        } else {
+            pte.setFlag(Pte::Accessed);
+        }
     } else if (kind == ResidencyKind::SwapInReadahead) {
         ++stats_.readaheadReads;
     }
@@ -438,9 +454,11 @@ MemoryManager::completeWriteback(FrameTable &table, AddressSpace &space,
     if (it != ioWaiters_.end() && !it->second.empty()) {
         // The page was re-wanted while under writeback; the frame
         // still holds its data, so remap instead of freeing
-        // (swap-cache reuse).
+        // (swap-cache reuse). The waiter already counted an
+        // ioWaitFault when it blocked, so only writebackRemaps is
+        // incremented here — counting a minor fault too would inflate
+        // the fault totals the fig benches report.
         ++stats_.writebackRemaps;
-        ++stats_.minorFaults;
         const std::uint32_t shadow = pte.shadow();
         if (&table == &slowFrames_) {
             // Slow-tier page: restore slow residency (not
@@ -503,10 +521,12 @@ MemoryManager::issueReadahead(AddressSpace &space, Vpn vpn)
         const std::uint32_t shadow2 = p2.shadow();
         p2.setFlag(Pte::InIo);
         ++issued;
+        ++swapInsInFlight_;
         // Every issue decays the hit-rate estimate; demand hits on
         // speculative pages push it back up.
         raHitRate_ -= config_.readaheadEma * raHitRate_;
         dev.submit(s2, false, [this, &space, v2, s2, f2, shadow2] {
+            --swapInsInFlight_;
             finishSwapIn(space, v2, s2, f2,
                          ResidencyKind::SwapInReadahead, shadow2);
             frames_.info(f2).fromReadahead = true;

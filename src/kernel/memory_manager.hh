@@ -18,6 +18,7 @@
 #define PAGESIM_KERNEL_MEMORY_MANAGER_HH
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -122,6 +123,59 @@ class MemoryManager
     /** In-flight dirty writebacks (diagnostic). */
     std::uint32_t writebacksInFlight() const { return writebacksInFlight_; }
 
+    /** In-flight async swap reads, demand and readahead (diagnostic). */
+    std::uint32_t swapInsInFlight() const { return swapInsInFlight_; }
+
+    // ---- Audit hooks (consumed by MmAuditor, src/check) -------------
+
+    /**
+     * Install a hook invoked after every config().auditEvery-th
+     * reclaim batch (never when auditEvery is 0). The hook runs in
+     * the reclaiming context, at a point where all cross-structure
+     * state is quiescent apart from in-flight swap I/O.
+     */
+    void attachAuditHook(std::function<void()> hook)
+    {
+        auditHook_ = std::move(hook);
+    }
+
+    /** Reclaim batches completed (drives the auditEvery cadence). */
+    std::uint64_t reclaimBatches() const { return reclaimBatches_; }
+
+    /** Owner tag of balloon frames (their vpns index no page table). */
+    const AddressSpace &balloonSpace() const { return balloonSpace_; }
+
+    /** Demotion-order FIFO over slow-tier frames. */
+    const FrameList &slowList() const { return slowList_; }
+
+    /** Is an I/O waiter registered for (space, vpn)? */
+    bool
+    hasIoWaiters(const AddressSpace &space, Vpn vpn) const
+    {
+        auto it = ioWaiters_.find(WaitKey{&space, vpn});
+        return it != ioWaiters_.end() && !it->second.empty();
+    }
+
+    /** Visit every registered I/O-waiter key (audit walk). */
+    void
+    forEachIoWaiter(const std::function<void(const AddressSpace &, Vpn,
+                                             std::size_t)> &fn) const
+    {
+        for (const auto &[key, waiters] : ioWaiters_)
+            fn(*key.space, key.vpn, waiters.size());
+    }
+
+    /**
+     * Stable content identity for the compression model: what a page's
+     * bytes hash to, derived from its (space, vpn) identity. Public so
+     * the auditor can cross-check recorded swap-slot contents.
+     */
+    static std::uint64_t
+    contentTag(const AddressSpace &space, Vpn vpn)
+    {
+        return (static_cast<std::uint64_t>(space.id()) << 48) ^ vpn;
+    }
+
     /** Tiering extension counters (all zero when tiering is off). */
     const TierStats &tierStats() const { return tierStats_; }
     /** Slow-tier frame table (size 0 when tiering is off). */
@@ -182,9 +236,15 @@ class MemoryManager
     void swapOutPage(FrameTable &table, Pfn pfn,
                      std::uint32_t shadow, CostSink &sink);
 
-    /** Finish a swap-in: map the frame and notify the policy. */
+    /**
+     * Finish a swap-in: map the frame and notify the policy.
+     * @p fd_access marks a buffered-I/O (fdAccess) demand fault, which
+     * must feed the policy's use-count path instead of setting the PTE
+     * accessed bit.
+     */
     void finishSwapIn(AddressSpace &space, Vpn vpn, SwapSlot slot,
-                      Pfn pfn, ResidencyKind kind, std::uint32_t shadow);
+                      Pfn pfn, ResidencyKind kind, std::uint32_t shadow,
+                      bool fd_access = false);
 
     /** Dirty writeback completed; free or remap-to-waiter. */
     void completeWriteback(FrameTable &table, AddressSpace &space,
@@ -197,13 +257,6 @@ class MemoryManager
     void wakeIoWaiters(AddressSpace &space, Vpn vpn);
     void wakeFrameWaiters();
     void maybeWakeKswapd();
-
-    /** Stable content identity for the compression model. */
-    static std::uint64_t
-    contentTag(const AddressSpace &space, Vpn vpn)
-    {
-        return (static_cast<std::uint64_t>(space.id()) << 48) ^ vpn;
-    }
 
     Simulation &sim_;
     FrameTable &frames_;
@@ -242,6 +295,11 @@ class MemoryManager
     double raHitRate_ = 0.5;
     std::vector<Pfn> victimScratch_;
     std::uint32_t writebacksInFlight_ = 0;
+    std::uint32_t swapInsInFlight_ = 0;
+
+    /** Completed reclaim batches; paces the audit hook. */
+    std::uint64_t reclaimBatches_ = 0;
+    std::function<void()> auditHook_;
 };
 
 } // namespace pagesim

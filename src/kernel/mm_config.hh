@@ -87,6 +87,14 @@ struct MmConfig
     /** Pause between aging-walk slices. */
     SimDuration agingSliceGap = usecs(800);
 
+    /**
+     * Run the attached audit hook (see MemoryManager::attachAuditHook
+     * and MmAuditor in src/check) every N reclaim batches; 0 disables.
+     * Off by default so benches pay nothing; the test harnesses and
+     * the sanitizer CI lane force it to 1.
+     */
+    std::uint32_t auditEvery = 0;
+
     /** kswapd retry sleep when it can't make progress. */
     SimDuration kswapdRetrySleep = usecs(200);
     /** Retry interval for threads stalled waiting on a free frame. */

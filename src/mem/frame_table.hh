@@ -147,6 +147,9 @@ class FrameTable
      */
     const PageInfo &rmap(Pfn pfn) const { return info(pfn); }
 
+    /** Audit hook: the raw free list (order is allocator policy). */
+    const std::vector<Pfn> &freeList() const { return freeList_; }
+
   private:
     std::vector<PageInfo> infos_;
     std::vector<Pfn> freeList_;
@@ -256,6 +259,56 @@ class FrameList
     contains(Pfn pfn) const
     {
         return frames_->info(pfn).listId == listId_;
+    }
+
+    /** Outcome of an auditWalk() over the intrusive links. */
+    struct WalkCheck
+    {
+        /** Members reached walking head -> tail. */
+        std::uint64_t count = 0;
+        /** Links, listId tags, and head/tail anchors all coherent. */
+        bool linksOk = true;
+        /** First frame at which corruption was observed. */
+        Pfn firstBad = kInvalidPfn;
+    };
+
+    /**
+     * Audit hook: walk head -> tail via the intrusive next pointers,
+     * verifying each member's listId tag and prev back-pointer, that
+     * the walk terminates at tail(), and that it does so within
+     * totalFrames() hops (cycle guard). Does not touch size_, so a
+     * size/membership divergence is observable by comparing the
+     * returned count against size().
+     */
+    WalkCheck
+    auditWalk() const
+    {
+        WalkCheck wc;
+        Pfn prev = kInvalidPfn;
+        Pfn cur = head_;
+        const std::uint64_t cap = frames_->totalFrames();
+        while (cur != kInvalidPfn) {
+            if (wc.count >= cap) {
+                // More hops than frames exist: a cycle.
+                wc.linksOk = false;
+                wc.firstBad = cur;
+                return wc;
+            }
+            const PageInfo &pi = frames_->info(cur);
+            if (pi.listId != listId_ || pi.prev != prev) {
+                wc.linksOk = false;
+                wc.firstBad = cur;
+                return wc;
+            }
+            ++wc.count;
+            prev = cur;
+            cur = pi.next;
+        }
+        if (tail_ != prev) {
+            wc.linksOk = false;
+            wc.firstBad = tail_;
+        }
+        return wc;
     }
 
   private:

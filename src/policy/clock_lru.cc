@@ -8,9 +8,9 @@ namespace pagesim
 namespace
 {
 
-/** List ids for the two Clock lists. */
-constexpr std::uint8_t kActiveList = 1;
-constexpr std::uint8_t kInactiveList = 2;
+/** Shorthands for the class-level list ids. */
+constexpr std::uint8_t kActiveList = ClockLru::kActiveListId;
+constexpr std::uint8_t kInactiveList = ClockLru::kInactiveListId;
 
 } // namespace
 

@@ -55,6 +55,10 @@ struct ClockConfig
 class ClockLru : public ReplacementPolicy
 {
   public:
+    /** PageInfo::listId values of the two lists. */
+    static constexpr std::uint8_t kActiveListId = 1;
+    static constexpr std::uint8_t kInactiveListId = 2;
+
     ClockLru(FrameTable &frames, const MmCosts &costs,
              const ClockConfig &config = ClockConfig{});
 
@@ -70,6 +74,10 @@ class ClockLru : public ReplacementPolicy
 
     std::uint64_t activeSize() const { return active_.size(); }
     std::uint64_t inactiveSize() const { return inactive_.size(); }
+
+    /** Audit hooks: direct views of the two lists. */
+    const FrameList &activeList() const { return active_; }
+    const FrameList &inactiveList() const { return inactive_; }
 
   private:
     Pte &pteOf(Pfn pfn);

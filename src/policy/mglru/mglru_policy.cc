@@ -11,13 +11,16 @@ namespace
 {
 
 /** All generation lists share one list id; identity comes from gen. */
-constexpr std::uint8_t kGenList = 3;
+constexpr std::uint8_t kGenList = MgLruPolicy::kListId;
+
+/** Shadow seq field width (see makeShadow). */
+constexpr std::uint32_t kShadowSeqMask = 0x1ffffff;
 
 /** Shadow encoding: | seq (25 bits) | tier (2 bits) | valid (1). */
 constexpr std::uint32_t
 makeShadow(std::uint64_t seq, unsigned tier)
 {
-    return (static_cast<std::uint32_t>(seq & 0x1ffffff) << 3) |
+    return (static_cast<std::uint32_t>(seq & kShadowSeqMask) << 3) |
            (static_cast<std::uint32_t>(tier & 0x3) << 1) | 1u;
 }
 
@@ -25,6 +28,13 @@ constexpr unsigned
 shadowTier(std::uint32_t shadow)
 {
     return (shadow >> 1) & 0x3;
+}
+
+/** Eviction-time seq recorded in @p shadow (truncated to 25 bits). */
+constexpr std::uint32_t
+shadowSeq(std::uint32_t shadow)
+{
+    return (shadow >> 3) & kShadowSeqMask;
 }
 
 } // namespace
@@ -132,12 +142,29 @@ MgLruPolicy::onPageResident(Pfn pfn, ResidencyKind kind,
     if (shadow != 0) {
         ++stats_.refaults;
         const unsigned t = shadowTier(shadow);
-        pid_.recordRefault(t);
-        if (pi.file) {
-            // Refaulted file pages re-enter one tier higher so the
-            // controller can see them coming back.
-            pi.refs = (1u << std::min(t + 1, 3u)) - 1;
-            updateTier(pi);
+        // lru_gen_test_recent: only refaults whose eviction happened
+        // within the live generation window carry information about
+        // current tier pressure. Arbitrarily stale shadows (the page
+        // was evicted many generation cycles ago) must neither train
+        // the PID controller nor boost the page's re-entry tier.
+        bool recent = true;
+        if (config_.refaultRecencyCheck) {
+            const std::uint32_t dist =
+                (static_cast<std::uint32_t>(maxSeq_) -
+                 shadowSeq(shadow)) &
+                kShadowSeqMask;
+            recent = dist < config_.maxNrGens;
+        }
+        if (recent) {
+            pid_.recordRefault(t);
+            if (pi.file) {
+                // Refaulted file pages re-enter one tier higher so the
+                // controller can see them coming back.
+                pi.refs = (1u << std::min(t + 1, 3u)) - 1;
+                updateTier(pi);
+            }
+        } else {
+            ++mgStats_.staleRefaults;
         }
     }
     pi.gen = seq;
@@ -242,6 +269,16 @@ MgLruPolicy::finishWalk()
         // The filter built during this walk serves the next one.
         activeFilter_ = 1 - activeFilter_;
         filterWarm_ = true;
+    }
+    if (!walk_.canInc &&
+        (maxSeq_ - minSeq_ + 1) < config_.maxNrGens) {
+        // The snapshot taken at startWalk() said the generation budget
+        // was exhausted, but eviction drained the oldest generation(s)
+        // while this sliced walk was in flight and minSeq advanced.
+        // Re-evaluate at completion so the walk's work still yields a
+        // fresh generation instead of collapsing into maxSeq.
+        walk_.canInc = true;
+        ++mgStats_.lateGenCreations;
     }
     if (walk_.canInc) {
         // Safe even if pages were promoted into the new youngest

@@ -88,6 +88,13 @@ struct MgLruConfig
     unsigned bloomHashes = RegionBloomFilter::kDefaultHashes;
     /** Tier/PID protection of file-backed pages. */
     bool tierProtection = true;
+    /**
+     * Gate PID refault training on eviction recency, like the
+     * kernel's lru_gen_test_recent(): a refault whose eviction
+     * happened more than maxNrGens generations ago says nothing about
+     * current tier pressure and must not train the controller.
+     */
+    bool refaultRecencyCheck = true;
     PidConfig pid{};
     /** Victim-scan budget multiplier in selectVictims(). */
     std::uint32_t scanLimitFactor = 16;
@@ -124,12 +131,20 @@ struct MgLruStats
     std::uint64_t neighborScans = 0;  ///< eviction-side region scans
     std::uint64_t neighborPromotions = 0;
     std::uint64_t tierProtected = 0;  ///< pages spared by the PID
+    /** Refaults too stale to train the PID (recency check failed). */
+    std::uint64_t staleRefaults = 0;
+    /** Generations created at finishWalk() from headroom that opened
+     *  mid-walk (minSeq advanced while the sliced walk was running). */
+    std::uint64_t lateGenCreations = 0;
 };
 
 /** The Multi-Generational LRU policy. */
 class MgLruPolicy : public ReplacementPolicy
 {
   public:
+    /** PageInfo::listId of every generation list (identity is gen). */
+    static constexpr std::uint8_t kListId = 3;
+
     /**
      * @param frames physical frame table
      * @param spaces address spaces whose page tables aging walks
@@ -195,6 +210,14 @@ class MgLruPolicy : public ReplacementPolicy
     const RegionBloomFilter &activeFilter() const
     {
         return filters_[activeFilter_];
+    }
+
+    /** Audit hook: the generation list holding pages of @p seq. */
+    const FrameList &
+    genListAt(std::uint64_t seq) const
+    {
+        assert(seq >= minSeq_ && seq <= maxSeq_);
+        return genList(seq);
     }
 
   private:

@@ -81,6 +81,33 @@ class SwapManager
     std::uint32_t usedSlots() const { return used_; }
     std::uint32_t maxSlots() const { return maxSlots_; }
 
+    // ---- Audit hooks ------------------------------------------------
+
+    /** Is @p slot currently allocated? (Linear in the free list.) */
+    bool
+    slotAllocated(SwapSlot slot) const
+    {
+        if (slot == kInvalidSlot || slot >= nextSlot_)
+            return false;
+        for (const SwapSlot s : freeSlots_)
+            if (s == slot)
+                return false;
+        return true;
+    }
+
+    /** Slots handed out at least once; allocated iff not on the free
+     *  list and below this bound. */
+    SwapSlot slotHighWater() const { return nextSlot_; }
+
+    /** The raw free-slot stack (LIFO recycling order). */
+    const std::vector<SwapSlot> &freeSlotList() const
+    {
+        return freeSlots_;
+    }
+
+    /** The device as a ZRAM model, or nullptr. */
+    const ZramSwapDevice *zram() const { return zram_; }
+
   private:
     SwapDevice *device_;
     ZramSwapDevice *zram_ = nullptr;

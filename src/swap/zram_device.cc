@@ -39,7 +39,10 @@ ZramSwapDevice::cpuCost(SwapSlot slot, bool is_write) const
 {
     // Cost scales mildly with how hard the page is to compress: an
     // incompressible page costs ~1.3x the nominal latency, a zero page
-    // ~0.5x. Derive from the slot's tag when known.
+    // ~0.5x. Derive from the slot's tag when known — for writes the
+    // caller must therefore record the new contents (setContentTag via
+    // SwapManager::recordContents) BEFORE asking for the cost, or the
+    // charge reflects the slot's previous occupant.
     const SimDuration base =
         is_write ? config_.writeLatency : config_.readLatency;
     auto it = slotTag_.find(slot);
@@ -78,6 +81,17 @@ ZramSwapDevice::dropSlot(SwapSlot slot)
     assert(poolBytes_ >= compressedSize(it->second));
     poolBytes_ -= compressedSize(it->second);
     slotTag_.erase(it);
+}
+
+std::uint64_t
+ZramSwapDevice::auditPoolBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const auto &[slot, tag] : slotTag_) {
+        (void)slot;
+        bytes += compressedSize(tag);
+    }
+    return bytes;
 }
 
 void

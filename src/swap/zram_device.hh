@@ -82,6 +82,30 @@ class ZramSwapDevice : public SwapDevice
     /** Times a store exceeded poolLimitBytes (diagnostic). */
     std::uint64_t overflows() const { return overflows_; }
 
+    // ---- Audit hooks ------------------------------------------------
+
+    /** Does @p slot hold recorded contents? Tag out-param optional. */
+    bool
+    hasSlotTag(SwapSlot slot, std::uint64_t *tag = nullptr) const
+    {
+        auto it = slotTag_.find(slot);
+        if (it == slotTag_.end())
+            return false;
+        if (tag != nullptr)
+            *tag = it->second;
+        return true;
+    }
+
+    /** All recorded slot contents (slot -> content tag). */
+    const std::unordered_map<SwapSlot, std::uint64_t> &
+    slotTags() const
+    {
+        return slotTag_;
+    }
+
+    /** Recompute pool occupancy from the tag map (must == poolBytes). */
+    std::uint64_t auditPoolBytes() const;
+
   private:
     ZramConfig config_;
     std::string name_ = "zram";

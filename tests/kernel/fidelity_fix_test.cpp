@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Regression tests for the fidelity bugfix batch. Each test encodes
+ * behavior that was wrong before the fix:
+ *
+ *  - ZRAM write cost was computed from the slot's *previous* contents
+ *    (the tag was recorded after charging), so every first writeback
+ *    charged the nominal latency regardless of compressibility.
+ *  - fd-access (buffered I/O) swap-ins set the PTE accessed bit, which
+ *    buffered I/O must never do — it hands MG-LRU's aging walk a
+ *    signal the real kernel only delivers via use counts.
+ *  - A fault that waited out an in-flight writeback and got remapped
+ *    was counted as BOTH an ioWaitFault (at block time) and a
+ *    minorFault (at remap time), inflating fault totals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernel_test_util.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+using Outcome = MemoryManager::AccessOutcome;
+
+/**
+ * Charge of evicting a single dirty page at @p vpn to ZRAM, on a fresh
+ * machine. Apart from the compress cost, every contribution to the
+ * sink is identical across target pages, so charge differences isolate
+ * the content-dependent compression work.
+ */
+SimDuration
+zramEvictionCharge(Vpn vpn_offset)
+{
+    KernelHarness h(64, 256, /*zram=*/true);
+    const Vpn target = h.base() + vpn_offset;
+    ProbeActor probe(h.sim, [&](ProbeActor &self) {
+        CostSink sink;
+        h.mm->access(self, h.space, target, /*write=*/true, sink);
+        h.space.table().at(target).clearFlag(Pte::Accessed);
+        self.finish();
+    });
+    probe.start();
+    EXPECT_TRUE(h.sim.runToCompletion());
+    CostSink sink;
+    EXPECT_EQ(h.mm->reclaimBatch(sink, true), 1u);
+    EXPECT_TRUE(h.space.table().at(target).swapped());
+    return sink.total();
+}
+
+TEST(FidelityFix, ZramWriteCostTracksPageCompressibility)
+{
+    // Pick one near-incompressible and one highly compressible page
+    // from the VMA (space id 0 makes contentTag(space, v) == v).
+    Vpn easy = AuditViolation::kNoVpn, hard = AuditViolation::kNoVpn;
+    {
+        KernelHarness probe_h(64, 256, /*zram=*/true);
+        for (Vpn off = 0; off < 256; ++off) {
+            const std::uint32_t sz = ZramSwapDevice::compressedSize(
+                MemoryManager::contentTag(probe_h.space,
+                                          probe_h.base() + off));
+            if (sz < 500 && easy == AuditViolation::kNoVpn)
+                easy = off;
+            if (sz > 3500 && hard == AuditViolation::kNoVpn)
+                hard = off;
+        }
+    }
+    ASSERT_NE(easy, AuditViolation::kNoVpn);
+    ASSERT_NE(hard, AuditViolation::kNoVpn);
+
+    const SimDuration cheap = zramEvictionCharge(easy);
+    const SimDuration dear = zramEvictionCharge(hard);
+    // Before the fix the compress charge ignored the page being
+    // written (the fresh slot had no recorded contents yet), so both
+    // evictions cost the same. With cost scale 0.5 + 0.8*fraction and
+    // a 35 us nominal write, the spread here must exceed ~20 us.
+    EXPECT_GT(dear, cheap + usecs(15));
+}
+
+TEST(FidelityFix, FdAccessSwapInLeavesNoAccessedBit)
+{
+    KernelHarness h(64, 256, /*zram=*/true);
+    const Vpn target = h.base();
+    int phase = 0;
+    ProbeActor probe(h.sim, [&](ProbeActor &self) {
+        CostSink sink;
+        // Populate through buffered I/O, evict, then fd-fault back.
+        h.mm->fdAccess(self, h.space, target, /*write=*/true, sink);
+        CostSink rsink;
+        EXPECT_EQ(h.mm->reclaimBatch(rsink, true), 1u);
+        EXPECT_TRUE(h.space.table().at(target).swapped());
+        const Outcome o =
+            h.mm->fdAccess(self, h.space, target, false, sink);
+        EXPECT_EQ(o, Outcome::SyncFault);
+        phase = 1;
+        self.finish();
+    });
+    probe.start();
+    EXPECT_TRUE(h.sim.runToCompletion());
+    ASSERT_EQ(phase, 1);
+
+    const Pte &pte = h.space.table().at(target);
+    ASSERT_TRUE(pte.present());
+    // Buffered I/O must not leave a PTE accessed bit behind...
+    EXPECT_FALSE(pte.accessed())
+        << "fd-access swap-in set the accessed bit";
+    // ...the policy's use-count path is the only signal.
+    EXPECT_GE(h.frames.info(pte.pfn()).refs, 1u);
+}
+
+TEST(FidelityFix, FdAccessAsyncSwapInLeavesNoAccessedBit)
+{
+    KernelHarness h; // SSD: async demand swap-in
+    const Vpn target = h.base();
+    // Populate and fully evict the page (writeback completes, no
+    // waiters), so the fd re-access below is a clean async swap-in.
+    ProbeActor setup(h.sim, [&](ProbeActor &self) {
+        CostSink sink;
+        h.mm->access(self, h.space, target, /*write=*/true, sink);
+        h.space.table().at(target).clearFlag(Pte::Accessed);
+        self.finish();
+    });
+    setup.start();
+    EXPECT_TRUE(h.sim.runToCompletion());
+    CostSink rsink;
+    EXPECT_EQ(h.mm->reclaimBatch(rsink, true), 1u);
+    h.sim.events().run();
+    ASSERT_TRUE(h.space.table().at(target).swapped());
+    ASSERT_FALSE(h.space.table().at(target).inIo());
+
+    int phase = 0;
+    ProbeActor probe(h.sim, [&](ProbeActor &self) {
+        CostSink sink;
+        const Outcome o =
+            h.mm->fdAccess(self, h.space, target, false, sink);
+        if (o == Outcome::Blocked) {
+            phase = 1;
+            self.block();
+            return;
+        }
+        EXPECT_EQ(o, Outcome::Hit);
+        phase = 2;
+        self.finish();
+    });
+    probe.start();
+    EXPECT_TRUE(h.sim.runToCompletion());
+    ASSERT_EQ(phase, 2);
+    const Pte &pte = h.space.table().at(target);
+    ASSERT_TRUE(pte.present());
+    EXPECT_FALSE(pte.accessed())
+        << "async fd-access swap-in set the accessed bit";
+    EXPECT_EQ(h.mm->stats().majorFaults, 1u);
+}
+
+TEST(FidelityFix, WritebackRemapIsNotDoubleCountedAsFault)
+{
+    KernelHarness h; // SSD: async writeback
+    const Vpn target = h.base();
+    int phase = 0;
+    ProbeActor probe(h.sim, [&](ProbeActor &self) {
+        CostSink sink;
+        if (phase == 0) {
+            h.mm->access(self, h.space, target, /*write=*/true, sink);
+            h.space.table().at(target).clearFlag(Pte::Accessed);
+            CostSink rsink;
+            EXPECT_EQ(h.mm->reclaimBatch(rsink, true), 1u);
+            // Dirty page: writeback now in flight.
+            EXPECT_EQ(h.mm->writebacksInFlight(), 1u);
+            EXPECT_TRUE(h.space.table().at(target).inIo());
+            phase = 1;
+            // Re-want the page mid-writeback: must wait on the I/O.
+            const Outcome o =
+                h.mm->access(self, h.space, target, false, sink);
+            EXPECT_EQ(o, Outcome::Blocked);
+            self.block();
+            return;
+        }
+        // Woken by the writeback-remap: the page is back.
+        const Outcome o =
+            h.mm->access(self, h.space, target, false, sink);
+        EXPECT_EQ(o, Outcome::Hit);
+        phase = 2;
+        self.finish();
+    });
+    probe.start();
+    EXPECT_TRUE(h.sim.runToCompletion());
+    ASSERT_EQ(phase, 2);
+
+    const FaultStats &st = h.mm->stats();
+    EXPECT_EQ(st.writebackRemaps, 1u);
+    EXPECT_EQ(st.ioWaitFaults, 1u);
+    // The remap itself is not a fault: only the first touch counts.
+    EXPECT_EQ(st.minorFaults, 1u)
+        << "writeback remap was double-counted as a minor fault";
+    EXPECT_EQ(st.majorFaults, 0u);
+}
+
+} // namespace
+} // namespace pagesim

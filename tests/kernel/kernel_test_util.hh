@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 
+#include "check/mm_audit.hh"
 #include "kernel/aging_daemon.hh"
 #include "kernel/kswapd.hh"
 #include "kernel/memory_manager.hh"
@@ -55,6 +56,7 @@ struct KernelHarness
     std::unique_ptr<ReplacementPolicy> policy;
     MmConfig config;
     std::unique_ptr<MemoryManager> mm;
+    std::unique_ptr<MmAuditor> auditor;
 
     explicit
     KernelHarness(std::uint32_t nframes = 64,
@@ -75,10 +77,16 @@ struct KernelHarness
         swap = std::make_unique<SwapManager>(*device, 4096);
         config.totalFrames = nframes;
         config.deriveWatermarks();
+        // Kernel tests run with the invariant auditor on every reclaim
+        // batch, aborting on the first violation.
+        config.auditEvery = 1;
         policy = makePolicy(kind, frames, {&space}, config.costs,
                             sim.forkRng("policy"), {}, &sim.events());
         mm = std::make_unique<MemoryManager>(sim, frames, *swap,
                                              *policy, config);
+        auditor = std::make_unique<MmAuditor>(
+            *mm, std::vector<const AddressSpace *>{&space});
+        auditor->installPeriodic(/*hard_fail=*/true);
     }
 
     Vpn base() const { return space.vmas().front().start; }

@@ -31,6 +31,11 @@ struct TieredHarness : KernelHarness
         config = cfg;
         mm = std::make_unique<MemoryManager>(sim, frames, *swap,
                                              *policy, cfg);
+        // The base-class auditor was bound to the replaced manager;
+        // re-attach to the tiered one.
+        auditor = std::make_unique<MmAuditor>(
+            *mm, std::vector<const AddressSpace *>{&space});
+        auditor->installPeriodic(/*hard_fail=*/true);
     }
 };
 

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Regression tests for the MG-LRU fidelity fixes:
+ *
+ *  - Refault recency (lru_gen_test_recent): a shadow whose eviction
+ *    generation has fallen out of the live window must not train the
+ *    tier PID controller. Before the fix every shadow hit trained it,
+ *    letting ancient evictions distort tier protection.
+ *
+ *  - Stale canInc snapshot: a sliced aging walk snapshots "can I mint
+ *    a generation?" at startWalk(). If eviction drained the oldest
+ *    generation mid-walk, the snapshot went stale and the finished
+ *    walk collapsed its promotions into maxSeq instead of creating
+ *    the generation the new headroom allows.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "policy/mglru/mglru_policy.hh"
+#include "policy_test_util.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+std::unique_ptr<MgLruPolicy>
+makeMgLru(PolicyHarness &h, MgLruConfig config = MgLruConfig{})
+{
+    config.agingLowPages = 0;
+    config.agingEvictGate = 0;
+    return std::make_unique<MgLruPolicy>(
+        h.frames, std::vector<AddressSpace *>{&h.space}, h.costs,
+        Rng(99), config, "MG-LRU");
+}
+
+/**
+ * Evict @p vpn and return the shadow the policy stamped into its PTE.
+ */
+std::uint32_t
+evictForShadow(PolicyHarness &h, MgLruPolicy &mg, Vpn vpn, Pfn pfn)
+{
+    h.space.table().at(vpn).clearFlag(Pte::Accessed);
+    h.completeEviction(mg, pfn);
+    return h.space.table().at(vpn).shadow();
+}
+
+/**
+ * Slide the generation window forward @p rounds times: each aging
+ * pass mints a generation, and the following (empty) victim scan
+ * advances minSeq over the drained oldest generations.
+ */
+void
+slideWindow(MgLruPolicy &mg, int rounds)
+{
+    CostSink sink;
+    std::vector<Pfn> victims;
+    for (int i = 0; i < rounds; ++i) {
+        mg.age(sink);
+        victims.clear();
+        mg.selectVictims(victims, 4, sink);
+    }
+}
+
+TEST(MgLruFix, StaleRefaultDoesNotTrainPid)
+{
+    PolicyHarness h;
+    auto mg = makeMgLru(h);
+    const Vpn v = h.base();
+    const std::uint32_t shadow =
+        evictForShadow(h, *mg, v, h.makeResident(*mg, v));
+    ASSERT_NE(shadow, 0u);
+
+    // Age the shadow out of the live window (default maxNrGens = 4).
+    slideWindow(*mg, 6);
+
+    const std::uint64_t trained = mg->pid().refaults(0);
+    h.makeResident(*mg, v, ResidencyKind::SwapInDemand, shadow);
+    // Counted as a refault, but too stale to feed the controller.
+    EXPECT_EQ(mg->stats().refaults, 1u);
+    EXPECT_EQ(mg->mgStats().staleRefaults, 1u);
+    EXPECT_EQ(mg->pid().refaults(0), trained)
+        << "stale refault trained the PID controller";
+
+    // A refault within the window still trains it.
+    const Pfn again = h.space.table().at(v).pfn();
+    const std::uint32_t fresh = evictForShadow(h, *mg, v, again);
+    h.makeResident(*mg, v, ResidencyKind::SwapInDemand, fresh);
+    EXPECT_EQ(mg->stats().refaults, 2u);
+    EXPECT_EQ(mg->mgStats().staleRefaults, 1u);
+    EXPECT_EQ(mg->pid().refaults(0), trained + 1);
+}
+
+TEST(MgLruFix, RecencyCheckIsConfigurable)
+{
+    PolicyHarness h;
+    MgLruConfig cfg;
+    cfg.refaultRecencyCheck = false;
+    auto mg = makeMgLru(h, cfg);
+    const Vpn v = h.base();
+    const std::uint32_t shadow =
+        evictForShadow(h, *mg, v, h.makeResident(*mg, v));
+    slideWindow(*mg, 6);
+
+    // With the check disabled, even an ancient shadow trains the PID
+    // (the pre-recency-check behavior, kept reachable for A/B runs).
+    h.makeResident(*mg, v, ResidencyKind::SwapInDemand, shadow);
+    EXPECT_EQ(mg->pid().refaults(0), 1u);
+    EXPECT_EQ(mg->mgStats().staleRefaults, 0u);
+}
+
+TEST(MgLruFix, MidWalkHeadroomStillMintsGeneration)
+{
+    PolicyHarness h;
+    MgLruConfig cfg;
+    cfg.maxNrGens = 2; // exhaust the budget from the start
+    cfg.scanMode = ScanMode::All;
+    auto mg = makeMgLru(h, cfg);
+    for (Vpn v = h.base(); v < h.base() + 8; ++v) {
+        h.makeResident(*mg, v);
+        h.space.table().at(v).clearFlag(Pte::Accessed);
+    }
+    ASSERT_EQ(mg->numGens(), cfg.maxNrGens);
+
+    CostSink sink;
+    // Start a sliced walk: the canInc snapshot sees a full budget.
+    ASSERT_FALSE(mg->ageStep(sink, 1));
+    ASSERT_TRUE(mg->agingInProgress());
+    EXPECT_EQ(mg->mgStats().genCreationBlocked, 1u);
+
+    // Eviction drains the (empty) oldest generation mid-walk, so
+    // minSeq advances and budget headroom opens under the walker.
+    std::vector<Pfn> victims;
+    mg->selectVictims(victims, 4, sink);
+    ASSERT_EQ(mg->minSeq(), mg->maxSeq());
+
+    const std::uint64_t max_before = mg->maxSeq();
+    while (!mg->ageStep(sink, 4)) {
+    }
+    EXPECT_EQ(mg->maxSeq(), max_before + 1)
+        << "walk finished without minting the generation the "
+           "mid-walk headroom allows";
+    EXPECT_EQ(mg->mgStats().lateGenCreations, 1u);
+    EXPECT_EQ(mg->mgStats().genCreations, 1u);
+
+    // Without mid-walk headroom the snapshot stands: no late mint.
+    ASSERT_FALSE(mg->ageStep(sink, 1));
+    while (!mg->ageStep(sink, 4)) {
+    }
+    EXPECT_EQ(mg->maxSeq(), max_before + 1);
+    EXPECT_EQ(mg->mgStats().lateGenCreations, 1u);
+}
+
+} // namespace
+} // namespace pagesim
