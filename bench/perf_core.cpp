@@ -12,7 +12,10 @@
  *     a second churn run dispatches actor-like self-rescheduling
  *     callbacks with mixed small/large captures to include callback
  *     storage effects. Both use the same mixed near/far delta table.
- *  2. End-to-end trial wall time at ScalePreset::Small.
+ *  2. End-to-end trial wall time at ScalePreset::Small, plus the
+ *     metrics-layer overhead at that scale: the same cell timed with
+ *     metrics detached, with counters+spans, and with the full
+ *     periodic sampler (guarded at <1% / <5% by the roadmap).
  *  3. A fig-style multi-cell sweep executed two ways: serial cells
  *     (each cell barriers before the next starts — the pre-sweep
  *     behavior) vs one pooled cross-cell sweep, with a byte-identity
@@ -24,6 +27,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <functional>
 #include <queue>
 #include <string>
@@ -44,6 +48,20 @@ double
 secondsSince(Clock::time_point start)
 {
     return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/**
+ * Process CPU time. The metrics-overhead comparison uses this rather
+ * than wall time: on a shared host, time the process spends scheduled
+ * out would otherwise swamp the few-percent effect being measured.
+ */
+double
+cpuSeconds()
+{
+    timespec ts;
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
 }
 
 /**
@@ -303,6 +321,58 @@ main(int argc, char **argv)
                     static_cast<double>(trial.kernel.majorFaults) /
                     trial_secs));
 
+    // --- 2b. Metrics overhead: detached vs counters vs sampler. ----
+    // Same Small cell timed under the three MetricsMode settings.
+    // Off is the detached configuration (one never-taken pointer test
+    // per instrumentation site) and doubles as the trial number the
+    // <1% regression guard compares against the tracked baseline;
+    // Counters adds span/counter recording, Full adds the periodic
+    // sampler. Artifact export stays off so only the in-sim cost is
+    // measured.
+    //
+    // Estimator: minimum over interleaved rounds. Scheduling noise on
+    // a shared host is strictly additive, so the minimum converges on
+    // the true cost, while means/medians of a few samples swing by
+    // more than the whole effect being measured; interleaving the
+    // modes keeps slow host phases from landing on one mode's
+    // samples, and rotating the within-round order keeps any mode's
+    // cache footprint from always preceding the same neighbour.
+    // Results within a few percent of zero (either sign) mean the
+    // overhead is below this host's noise floor.
+    constexpr int kOverheadRounds = 175;
+    std::printf("metrics overhead (%s, Small), min of %d "
+                "interleaved rounds, process CPU time...\n",
+                trial_cfg.label().c_str(), kOverheadRounds);
+    const auto timedTrial = [&trial_cfg](MetricsMode mode) {
+        ExperimentConfig cfg = trial_cfg;
+        cfg.metrics.mode = mode;
+        const double start = cpuSeconds();
+        runTrial(cfg, 1);
+        return cpuSeconds() - start;
+    };
+    constexpr MetricsMode kModes[3] = {
+        MetricsMode::Off, MetricsMode::Counters, MetricsMode::Full};
+    double mode_secs[3] = {1e30, 1e30, 1e30};
+    for (int round = 0; round < kOverheadRounds; ++round) {
+        for (int i = 0; i < 3; ++i) {
+            const int m = (round + i) % 3;
+            mode_secs[m] =
+                std::min(mode_secs[m], timedTrial(kModes[m]));
+        }
+    }
+    const double metrics_off_secs = mode_secs[0];
+    const double metrics_counters_secs = mode_secs[1];
+    const double metrics_full_secs = mode_secs[2];
+    const double counters_overhead_pct =
+        (metrics_counters_secs / metrics_off_secs - 1.0) * 100.0;
+    const double full_overhead_pct =
+        (metrics_full_secs / metrics_off_secs - 1.0) * 100.0;
+    std::printf("  detached:        %.3f s\n", metrics_off_secs);
+    std::printf("  counters+spans:  %.3f s (%+.2f%%)\n",
+                metrics_counters_secs, counters_overhead_pct);
+    std::printf("  full sampler:    %.3f s (%+.2f%%)\n\n",
+                metrics_full_secs, full_overhead_pct);
+
     // --- 3. Serial cells vs pooled cross-cell sweep. ---------------
     std::vector<ExperimentConfig> cells = sweepCells();
     for (auto &c : cells)
@@ -360,6 +430,20 @@ main(int argc, char **argv)
                  "    \"scale\": \"Small\",\n"
                  "    \"wall_seconds\": %.4f\n  },\n",
                  trial_cfg.label().c_str(), trial_secs);
+    std::fprintf(out,
+                 "  \"metrics_overhead\": {\n"
+                 "    \"cell\": \"%s\",\n"
+                 "    \"scale\": \"Small\",\n"
+                 "    \"estimator\": \"min of %d interleaved rounds, process CPU time\",\n"
+                 "    \"detached_seconds\": %.4f,\n"
+                 "    \"counters_seconds\": %.4f,\n"
+                 "    \"full_sampler_seconds\": %.4f,\n"
+                 "    \"counters_overhead_pct\": %.2f,\n"
+                 "    \"full_sampler_overhead_pct\": %.2f\n  },\n",
+                 trial_cfg.label().c_str(), kOverheadRounds,
+                 metrics_off_secs, metrics_counters_secs,
+                 metrics_full_secs, counters_overhead_pct,
+                 full_overhead_pct);
     std::fprintf(out,
                  "  \"sweep\": {\n"
                  "    \"cells\": %zu,\n"

@@ -2,11 +2,13 @@
  * @file
  * Fault timeline: flight-recorder view of one trial.
  *
- * Assembles a machine by hand with a TraceBuffer attached, runs one
- * TPC-H trial, and prints fault/eviction/stall rate timelines as
- * sparklines plus burstiness metrics — making the mechanisms behind
- * the paper's variance figures visible: JVM full-GC fault storms show
- * up as spikes, reclaim pressure as eviction plateaus.
+ * Assembles a machine by hand with a TraceBuffer AND a
+ * MetricsCollector attached, runs one TPC-H trial, and prints
+ * fault/eviction/stall rate timelines as sparklines plus burstiness
+ * metrics — making the mechanisms behind the paper's variance figures
+ * visible: JVM full-GC fault storms show up as spikes, reclaim
+ * pressure as eviction plateaus. The metrics layer then breaks the
+ * same faults down by phase (metrics/ observability API).
  *
  * Usage: fault_timeline [seed] [buckets]
  */
@@ -17,6 +19,8 @@
 #include "harness/experiment.hh"
 #include "kernel/kswapd.hh"
 #include "kernel/memory_manager.hh"
+#include "kernel/mm_metrics.hh"
+#include "metrics/export.hh"
 #include "stats/table.hh"
 #include "swap/ssd_device.hh"
 #include "swap/swap_manager.hh"
@@ -57,6 +61,11 @@ main(int argc, char **argv)
     TraceBuffer trace(1u << 22);
     mm.attachTrace(&trace);
 
+    MetricsConfig metrics_config;
+    metrics_config.mode = MetricsMode::Full;
+    MetricsCollector collector(metrics_config);
+    attachStandardMetrics(collector, mm);
+
     WorkloadContext ctx;
     ctx.mm = &mm;
     ctx.space = &space;
@@ -83,7 +92,9 @@ main(int argc, char **argv)
     for (TraceEvent ev :
          {TraceEvent::MajorFault, TraceEvent::Eviction,
           TraceEvent::DirtyWriteback, TraceEvent::DirectReclaim,
-          TraceEvent::AgingPass, TraceEvent::AllocStall}) {
+          TraceEvent::AgingPass, TraceEvent::AllocStall,
+          TraceEvent::ReadaheadRead, TraceEvent::ReadaheadHit,
+          TraceEvent::WritebackRemap, TraceEvent::IoWaitFault}) {
         const auto series = trace.rateSeries(ev, bucket, end);
         std::printf("%-16s |%s| n=%llu burstiness=%.2f\n",
                     traceEventName(ev).c_str(),
@@ -95,5 +106,11 @@ main(int argc, char **argv)
               "storms — the trial-to-trial variance quantum of the "
               "paper's Fig. 2. Re-run with another seed to watch them "
               "move.");
+
+    // The metrics layer sees the same trial with latency attribution:
+    // where each fault's time went, and policy internals over time.
+    std::puts("");
+    std::fputs(metricsReport(collector.snapshot(sim.now())).c_str(),
+               stdout);
     return 0;
 }

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Latency attribution: where a major fault's time goes.
+ *
+ * Runs one small TPC-H / MG-LRU / SSD trial with full metrics, prints
+ * the per-phase latency breakdown (swap-queue wait vs. device service
+ * vs. writeback-remap wait vs. shared-swap-in wait, plus the
+ * CPU-domain direct-reclaim attribution), writes the per-trial
+ * artifact files (Chrome trace JSON, timeseries CSV, metrics JSONL),
+ * and then SELF-VALIDATES them: every span must reconcile (phase sum
+ * == total wall latency) and the exported Chrome trace must parse and
+ * contain span/instant/counter records. Exits non-zero on any
+ * validation failure, which is how CI uses it.
+ *
+ * Usage: latency_attribution [outdir] [seed]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "metrics/export.hh"
+#include "metrics/json.hh"
+#include "stats/table.hh"
+
+using namespace pagesim;
+
+namespace
+{
+
+int failures = 0;
+
+void
+check(bool ok, const char *what)
+{
+    if (!ok) {
+        ++failures;
+        std::fprintf(stderr, "FAIL: %s\n", what);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string outdir =
+        argc > 1 ? argv[1] : "pagesim_metrics";
+    const std::uint64_t seed = argc > 2 ? std::atoll(argv[2]) : 7;
+
+    ExperimentConfig config;
+    config.workload = WorkloadKind::Tpch;
+    config.policy = PolicyKind::MgLru;
+    config.swap = SwapKind::Ssd;
+    config.capacityRatio = 0.5;
+    config.scale = ScalePreset::Small;
+    config.metrics.mode = MetricsMode::Full;
+
+    std::printf("running %s (seed %llu) with full metrics...\n",
+                config.label().c_str(),
+                static_cast<unsigned long long>(seed));
+    const TrialResult r = runTrial(config, seed);
+    const MetricsSnapshot &snap = r.metrics;
+
+    // --- Phase attribution table -----------------------------------
+    TextTable t;
+    t.header({"phase", "count", "p50", "p99", "max", "sum"});
+    double wallSum = 0.0;
+    for (std::size_t i = 0; i < snap.histogramNames.size(); ++i) {
+        const LatencyHistogram &h = snap.histograms[i];
+        if (!h.count())
+            continue;
+        const double sum = h.mean() * static_cast<double>(h.count());
+        if (snap.histogramNames[i].rfind("fault.phase.", 0) == 0)
+            wallSum += sum;
+        t.row({snap.histogramNames[i], fmtCount(h.count()),
+               fmtNanos(static_cast<double>(h.p50())),
+               fmtNanos(static_cast<double>(h.p99())),
+               fmtNanos(static_cast<double>(h.maxValue())),
+               fmtNanos(sum)});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    std::printf("\nruntime %s, %llu major faults, %zu spans "
+                "captured, %zu timeseries samples\n\n",
+                fmtNanos(static_cast<double>(r.runtimeNs)).c_str(),
+                static_cast<unsigned long long>(r.majorFaults),
+                snap.spans.size(), snap.timeseries.rows());
+
+    // --- Reconciliation: phases partition each span exactly. --------
+    std::uint64_t asyncSpans = 0;
+    for (const FaultSpan &span : snap.spans) {
+        if (span.phaseSum() != span.total()) {
+            check(false, "span phase sum != total wall latency");
+            break;
+        }
+        if (span.kind == FaultSpanKind::DemandAsync)
+            ++asyncSpans;
+    }
+    check(asyncSpans > 0, "no async demand spans captured");
+    check(!snap.timeseries.empty(), "no timeseries samples");
+
+    // --- Artifacts ----------------------------------------------------
+    const std::string base =
+        writeTrialArtifacts(outdir, config.label(), seed, snap);
+    const std::string stem = outdir + "/" + base;
+    std::printf("artifacts: %s.{trace.json,timeseries.csv,"
+                "metrics.jsonl}\n",
+                stem.c_str());
+
+    // Chrome trace: must parse, and must contain metadata, span,
+    // instant, and counter records.
+    std::stringstream buf;
+    buf << std::ifstream(stem + ".trace.json").rdbuf();
+    const std::string traceText = buf.str();
+    check(!traceText.empty(), "trace.json missing or empty");
+    JsonValue doc;
+    std::string error;
+    if (!jsonParse(traceText, doc, error)) {
+        std::fprintf(stderr, "trace.json: %s\n", error.c_str());
+        check(false, "trace.json does not parse");
+    } else {
+        const JsonValue *events = doc.find("traceEvents");
+        check(events != nullptr && events->isArray(),
+              "traceEvents array missing");
+        std::set<std::string> phases, names;
+        if (events != nullptr) {
+            for (const JsonValue &ev : events->items) {
+                const JsonValue *ph = ev.find("ph");
+                const JsonValue *name = ev.find("name");
+                check(ph != nullptr && ph->isString() &&
+                          name != nullptr && name->isString(),
+                      "trace event missing ph/name");
+                if (ph != nullptr && ph->isString())
+                    phases.insert(ph->str);
+                if (name != nullptr && name->isString())
+                    names.insert(name->str);
+            }
+        }
+        check(phases.count("M") == 1, "no metadata events");
+        check(phases.count("X") == 1, "no span events");
+        check(phases.count("C") == 1, "no counter events");
+        check(names.count("major-fault") == 1,
+              "no major-fault spans");
+        check(names.count("swap-queue-wait") == 1,
+              "no swap-queue-wait child slices");
+        check(names.count("device-service") == 1,
+              "no device-service child slices");
+        check(names.count("mglru.min_seq") == 1,
+              "no MG-LRU counter track");
+    }
+
+    // JSONL: every line parses on its own.
+    std::ifstream jsonl(stem + ".metrics.jsonl");
+    std::string line;
+    std::uint64_t lines = 0;
+    bool jsonlOk = true;
+    while (std::getline(jsonl, line)) {
+        ++lines;
+        JsonValue v;
+        if (!jsonParse(line, v, error)) {
+            jsonlOk = false;
+            break;
+        }
+    }
+    check(jsonlOk && lines > 0, "metrics.jsonl invalid");
+
+    // CSV: header + one line per sample.
+    std::ifstream csv(stem + ".timeseries.csv");
+    std::uint64_t csvLines = 0;
+    while (std::getline(csv, line))
+        ++csvLines;
+    check(csvLines == snap.timeseries.rows() + 1,
+          "timeseries.csv row count mismatch");
+
+    if (failures == 0) {
+        std::puts("\nall artifact validations passed");
+        std::puts("open the trace in https://ui.perfetto.dev to "
+                  "browse per-fault spans and counter tracks.");
+        return 0;
+    }
+    std::fprintf(stderr, "\n%d validation failure(s)\n", failures);
+    return 1;
+}

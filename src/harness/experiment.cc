@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 
 #include "harness/sweep.hh"
@@ -13,6 +15,8 @@
 #include "kernel/background_noise.hh"
 #include "kernel/kswapd.hh"
 #include "kernel/memory_manager.hh"
+#include "kernel/mm_metrics.hh"
+#include "metrics/export.hh"
 #include "kv/ycsb_workload.hh"
 #include "sim/simulation.hh"
 #include "swap/ssd_device.hh"
@@ -165,7 +169,72 @@ auditEveryOverride()
     return cache;
 }
 
+/**
+ * PAGESIM_METRICS=off|counters|full overrides the config's metrics
+ * mode; PAGESIM_METRICS_DIR overrides the artifact directory. Both
+ * are launch-time knobs, read and parsed once per process (runTrial
+ * sits on the sweep hot path).
+ */
+std::optional<MetricsMode>
+metricsModeOverride()
+{
+    static const std::optional<MetricsMode> cache = [] {
+        const char *text = std::getenv("PAGESIM_METRICS");
+        if (text == nullptr || *text == '\0')
+            return std::optional<MetricsMode>{};
+        return std::optional<MetricsMode>{parseMetricsMode(text)};
+    }();
+    return cache;
+}
+
+const std::string &
+metricsDirOverride()
+{
+    static const std::string cache = [] {
+        const char *text = std::getenv("PAGESIM_METRICS_DIR");
+        return std::string(text != nullptr ? text : "");
+    }();
+    return cache;
+}
+
 } // namespace
+
+MetricsConfig
+effectiveMetricsConfig(const ExperimentConfig &config)
+{
+    MetricsConfig m = config.metrics;
+    if (const auto mode = metricsModeOverride()) {
+        m.mode = *mode;
+        // An env opt-in without a destination still wants artifacts.
+        if (m.artifactDir.empty())
+            m.artifactDir = "pagesim_metrics";
+    }
+    if (!metricsDirOverride().empty())
+        m.artifactDir = metricsDirOverride();
+    return m;
+}
+
+std::string
+writeTrialArtifacts(const std::string &dir, const std::string &label,
+                    std::uint64_t trial_seed,
+                    const MetricsSnapshot &snapshot)
+{
+    std::string base = label;
+    for (char &c : base) {
+        if (c == '/' || c == '%' || c == ' ')
+            c = '_';
+    }
+    base += "-seed" + std::to_string(trial_seed);
+    std::filesystem::create_directories(dir);
+    const std::string stem = dir + "/" + base;
+    // Trials run in parallel, but each writes only its own uniquely
+    // named files, so no cross-thread coordination is needed.
+    std::ofstream(stem + ".trace.json") << chromeTraceJson(snapshot);
+    std::ofstream(stem + ".timeseries.csv")
+        << timeseriesCsv(snapshot.timeseries);
+    std::ofstream(stem + ".metrics.jsonl") << metricsJsonl(snapshot);
+    return base;
+}
 
 TrialResult
 runTrial(const ExperimentConfig &config, std::uint64_t trial_seed)
@@ -239,6 +308,15 @@ runTrial(const ExperimentConfig &config, std::uint64_t trial_seed)
         auditor = std::make_unique<MmAuditor>(
             mm, std::vector<const AddressSpace *>{&space});
         auditor->installPeriodic(/*hard_fail=*/true);
+    }
+
+    // Observability: attach before any fault can happen so spans and
+    // the t=0 sample cover the whole trial.
+    const MetricsConfig metrics_config = effectiveMetricsConfig(config);
+    std::unique_ptr<MetricsCollector> collector;
+    if (metrics_config.enabled()) {
+        collector = std::make_unique<MetricsCollector>(metrics_config);
+        attachStandardMetrics(*collector, mm);
     }
 
     Kswapd kswapd(sim, mm);
@@ -318,6 +396,14 @@ runTrial(const ExperimentConfig &config, std::uint64_t trial_seed)
     } else {
         r.runtimeNs = sim.now();
         r.majorFaults = mm.stats().majorFaults;
+    }
+    if (collector) {
+        collector->sampler().stop();
+        r.metrics = collector->snapshot(sim.now());
+        if (!metrics_config.artifactDir.empty()) {
+            writeTrialArtifacts(metrics_config.artifactDir,
+                                config.label(), trial_seed, r.metrics);
+        }
     }
     return r;
 }

@@ -22,6 +22,7 @@
 
 #include "kernel/fault_stats.hh"
 #include "kernel/tiered_memory.hh"
+#include "metrics/collector.hh"
 #include "policy/mglru/mglru_policy.hh"
 #include "policy/policy_factory.hh"
 #include "stats/histogram.hh"
@@ -99,6 +100,14 @@ struct ExperimentConfig
      */
     std::function<void(MgLruConfig &)> mgTweak;
 
+    /**
+     * Observability opt-in (default Off = zero overhead). The
+     * PAGESIM_METRICS env var (off/counters/full) overrides mode, and
+     * PAGESIM_METRICS_DIR overrides artifactDir, for any built bench
+     * without a rebuild; see EXPERIMENTS.md.
+     */
+    MetricsConfig metrics;
+
     std::string label() const;
 };
 
@@ -138,6 +147,9 @@ struct TrialResult
 
     /** Mean request latency (YCSB; 0 otherwise). */
     double meanRequestNs = 0.0;
+
+    /** Observability snapshot (empty unless metrics were enabled). */
+    MetricsSnapshot metrics;
 };
 
 /** All trials of one cell plus aggregate views. */
@@ -178,6 +190,25 @@ std::optional<unsigned> parseTrialsOverride(const char *text);
  * is a launch-time knob, and this sits on the sweep hot path).
  */
 unsigned effectiveTrials(const ExperimentConfig &config);
+
+/**
+ * config.metrics after applying the PAGESIM_METRICS /
+ * PAGESIM_METRICS_DIR env overrides (cached once per process). When
+ * the env enables metrics without naming a directory, artifacts land
+ * in "pagesim_metrics/".
+ */
+MetricsConfig effectiveMetricsConfig(const ExperimentConfig &config);
+
+/**
+ * Write the per-trial artifact files for @p snapshot under @p dir
+ * (created if needed): <label>-seed<N>.trace.json, .timeseries.csv,
+ * and .metrics.jsonl, with '/', '%' and spaces in @p label mapped to
+ * '_'. Returns the artifact basename (without extension).
+ */
+std::string writeTrialArtifacts(const std::string &dir,
+                                const std::string &label,
+                                std::uint64_t trial_seed,
+                                const MetricsSnapshot &snapshot);
 
 namespace detail
 {

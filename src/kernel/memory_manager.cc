@@ -6,6 +6,7 @@
 
 #include "kernel/aging_daemon.hh"
 #include "kernel/kswapd.hh"
+#include "metrics/collector.hh"
 
 namespace pagesim
 {
@@ -62,6 +63,12 @@ MemoryManager::accessImpl(SimActor &actor, AddressSpace &space, Vpn vpn,
             // First demand use of a speculative page: readahead hit.
             pi.fromReadahead = false;
             ++stats_.readaheadHits;
+            traceEmit(TraceEvent::ReadaheadHit, vpn);
+            if (metrics_) {
+                metrics_->spans().instant(
+                    InstantEvent::ReadaheadHit, sim_.now(), vpn,
+                    metrics_->trackFor(actor));
+            }
             raHitRate_ += config_.readaheadEma * (1.0 - raHitRate_);
         }
         if (fd_access) {
@@ -81,6 +88,11 @@ MemoryManager::accessImpl(SimActor &actor, AddressSpace &space, Vpn vpn,
         // Swap-in or writeback already in flight for this page; wait
         // for it rather than issuing duplicate I/O.
         ++stats_.ioWaitFaults;
+        traceEmit(TraceEvent::IoWaitFault, vpn);
+        if (metrics_) {
+            metrics_->spans().openIoWait(
+                actor, vpn, sim_.now(), metrics_->trackFor(actor));
+        }
         addIoWaiter(space, vpn, actor);
         return AccessOutcome::Blocked;
     }
@@ -109,9 +121,15 @@ MemoryManager::accessImpl(SimActor &actor, AddressSpace &space, Vpn vpn,
     }
 
     // Major fault: bring the page back from swap.
+    // Span attribution: any direct-reclaim work allocFrame runs inline
+    // is CPU charged to this fault's context — measure it as the sink
+    // delta across the allocation.
+    const SimDuration sinkBefore = metrics_ ? sink.total() : 0;
     const Pfn pfn = allocFrame(actor, space, vpn, pte.file(), sink);
     if (pfn == kInvalidPfn)
         return AccessOutcome::Blocked;
+    const SimDuration reclaimCpu =
+        metrics_ ? sink.total() - sinkBefore : 0;
     sink.charge(config_.costs.faultFixed);
     ++stats_.majorFaults;
     traceEmit(TraceEvent::MajorFault, vpn);
@@ -121,8 +139,15 @@ MemoryManager::accessImpl(SimActor &actor, AddressSpace &space, Vpn vpn,
 
     if (dev.synchronous()) {
         // ZRAM-style: the faulting thread decompresses on-CPU.
-        sink.charge(dev.cpuCost(slot, false));
+        const SimDuration devCpu = dev.cpuCost(slot, false);
+        sink.charge(devCpu);
         dev.noteSyncOp(slot, false);
+        if (metrics_) {
+            metrics_->spans().recordSyncDemand(
+                sim_.now(), vpn,
+                metrics_->trackFor(actor), reclaimCpu,
+                devCpu);
+        }
         finishSwapIn(space, vpn, slot, pfn, ResidencyKind::SwapInDemand,
                      shadow, fd_access);
         if (is_write)
@@ -134,12 +159,27 @@ MemoryManager::accessImpl(SimActor &actor, AddressSpace &space, Vpn vpn,
     pte.setFlag(Pte::InIo);
     addIoWaiter(space, vpn, actor);
     ++swapInsInFlight_;
+    std::uint32_t spanToken = UINT32_MAX;
+    if (metrics_) {
+        spanToken = metrics_->spans().openDemand(
+            sim_.now(), vpn, metrics_->trackFor(actor),
+            reclaimCpu);
+    }
     dev.submit(slot, false,
-               [this, &space, vpn, slot, pfn, shadow, fd_access] {
+               [this, &space, vpn, slot, pfn, shadow, fd_access,
+                spanToken] {
         --swapInsInFlight_;
+        if (metrics_ && spanToken != UINT32_MAX) {
+            const SwapDevice &d = swap_.device();
+            metrics_->spans().closeDemand(spanToken, sim_.now(),
+                                          d.lastOpQueueWait(),
+                                          d.lastOpService());
+        }
         finishSwapIn(space, vpn, slot, pfn,
                      ResidencyKind::SwapInDemand, shadow, fd_access);
-        wakeIoWaiters(space, vpn);
+        // Any other fault that piled onto this in-flight read shared
+        // its I/O; their waits close as they wake.
+        wakeIoWaiters(space, vpn, FaultPhase::SharedSwapInWait);
     });
     issueReadahead(space, vpn);
     return AccessOutcome::Blocked;
@@ -171,6 +211,16 @@ MemoryManager::allocFrame(SimActor &actor, AddressSpace &space, Vpn vpn,
             // ever wake us.
             ++stats_.allocStalls;
             traceEmit(TraceEvent::AllocStall, vpn);
+            // One instant per stall BURST (first waiter), not per
+            // stalling fault: tens of thousands of faults pile up
+            // during a storm, and the per-fault signal is already
+            // carried by the alloc-stall counter, the AllocStall trace
+            // events, and the sampled mm.alloc_stall_depth series.
+            if (metrics_ && frameWaiters_.empty()) {
+                metrics_->spans().instant(
+                    InstantEvent::AllocStall, sim_.now(), vpn,
+                    metrics_->trackFor(actor));
+            }
             frameWaiters_.push_back(&actor);
             maybeWakeKswapd();
             // Arm one retry timer for the whole waiter list. It must
@@ -435,6 +485,7 @@ MemoryManager::finishSwapIn(AddressSpace &space, Vpn vpn, SwapSlot slot,
         }
     } else if (kind == ResidencyKind::SwapInReadahead) {
         ++stats_.readaheadReads;
+        traceEmit(TraceEvent::ReadaheadRead, vpn);
     }
 }
 
@@ -459,6 +510,7 @@ MemoryManager::completeWriteback(FrameTable &table, AddressSpace &space,
         // incremented here — counting a minor fault too would inflate
         // the fault totals the fig benches report.
         ++stats_.writebackRemaps;
+        traceEmit(TraceEvent::WritebackRemap, vpn);
         const std::uint32_t shadow = pte.shadow();
         if (&table == &slowFrames_) {
             // Slow-tier page: restore slow residency (not
@@ -476,7 +528,7 @@ MemoryManager::completeWriteback(FrameTable &table, AddressSpace &space,
             finishSwapIn(space, vpn, slot, pfn,
                          ResidencyKind::SwapInDemand, shadow);
         }
-        wakeIoWaiters(space, vpn);
+        wakeIoWaiters(space, vpn, FaultPhase::WritebackRemapWait);
         return;
     }
 
@@ -530,7 +582,9 @@ MemoryManager::issueReadahead(AddressSpace &space, Vpn vpn)
             finishSwapIn(space, v2, s2, f2,
                          ResidencyKind::SwapInReadahead, shadow2);
             frames_.info(f2).fromReadahead = true;
-            wakeIoWaiters(space, v2);
+            // Demand faults that landed on this in-flight readahead
+            // shared its I/O; their waits close as they wake.
+            wakeIoWaiters(space, v2, FaultPhase::SharedSwapInWait);
         });
     }
 }
@@ -542,15 +596,19 @@ MemoryManager::addIoWaiter(AddressSpace &space, Vpn vpn, SimActor &actor)
 }
 
 void
-MemoryManager::wakeIoWaiters(AddressSpace &space, Vpn vpn)
+MemoryManager::wakeIoWaiters(AddressSpace &space, Vpn vpn,
+                             FaultPhase phase)
 {
     auto it = ioWaiters_.find(WaitKey{&space, vpn});
     if (it == ioWaiters_.end())
         return;
     std::vector<SimActor *> waiters = std::move(it->second);
     ioWaiters_.erase(it);
-    for (SimActor *actor : waiters)
+    for (SimActor *actor : waiters) {
+        if (metrics_)
+            metrics_->spans().closeIoWait(*actor, sim_.now(), phase);
         actor->wake();
+    }
 }
 
 void

@@ -25,6 +25,7 @@
 #include "kernel/fault_stats.hh"
 #include "kernel/mm_config.hh"
 #include "mem/address_space.hh"
+#include "metrics/fault_spans.hh"
 #include "mem/frame_table.hh"
 #include "policy/replacement_policy.hh"
 #include "sim/actor.hh"
@@ -37,6 +38,7 @@ namespace pagesim
 
 class Kswapd;
 class AgingDaemon;
+class MetricsCollector;
 
 /** The simulated kernel memory manager. */
 class MemoryManager
@@ -113,6 +115,14 @@ class MemoryManager
     /** Attach a flight recorder (nullptr detaches; off by default). */
     void attachTrace(TraceBuffer *trace) { trace_ = trace; }
 
+    /**
+     * Attach a metrics collector (nullptr detaches; off by default).
+     * When attached, every major fault is decomposed into a
+     * latency-attribution span (see metrics/fault_spans.hh); detached,
+     * each instrumentation site costs one pointer test.
+     */
+    void attachMetrics(MetricsCollector *metrics) { metrics_ = metrics; }
+
     Simulation &sim() { return sim_; }
     FrameTable &frames() { return frames_; }
     SwapManager &swap() { return swap_; }
@@ -125,6 +135,13 @@ class MemoryManager
 
     /** In-flight async swap reads, demand and readahead (diagnostic). */
     std::uint32_t swapInsInFlight() const { return swapInsInFlight_; }
+
+    /** Actors currently stalled waiting for a free frame. */
+    std::uint32_t
+    frameWaiterCount() const
+    {
+        return static_cast<std::uint32_t>(frameWaiters_.size());
+    }
 
     // ---- Audit hooks (consumed by MmAuditor, src/check) -------------
 
@@ -254,7 +271,13 @@ class MemoryManager
     void issueReadahead(AddressSpace &space, Vpn vpn);
 
     void addIoWaiter(AddressSpace &space, Vpn vpn, SimActor &actor);
-    void wakeIoWaiters(AddressSpace &space, Vpn vpn);
+    /**
+     * Wake every actor piled on (space, vpn)'s in-flight I/O, closing
+     * each one's metrics io-wait span with @p phase (WritebackRemapWait
+     * when the writeback-remap path resolved the wait, SharedSwapInWait
+     * for a completed swap-in or readahead).
+     */
+    void wakeIoWaiters(AddressSpace &space, Vpn vpn, FaultPhase phase);
     void wakeFrameWaiters();
     void maybeWakeKswapd();
 
@@ -268,6 +291,7 @@ class MemoryManager
     Kswapd *kswapd_ = nullptr;
     AgingDaemon *aging_ = nullptr;
     TraceBuffer *trace_ = nullptr;
+    MetricsCollector *metrics_ = nullptr;
 
     void
     traceEmit(TraceEvent event, Vpn vpn = 0)

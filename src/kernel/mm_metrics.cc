@@ -1,0 +1,59 @@
+#include "kernel/mm_metrics.hh"
+
+#include "swap/zram_device.hh"
+
+namespace pagesim
+{
+
+void
+attachStandardMetrics(MetricsCollector &collector, MemoryManager &mm)
+{
+    mm.attachMetrics(&collector);
+    if (!collector.config().sampling())
+        return;
+
+    PeriodicSampler &sampler = collector.sampler();
+
+    // Kernel-level probes (pure state reads; see sampler.hh on why
+    // sampling cannot perturb results).
+    sampler.probe("mm.free_frames", [&mm] {
+        return static_cast<double>(mm.frames().freeFrames());
+    });
+    sampler.probe("mm.alloc_stall_depth", [&mm] {
+        return static_cast<double>(mm.frameWaiterCount());
+    });
+    sampler.probe("mm.writebacks_in_flight", [&mm] {
+        return static_cast<double>(mm.writebacksInFlight());
+    });
+    sampler.probe("mm.swapins_in_flight", [&mm] {
+        return static_cast<double>(mm.swapInsInFlight());
+    });
+    sampler.probe("mm.major_fault_rate",
+                  [&mm, prev = std::uint64_t{0}]() mutable {
+                      const std::uint64_t cur =
+                          mm.stats().majorFaults;
+                      const std::uint64_t d = cur - prev;
+                      prev = cur;
+                      return static_cast<double>(d);
+                  });
+
+    // Swap-area probes.
+    const SwapManager &swap = mm.swap();
+    sampler.probe("swap.used_slots", [&swap] {
+        return static_cast<double>(swap.usedSlots());
+    });
+    if (const auto *zram =
+            dynamic_cast<const ZramSwapDevice *>(&mm.swap().device())) {
+        sampler.probe("zram.pool_bytes", [zram] {
+            return static_cast<double>(zram->poolBytes());
+        });
+    }
+
+    // Policy internals (MG-LRU generations/tiers, Clock lists, ...).
+    mm.policy().registerProbes(sampler);
+
+    sampler.start(mm.sim().events(), collector.config().sampleEvery,
+                  collector.config().maxSamples);
+}
+
+} // namespace pagesim

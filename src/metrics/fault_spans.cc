@@ -1,0 +1,221 @@
+#include "metrics/fault_spans.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace pagesim
+{
+
+const char *
+faultPhaseName(FaultPhase phase)
+{
+    switch (phase) {
+      case FaultPhase::SwapQueueWait:
+        return "swap-queue-wait";
+      case FaultPhase::DeviceService:
+        return "device-service";
+      case FaultPhase::WritebackRemapWait:
+        return "writeback-remap-wait";
+      case FaultPhase::SharedSwapInWait:
+        return "shared-swapin-wait";
+    }
+    return "?";
+}
+
+const char *
+faultSpanKindName(FaultSpanKind kind)
+{
+    switch (kind) {
+      case FaultSpanKind::DemandAsync:
+        return "major-fault";
+      case FaultSpanKind::DemandSync:
+        return "major-fault-sync";
+      case FaultSpanKind::IoWaitRemap:
+        return "iowait-remap";
+      case FaultSpanKind::IoWaitSwapIn:
+        return "iowait-swapin";
+    }
+    return "?";
+}
+
+const char *
+instantKindName(std::uint8_t kind)
+{
+    switch (kind) {
+      case InstantEvent::ReadaheadHit:
+        return "readahead-hit";
+      case InstantEvent::AllocStall:
+        return "alloc-stall";
+    }
+    return "?";
+}
+
+FaultSpanRecorder::FaultSpanRecorder(MetricsRegistry &registry,
+                                     std::size_t max_spans,
+                                     std::size_t max_instants)
+    : registry_(registry), maxSpans_(max_spans),
+      maxInstants_(max_instants)
+{
+    totalHist_ = registry_.histogram("fault.total_wall_ns");
+    for (std::size_t i = 0; i < kFaultPhaseCount; ++i) {
+        phaseHist_[i] = registry_.histogram(
+            std::string("fault.phase.") +
+            faultPhaseName(static_cast<FaultPhase>(i)) + "_ns");
+    }
+    reclaimCpuHist_ = registry_.histogram("fault.cpu.direct_reclaim_ns");
+    deviceCpuHist_ = registry_.histogram("fault.cpu.sync_device_ns");
+    spanCount_ = registry_.counter("fault.spans");
+    readaheadShortcuts_ = registry_.counter("fault.readahead_hits");
+    // Retention vectors are reserved up front: the caps bound them,
+    // reserved-but-untouched pages cost nothing, and growth
+    // reallocations would otherwise copy megabytes of spans on the
+    // fault path.
+    spans_.reserve(maxSpans_);
+    instants_.reserve(maxInstants_);
+}
+
+std::uint32_t
+FaultSpanRecorder::openDemand(SimTime now, Vpn vpn,
+                              std::uint32_t track,
+                              SimDuration reclaim_cpu)
+{
+    std::uint32_t token;
+    if (!freeDemandSlots_.empty()) {
+        token = freeDemandSlots_.back();
+        freeDemandSlots_.pop_back();
+    } else {
+        token = static_cast<std::uint32_t>(pendingDemand_.size());
+        pendingDemand_.emplace_back();
+    }
+    auto &pd = pendingDemand_[token];
+    pd.start = now;
+    pd.vpn = vpn;
+    pd.track = track;
+    pd.reclaimCpu = reclaim_cpu;
+    pd.live = true;
+    return token;
+}
+
+void
+FaultSpanRecorder::closeDemand(std::uint32_t token, SimTime now,
+                               SimDuration queue_wait,
+                               SimDuration service)
+{
+    assert(token < pendingDemand_.size() && pendingDemand_[token].live);
+    auto &pd = pendingDemand_[token];
+    FaultSpan span;
+    span.start = pd.start;
+    span.end = now;
+    span.vpn = pd.vpn;
+    span.track = pd.track;
+    span.kind = FaultSpanKind::DemandAsync;
+    span.reclaimCpu = pd.reclaimCpu;
+    // The device reports [submit, completion] split into queue wait
+    // and service; submit happened at span.start inside the fault
+    // event, so the two phases partition [start, end]. Guard against
+    // drift by assigning the remainder (which is zero by
+    // construction) to service.
+    const SimDuration wall = span.end - span.start;
+    SimDuration qw = queue_wait > wall ? wall : queue_wait;
+    span.phase[static_cast<std::size_t>(FaultPhase::SwapQueueWait)] =
+        qw;
+    span.phase[static_cast<std::size_t>(FaultPhase::DeviceService)] =
+        wall - qw;
+    (void)service;
+    pd.live = false;
+    freeDemandSlots_.push_back(token);
+    finishSpan(std::move(span));
+}
+
+void
+FaultSpanRecorder::recordSyncDemand(SimTime now, Vpn vpn,
+                                    std::uint32_t track,
+                                    SimDuration reclaim_cpu,
+                                    SimDuration device_cpu)
+{
+    FaultSpan span;
+    span.start = now;
+    span.end = now;
+    span.vpn = vpn;
+    span.track = track;
+    span.kind = FaultSpanKind::DemandSync;
+    span.reclaimCpu = reclaim_cpu;
+    span.deviceCpu = device_cpu;
+    finishSpan(std::move(span));
+}
+
+void
+FaultSpanRecorder::openIoWait(const SimActor &actor, Vpn vpn,
+                              SimTime now, std::uint32_t track)
+{
+    SimActor::IoWaitSlot &slot = actor.metricsIoWait();
+    assert(!(slot.owner == this && slot.live));
+    slot.owner = this;
+    slot.start = now;
+    slot.vpn = vpn;
+    slot.track = track;
+    slot.live = true;
+    ++pendingWaitCount_;
+}
+
+void
+FaultSpanRecorder::closeIoWaitSlow(SimActor::IoWaitSlot &slot,
+                                   SimTime now, FaultPhase phase)
+{
+    slot.live = false;
+    --pendingWaitCount_;
+    FaultSpan span;
+    span.start = slot.start;
+    span.end = now;
+    span.vpn = slot.vpn;
+    span.track = slot.track;
+    span.kind = phase == FaultPhase::WritebackRemapWait
+                    ? FaultSpanKind::IoWaitRemap
+                    : FaultSpanKind::IoWaitSwapIn;
+    span.phase[static_cast<std::size_t>(phase)] = now - slot.start;
+    finishSpan(std::move(span));
+}
+
+std::size_t
+FaultSpanRecorder::pendingCount() const
+{
+    return pendingDemand_.size() - freeDemandSlots_.size() +
+           pendingWaitCount_;
+}
+
+void
+FaultSpanRecorder::finishSpan(FaultSpan &&span)
+{
+    registry_.add(spanCount_);
+    if (spans_.size() >= maxSpans_) {
+        // A dropped span will never be seen by aggregateRetained();
+        // fold it into the histograms now so aggregation stays exact.
+        aggregateSpan(span);
+        ++spansDropped_;
+        return;
+    }
+    spans_.push_back(std::move(span));
+}
+
+void
+FaultSpanRecorder::aggregateSpan(const FaultSpan &span) const
+{
+    registry_.record(totalHist_, span.total());
+    for (std::size_t i = 0; i < kFaultPhaseCount; ++i) {
+        if (span.phase[i])
+            registry_.record(phaseHist_[i], span.phase[i]);
+    }
+    if (span.reclaimCpu)
+        registry_.record(reclaimCpuHist_, span.reclaimCpu);
+    if (span.deviceCpu)
+        registry_.record(deviceCpuHist_, span.deviceCpu);
+}
+
+void
+FaultSpanRecorder::aggregateRetained() const
+{
+    for (; aggregatedUpTo_ < spans_.size(); ++aggregatedUpTo_)
+        aggregateSpan(spans_[aggregatedUpTo_]);
+}
+
+} // namespace pagesim

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Fault-lifecycle spans: per-major-fault latency attribution.
+ *
+ * Every major fault the MemoryManager handles is decomposed into
+ * phases that partition its blocked wall interval [start, end]
+ * exactly (simulated time is deterministic, so the reconciliation
+ *     sum(wall phases) == end - start
+ * holds to the nanosecond and is enforced by tests):
+ *
+ *  - SwapQueueWait   demand read queued behind the swap device's NCQ
+ *                    window (submit -> service start);
+ *  - DeviceService   demand read in service (service start ->
+ *                    completion);
+ *  - WritebackRemapWait  the fault landed on a page whose dirty
+ *                    writeback was in flight; it waited for the write
+ *                    to land and was resolved by swap-cache remap;
+ *  - SharedSwapInWait    the fault landed on a page whose swap-in
+ *                    (another thread's demand read, or readahead) was
+ *                    already in flight and waited for that I/O.
+ *
+ * Two CPU-domain attributions ride on the span but are NOT wall
+ * phases (they are charged to the faulting context as compute and do
+ * not advance simulated time inside the fault event):
+ *
+ *  - reclaimCpu      direct-reclaim work run inline by the fault
+ *                    (victim selection, eviction, compression);
+ *  - deviceCpu       synchronous (ZRAM) decompression on the faulting
+ *                    CPU. Synchronous faults have end == start.
+ *
+ * Readahead-hit shortcuts — demand accesses that found their page
+ * already resident because readahead won the race — never become
+ * spans (there is no fault); they are recorded as instant events.
+ */
+
+#ifndef PAGESIM_METRICS_FAULT_SPANS_HH
+#define PAGESIM_METRICS_FAULT_SPANS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/types.hh"
+#include "metrics/registry.hh"
+#include "sim/actor.hh"
+#include "sim/types.hh"
+
+namespace pagesim
+{
+
+/** Wall phases that partition a fault span's blocked interval. */
+enum class FaultPhase : std::uint8_t
+{
+    SwapQueueWait,
+    DeviceService,
+    WritebackRemapWait,
+    SharedSwapInWait,
+};
+
+constexpr std::size_t kFaultPhaseCount = 4;
+
+/** Display name ("swap-queue-wait", ...). */
+const char *faultPhaseName(FaultPhase phase);
+
+/** How the span was produced. */
+enum class FaultSpanKind : std::uint8_t
+{
+    DemandAsync, ///< async demand read (SSD): queue wait + service
+    DemandSync,  ///< sync (ZRAM) fault: zero wall, CPU decompress
+    IoWaitRemap, ///< waited on in-flight writeback, remap resolved it
+    IoWaitSwapIn,///< waited on an in-flight swap-in issued elsewhere
+};
+
+const char *faultSpanKindName(FaultSpanKind kind);
+
+/** One attributed fault. */
+struct FaultSpan
+{
+    SimTime start = 0;
+    SimTime end = 0;
+    Vpn vpn = 0;
+    std::uint32_t track = 0; ///< actor track id (see MetricsCollector)
+    FaultSpanKind kind = FaultSpanKind::DemandAsync;
+    /** Wall phases; their sum equals end - start exactly. */
+    SimDuration phase[kFaultPhaseCount] = {};
+    /** Direct-reclaim CPU run inline by this fault (not wall). */
+    SimDuration reclaimCpu = 0;
+    /** Synchronous device CPU (ZRAM decompress; not wall). */
+    SimDuration deviceCpu = 0;
+
+    SimDuration total() const { return end - start; }
+    SimDuration
+    phaseSum() const
+    {
+        SimDuration s = 0;
+        for (std::size_t i = 0; i < kFaultPhaseCount; ++i)
+            s += phase[i];
+        return s;
+    }
+};
+
+/** Timestamped point event (readahead hits, alloc stalls). */
+struct InstantEvent
+{
+    SimTime at = 0;
+    Vpn vpn = 0;
+    std::uint32_t track = 0;
+    std::uint8_t kind = 0; ///< InstantKind
+
+    enum Kind : std::uint8_t
+    {
+        ReadaheadHit, ///< demand access shortcut by a readahead page
+        AllocStall,   ///< fault stalled waiting for any free frame
+    };
+};
+
+const char *instantKindName(std::uint8_t kind);
+
+/**
+ * Records fault spans: retains up to @p max_spans individual spans
+ * for export and reconciliation tests (drops are counted, never
+ * silent) and aggregates every span — retained or dropped — into
+ * per-phase histograms in a MetricsRegistry. Aggregation of retained
+ * spans is deferred to aggregateRetained() so the fault path stays a
+ * single streaming append.
+ */
+class FaultSpanRecorder
+{
+  public:
+    /**
+     * @param registry  histogram/counter home (must outlive this)
+     * @param max_spans individual spans retained for export
+     * @param max_instants instant events retained for export
+     */
+    FaultSpanRecorder(MetricsRegistry &registry,
+                      std::size_t max_spans = 1u << 16,
+                      std::size_t max_instants = 1u << 16);
+
+    // ---- Demand faults (the faulting thread's own I/O) --------------
+
+    /**
+     * A major fault submitted an async demand read at @p now.
+     * @return a pending-span token for closeDemand().
+     */
+    std::uint32_t openDemand(SimTime now, Vpn vpn, std::uint32_t track,
+                             SimDuration reclaim_cpu);
+
+    /**
+     * The demand read completed at @p now. @p queue_wait / @p service
+     * are the device-reported decomposition of [submit, completion].
+     */
+    void closeDemand(std::uint32_t token, SimTime now,
+                     SimDuration queue_wait, SimDuration service);
+
+    /** A synchronous (ZRAM) major fault: zero wall, CPU attribution. */
+    void recordSyncDemand(SimTime now, Vpn vpn, std::uint32_t track,
+                          SimDuration reclaim_cpu,
+                          SimDuration device_cpu);
+
+    // ---- Faults that waited on someone else's in-flight I/O ---------
+
+    /**
+     * @p actor blocked at @p now on in-flight I/O for @p vpn. A
+     * blocked actor waits on at most one I/O, so the open wait lives
+     * in the actor's inline slot — no side-table bookkeeping on the
+     * fault path.
+     */
+    void openIoWait(const SimActor &actor, Vpn vpn, SimTime now,
+                    std::uint32_t track);
+
+    /**
+     * The I/O @p actor was waiting on resolved at @p now; close its
+     * pending wait (if any — the actor that issued the demand read
+     * itself has a demand span instead) with @p phase:
+     * WritebackRemapWait when the writeback-remap path resolved it,
+     * SharedSwapInWait otherwise. Inline early-out: most wakes hit an
+     * actor with no open wait, and this is called once per woken
+     * waiter.
+     */
+    void
+    closeIoWait(const SimActor &actor, SimTime now, FaultPhase phase)
+    {
+        SimActor::IoWaitSlot &slot = actor.metricsIoWait();
+        // The actor that issued the demand read is woken through the
+        // same waiter list but has a demand span open, not an io-wait.
+        if (slot.owner != this || !slot.live)
+            return;
+        closeIoWaitSlow(slot, now, phase);
+    }
+
+    // ---- Instant events ---------------------------------------------
+
+    /** Inline: the highest-frequency recorder entry point. */
+    void
+    instant(std::uint8_t kind, SimTime at, Vpn vpn,
+            std::uint32_t track)
+    {
+        if (kind == InstantEvent::ReadaheadHit)
+            registry_.add(readaheadShortcuts_);
+        if (instants_.size() >= maxInstants_) {
+            ++instantsDropped_;
+            return;
+        }
+        instants_.push_back(InstantEvent{at, vpn, track, kind});
+    }
+
+    // ---- Views --------------------------------------------------------
+
+    const std::vector<FaultSpan> &spans() const { return spans_; }
+    std::uint64_t spansDropped() const { return spansDropped_; }
+    const std::vector<InstantEvent> &instants() const
+    {
+        return instants_;
+    }
+    std::uint64_t instantsDropped() const { return instantsDropped_; }
+
+    /** Pending (opened, not yet closed) demand + io-wait records. */
+    std::size_t pendingCount() const;
+
+    /**
+     * Fold retained-but-not-yet-aggregated spans into the registry
+     * histograms. Aggregation is deferred: the fault path only appends
+     * the span to the retention vector (one streaming store), and this
+     * one sequential cache-hot pass replaces tens of thousands of
+     * scattered histogram updates. Idempotent — call any time a
+     * consistent registry view is needed (snapshot() does). Spans
+     * dropped at the retention cap are folded in eagerly instead, so
+     * aggregation never loses data.
+     */
+    void aggregateRetained() const;
+
+  private:
+    void finishSpan(FaultSpan &&span);
+    void aggregateSpan(const FaultSpan &span) const;
+    void closeIoWaitSlow(SimActor::IoWaitSlot &slot, SimTime now,
+                         FaultPhase phase);
+
+    struct PendingDemand
+    {
+        SimTime start;
+        Vpn vpn;
+        std::uint32_t track;
+        SimDuration reclaimCpu;
+        bool live = false;
+    };
+
+    MetricsRegistry &registry_;
+    std::size_t maxSpans_;
+    std::size_t maxInstants_;
+
+    HistogramId totalHist_;
+    HistogramId phaseHist_[kFaultPhaseCount];
+    HistogramId reclaimCpuHist_;
+    HistogramId deviceCpuHist_;
+    CounterId spanCount_;
+    CounterId readaheadShortcuts_;
+
+    std::vector<PendingDemand> pendingDemand_;
+    std::vector<std::uint32_t> freeDemandSlots_;
+    std::size_t pendingWaitCount_ = 0;
+
+    std::vector<FaultSpan> spans_;
+    /// First retained span not yet folded into the histograms; a
+    /// lookup-cache cursor (like the actor slots), not trial state.
+    mutable std::size_t aggregatedUpTo_ = 0;
+    std::uint64_t spansDropped_ = 0;
+    std::vector<InstantEvent> instants_;
+    std::uint64_t instantsDropped_ = 0;
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_METRICS_FAULT_SPANS_HH

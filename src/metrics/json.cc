@@ -1,0 +1,264 @@
+#include "metrics/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace pagesim
+{
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &m : members) {
+        if (m.first == key)
+            return &m.second;
+    }
+    return nullptr;
+}
+
+namespace
+{
+
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string &error;
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (error.empty())
+            error = msg + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word, std::size_t len)
+    {
+        if (text.compare(pos, len, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos += len;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        while (pos < text.size()) {
+            const char c = text[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c == '\\') {
+                ++pos;
+                if (pos >= text.size())
+                    return fail("truncated escape");
+                const char e = text[pos++];
+                switch (e) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'u': {
+                    if (pos + 4 > text.size())
+                        return fail("truncated \\u escape");
+                    for (int i = 0; i < 4; ++i) {
+                        if (!std::isxdigit(static_cast<unsigned char>(
+                                text[pos + i])))
+                            return fail("bad \\u escape");
+                    }
+                    // Validation only: keep the escape verbatim.
+                    out += "\\u";
+                    out.append(text, pos, 4);
+                    pos += 4;
+                    break;
+                  }
+                  default:
+                    return fail("bad escape character");
+                }
+                continue;
+            }
+            out += c;
+            ++pos;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos;
+        if (consume('-')) {
+        }
+        if (pos >= text.size() ||
+            !std::isdigit(static_cast<unsigned char>(text[pos])))
+            return fail("bad number");
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        if (consume('.')) {
+            if (pos >= text.size() ||
+                !std::isdigit(static_cast<unsigned char>(text[pos])))
+                return fail("bad fraction");
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos])))
+                ++pos;
+        }
+        if (pos < text.size() &&
+            (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            if (pos >= text.size() ||
+                !std::isdigit(static_cast<unsigned char>(text[pos])))
+                return fail("bad exponent");
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos])))
+                ++pos;
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::strtod(text.c_str() + start, nullptr);
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > 128)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (consume('}'))
+                return true;
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (!consume(':'))
+                    return fail("expected ':'");
+                JsonValue value;
+                if (!parseValue(value, depth + 1))
+                    return false;
+                out.members.emplace_back(std::move(key),
+                                         std::move(value));
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (consume(']'))
+                return true;
+            while (true) {
+                JsonValue value;
+                if (!parseValue(value, depth + 1))
+                    return false;
+                out.items.push_back(std::move(value));
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.str);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true", 4);
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false", 5);
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Kind::Null;
+            return literal("null", 4);
+        }
+        return parseNumber(out);
+    }
+};
+
+} // namespace
+
+bool
+jsonParse(const std::string &text, JsonValue &out, std::string &error)
+{
+    error.clear();
+    Parser p{text, 0, error};
+    if (!p.parseValue(out, 0))
+        return false;
+    p.skipWs();
+    if (p.pos != text.size())
+        return p.fail("trailing characters");
+    return true;
+}
+
+} // namespace pagesim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal JSON parser for artifact validation.
+ *
+ * The exporters emit Chrome trace JSON and JSONL; tests, CI, and the
+ * latency_attribution example must prove those artifacts are
+ * well-formed without external dependencies. This is a strict
+ * recursive-descent parser over the JSON grammar — objects, arrays,
+ * strings (with escapes), numbers, booleans, null — returning a small
+ * DOM. It is a validation tool, not a performance-oriented parser.
+ */
+
+#ifndef PAGESIM_METRICS_JSON_HH
+#define PAGESIM_METRICS_JSON_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pagesim
+{
+
+/** Parsed JSON value (tree). */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> items;                ///< Array
+    std::vector<std::pair<std::string, JsonValue>> members; ///< Object
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+    bool isNumber() const { return kind == Kind::Number; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+};
+
+/**
+ * Parse @p text as one JSON document.
+ * @param[out] error set to a message with offset on failure
+ * @return the parsed value, or nullopt-like: kind Null + error set
+ */
+bool jsonParse(const std::string &text, JsonValue &out,
+               std::string &error);
+
+} // namespace pagesim
+
+#endif // PAGESIM_METRICS_JSON_HH

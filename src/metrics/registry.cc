@@ -1,0 +1,48 @@
+#include "metrics/registry.hh"
+
+namespace pagesim
+{
+
+namespace
+{
+
+template <typename Value>
+std::uint32_t
+resolve(std::unordered_map<std::string, std::uint32_t> &index,
+        std::vector<std::string> &names, std::vector<Value> &values,
+        const std::string &name)
+{
+    auto it = index.find(name);
+    if (it != index.end())
+        return it->second;
+    const auto idx = static_cast<std::uint32_t>(names.size());
+    index.emplace(name, idx);
+    names.push_back(name);
+    values.emplace_back();
+    return idx;
+}
+
+} // namespace
+
+CounterId
+MetricsRegistry::counter(const std::string &name)
+{
+    return CounterId{
+        resolve(counterIndex_, counterNames_, counterValues_, name)};
+}
+
+GaugeId
+MetricsRegistry::gauge(const std::string &name)
+{
+    return GaugeId{
+        resolve(gaugeIndex_, gaugeNames_, gaugeValues_, name)};
+}
+
+HistogramId
+MetricsRegistry::histogram(const std::string &name)
+{
+    return HistogramId{
+        resolve(histIndex_, histNames_, histValues_, name)};
+}
+
+} // namespace pagesim

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * MetricsRegistry: named counters, gauges, and log-bucketed latency
+ * histograms with pre-resolved handles.
+ *
+ * Instrumented components resolve each metric name ONCE (at attach
+ * time) into a small integer handle; every hot-path update is then a
+ * bounds-unchecked array operation — no hashing, no string compares.
+ * When no registry is attached the instrumentation sites skip the call
+ * entirely, so a detached trial pays only a pointer test.
+ *
+ * Snapshots are deterministic: metrics appear in registration order,
+ * and registration order is fixed by the (deterministic) wiring code,
+ * so two identically-seeded trials produce byte-identical snapshots.
+ */
+
+#ifndef PAGESIM_METRICS_REGISTRY_HH
+#define PAGESIM_METRICS_REGISTRY_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/histogram.hh"
+
+namespace pagesim
+{
+
+/** Handle of a monotone counter. */
+struct CounterId
+{
+    std::uint32_t idx = UINT32_MAX;
+    bool valid() const { return idx != UINT32_MAX; }
+};
+
+/** Handle of a last-value gauge. */
+struct GaugeId
+{
+    std::uint32_t idx = UINT32_MAX;
+    bool valid() const { return idx != UINT32_MAX; }
+};
+
+/** Handle of a log-bucketed latency histogram. */
+struct HistogramId
+{
+    std::uint32_t idx = UINT32_MAX;
+    bool valid() const { return idx != UINT32_MAX; }
+};
+
+/** Name/value/histogram store behind the handles. */
+class MetricsRegistry
+{
+  public:
+    /** Resolve (creating on first use) the counter named @p name. */
+    CounterId counter(const std::string &name);
+    /** Resolve (creating on first use) the gauge named @p name. */
+    GaugeId gauge(const std::string &name);
+    /** Resolve (creating on first use) the histogram named @p name. */
+    HistogramId histogram(const std::string &name);
+
+    // ---- Hot path (handle-indexed, no lookups) ----------------------
+
+    void
+    add(CounterId id, std::uint64_t n = 1)
+    {
+        counterValues_[id.idx] += n;
+    }
+
+    void
+    set(GaugeId id, double v)
+    {
+        gaugeValues_[id.idx] = v;
+    }
+
+    void
+    record(HistogramId id, std::uint64_t value)
+    {
+        histValues_[id.idx].record(value);
+    }
+
+    // ---- Reads --------------------------------------------------------
+
+    std::uint64_t value(CounterId id) const
+    {
+        return counterValues_[id.idx];
+    }
+
+    double value(GaugeId id) const { return gaugeValues_[id.idx]; }
+
+    const LatencyHistogram &at(HistogramId id) const
+    {
+        return histValues_[id.idx];
+    }
+
+    const std::vector<std::string> &counterNames() const
+    {
+        return counterNames_;
+    }
+    const std::vector<std::uint64_t> &counterValues() const
+    {
+        return counterValues_;
+    }
+    const std::vector<std::string> &gaugeNames() const
+    {
+        return gaugeNames_;
+    }
+    const std::vector<double> &gaugeValues() const
+    {
+        return gaugeValues_;
+    }
+    const std::vector<std::string> &histogramNames() const
+    {
+        return histNames_;
+    }
+    const std::vector<LatencyHistogram> &histograms() const
+    {
+        return histValues_;
+    }
+
+  private:
+    std::unordered_map<std::string, std::uint32_t> counterIndex_;
+    std::unordered_map<std::string, std::uint32_t> gaugeIndex_;
+    std::unordered_map<std::string, std::uint32_t> histIndex_;
+
+    std::vector<std::string> counterNames_;
+    std::vector<std::uint64_t> counterValues_;
+    std::vector<std::string> gaugeNames_;
+    std::vector<double> gaugeValues_;
+    std::vector<std::string> histNames_;
+    std::vector<LatencyHistogram> histValues_;
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_METRICS_REGISTRY_HH

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "metrics/sampler.hh"
+
 namespace pagesim
 {
 
@@ -173,6 +175,34 @@ ClockLru::selectVictims(std::vector<Pfn> &out, std::size_t max,
     else
         starvedRounds_ = 0;
     return got;
+}
+
+void
+ClockLru::registerProbes(PeriodicSampler &sampler) const
+{
+    sampler.probe("clock.active_pages", [this] {
+        return static_cast<double>(active_.size());
+    });
+    sampler.probe("clock.inactive_pages", [this] {
+        return static_cast<double>(inactive_.size());
+    });
+    // Scan rates: PTEs/rmap walks checked since the previous sample
+    // (pure reads of monotone counters; the delta state lives in the
+    // probe closure, not the policy).
+    sampler.probe("clock.pte_scan_rate",
+                  [this, prev = std::uint64_t{0}]() mutable {
+                      const std::uint64_t cur = stats_.ptesScanned;
+                      const std::uint64_t d = cur - prev;
+                      prev = cur;
+                      return static_cast<double>(d);
+                  });
+    sampler.probe("clock.rmap_walk_rate",
+                  [this, prev = std::uint64_t{0}]() mutable {
+                      const std::uint64_t cur = stats_.rmapWalks;
+                      const std::uint64_t d = cur - prev;
+                      prev = cur;
+                      return static_cast<double>(d);
+                  });
 }
 
 } // namespace pagesim

@@ -71,6 +71,7 @@ class ClockLru : public ReplacementPolicy
                               CostSink &costs) override;
     void age(CostSink &costs) override;
     bool wantsAging() const override;
+    void registerProbes(PeriodicSampler &sampler) const override;
 
     std::uint64_t activeSize() const { return active_.size(); }
     std::uint64_t inactiveSize() const { return inactive_.size(); }

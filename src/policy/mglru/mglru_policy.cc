@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 
+#include "metrics/sampler.hh"
+
 namespace pagesim
 {
 
@@ -464,6 +466,51 @@ MgLruPolicy::onFdAccess(Pfn pfn)
     // climb a tier within their generation (Sec. III-D).
     ++pi.refs;
     updateTier(pi);
+}
+
+void
+MgLruPolicy::registerProbes(PeriodicSampler &sampler) const
+{
+    sampler.probe("mglru.min_seq", [this] {
+        return static_cast<double>(minSeq_);
+    });
+    sampler.probe("mglru.max_seq", [this] {
+        return static_cast<double>(maxSeq_);
+    });
+    sampler.probe("mglru.num_gens", [this] {
+        return static_cast<double>(numGens());
+    });
+    sampler.probe("mglru.resident_pages", [this] {
+        return static_cast<double>(resident_);
+    });
+    // Generation occupancy, oldest-relative: gen0 is minSeq (next to
+    // be reclaimed), gen3 the youngest of a full ladder. Relative
+    // indexing keeps probe identity stable as sequences advance.
+    for (std::uint64_t off = 0; off < 4; ++off) {
+        sampler.probe("mglru.gen" + std::to_string(off) + "_pages",
+                      [this, off] {
+                          if (off >= numGens())
+                              return 0.0;
+                          return static_cast<double>(
+                              genSize(minSeq_ + off));
+                      });
+    }
+    for (unsigned tier = 0; tier < TierPidController::kMaxTiers;
+         ++tier) {
+        sampler.probe("mglru.tier" + std::to_string(tier) +
+                          ".refault_rate",
+                      [this, tier] { return pid_.refaultRate(tier); });
+        sampler.probe("mglru.tier" + std::to_string(tier) +
+                          ".pid_output",
+                      [this, tier] { return pid_.output(tier); });
+    }
+    sampler.probe("mglru.pte_scan_rate",
+                  [this, prev = std::uint64_t{0}]() mutable {
+                      const std::uint64_t cur = stats_.ptesScanned;
+                      const std::uint64_t d = cur - prev;
+                      prev = cur;
+                      return static_cast<double>(d);
+                  });
 }
 
 } // namespace pagesim

@@ -200,6 +200,8 @@ class MgLruPolicy : public ReplacementPolicy
      */
     void onFdAccess(Pfn pfn) override;
 
+    void registerProbes(PeriodicSampler &sampler) const override;
+
     std::uint64_t minSeq() const { return minSeq_; }
     std::uint64_t maxSeq() const { return maxSeq_; }
     std::uint64_t numGens() const { return maxSeq_ - minSeq_ + 1; }

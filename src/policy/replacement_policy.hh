@@ -22,6 +22,8 @@
 namespace pagesim
 {
 
+class PeriodicSampler;
+
 /** How a page became resident. */
 enum class ResidencyKind
 {
@@ -97,6 +99,15 @@ class ReplacementPolicy
      * MG-LRU uses this for its tier machinery.
      */
     virtual void onFdAccess(Pfn) {}
+
+    /**
+     * Register timeseries probes exposing the policy's internals on a
+     * PeriodicSampler (generation occupancy, tier refault rates, list
+     * sizes, scan rates — see metrics/sampler.hh). Probes must be pure
+     * reads: sampling may never perturb policy state, or metrics would
+     * change simulation results. Default: no probes.
+     */
+    virtual void registerProbes(PeriodicSampler &) const {}
 
     /** Scanning work the policy considers "due" is tracked here. */
     const PolicyStats &stats() const { return stats_; }

@@ -75,6 +75,35 @@ class SimActor
     /** Total wall time this actor spent blocked on wake(). */
     SimDuration blockedTime() const { return blockedTime_; }
 
+    /**
+     * Metrics-track cache slot (see MetricsCollector::trackFor): the
+     * collector that stamped it is recorded so a cached id can never
+     * leak across collectors. Not simulation state — purely a lookup
+     * cache, which is why it is mutable through a const actor.
+     */
+    struct TrackCacheSlot
+    {
+        const void *owner = nullptr;
+        std::uint32_t id = 0;
+    };
+    TrackCacheSlot &metricsTrackCache() const { return trackCache_; }
+
+    /**
+     * Pending io-wait slot (see FaultSpanRecorder): a blocked actor
+     * waits on at most one in-flight I/O, so the recorder keeps the
+     * open wait here instead of in a side table. Same ownership rule
+     * and mutability rationale as the track cache.
+     */
+    struct IoWaitSlot
+    {
+        const void *owner = nullptr; ///< recorder that opened it
+        SimTime start = 0;
+        std::uint64_t vpn = 0;
+        std::uint32_t track = 0;
+        bool live = false;
+    };
+    IoWaitSlot &metricsIoWait() const { return ioWaitSlot_; }
+
   protected:
     /** Perform one scheduling quantum of work; see class comment. */
     virtual void step() = 0;
@@ -111,6 +140,8 @@ class SimActor
     /// Guards against stale scheduled dispatches after block()/wake()
     /// races: only the dispatch carrying the current epoch runs.
     std::uint64_t epoch_ = 0;
+    mutable TrackCacheSlot trackCache_;
+    mutable IoWaitSlot ioWaitSlot_;
 };
 
 } // namespace pagesim

@@ -14,22 +14,6 @@ LatencyHistogram::LatencyHistogram(unsigned sub_bucket_bits)
     assert(sub_bucket_bits >= 1 && sub_bucket_bits <= 16);
 }
 
-std::size_t
-LatencyHistogram::bucketIndex(std::uint64_t value) const
-{
-    // Octave 0 holds values < subBuckets_ exactly; octave k >= 1 holds
-    // [subBuckets_ << (k-1), subBuckets_ << k) with subBuckets_/2
-    // distinct sub-buckets of width 2^k each. For simplicity we lay out
-    // a full subBuckets_-wide row per octave (half of each row beyond
-    // octave 0 is unused; the waste is a few KB).
-    unsigned octave = 0;
-    if (value >= subBuckets_)
-        octave = static_cast<unsigned>(std::bit_width(value)) -
-                 subBucketBits_;
-    const std::uint64_t sub = value >> octave;
-    return static_cast<std::size_t>(octave) * subBuckets_ + sub;
-}
-
 std::uint64_t
 LatencyHistogram::bucketMidpoint(std::size_t index) const
 {
@@ -40,25 +24,6 @@ LatencyHistogram::bucketMidpoint(std::size_t index) const
     if (octave == 0)
         return low;
     return low + (1ull << (octave - 1));
-}
-
-void
-LatencyHistogram::record(std::uint64_t value)
-{
-    record(value, 1);
-}
-
-void
-LatencyHistogram::record(std::uint64_t value, std::uint64_t n)
-{
-    const std::size_t idx = bucketIndex(value);
-    if (idx >= counts_.size())
-        counts_.resize(idx + 1, 0);
-    counts_[idx] += n;
-    count_ += n;
-    sum_ += static_cast<double>(value) * static_cast<double>(n);
-    max_ = std::max(max_, value);
-    min_ = std::min(min_, value);
 }
 
 void

@@ -51,7 +51,7 @@ SsdSwapDevice::serviceTime(bool is_write)
 void
 SsdSwapDevice::submit(SwapSlot, bool is_write, Callback cb)
 {
-    Request req{is_write, events_.now(), std::move(cb)};
+    Request req{is_write, events_.now(), 0, std::move(cb)};
     if (inFlight_ < config_.parallelism) {
         startOne(std::move(req));
     } else {
@@ -66,6 +66,7 @@ void
 SsdSwapDevice::startOne(Request req)
 {
     ++inFlight_;
+    req.started = events_.now();
     const SimDuration service = serviceTime(req.isWrite);
     events_.scheduleAfter(service, [this, r = std::move(req)]() mutable {
         complete(std::move(r));
@@ -91,6 +92,10 @@ SsdSwapDevice::complete(Request req)
         queue_.pop_front();
         startOne(std::move(next));
     }
+    // Expose the queue-wait/service split for the completion callback
+    // (latency-attribution spans read it there).
+    lastQueueWait_ = req.started - req.submitted;
+    lastService_ = events_.now() - req.started;
     req.cb();
 }
 

@@ -86,6 +86,7 @@ class SsdSwapDevice : public SwapDevice
     {
         bool isWrite;
         SimTime submitted;
+        SimTime started = 0; ///< service start (set by startOne)
         Callback cb;
     };
 

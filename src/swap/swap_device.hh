@@ -84,8 +84,21 @@ class SwapDevice
 
     const SwapDeviceStats &stats() const { return stats_; }
 
+    /**
+     * Decomposition of the most recently completed async op's
+     * [submit, completion] interval: time queued behind the device vs.
+     * time in service. Valid inside a submit() completion callback —
+     * the device updates both immediately before invoking it — which
+     * is exactly where latency-attribution instrumentation reads them.
+     * Synchronous devices leave them 0.
+     */
+    SimDuration lastOpQueueWait() const { return lastQueueWait_; }
+    SimDuration lastOpService() const { return lastService_; }
+
   protected:
     SwapDeviceStats stats_;
+    SimDuration lastQueueWait_ = 0;
+    SimDuration lastService_ = 0;
 };
 
 } // namespace pagesim

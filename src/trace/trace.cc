@@ -15,6 +15,8 @@ traceEventName(TraceEvent ev)
         "major-fault",   "minor-fault", "eviction",
         "dirty-writeback", "direct-reclaim", "aging-pass",
         "alloc-stall",   "demotion",    "promotion",
+        "readahead-read", "readahead-hit", "writeback-remap",
+        "iowait-fault",
     };
     return names[static_cast<std::size_t>(ev)];
 }

@@ -35,10 +35,14 @@ enum class TraceEvent : std::uint8_t
     AllocStall,
     Demotion,
     Promotion,
+    ReadaheadRead,  ///< swap-in issued speculatively by readahead
+    ReadaheadHit,   ///< demand access satisfied by a readahead page
+    WritebackRemap, ///< fault resolved by remapping an in-flight write
+    IoWaitFault,    ///< fault blocked on someone else's in-flight I/O
 };
 
 /** Number of distinct TraceEvent values. */
-constexpr std::size_t kTraceEventCount = 9;
+constexpr std::size_t kTraceEventCount = 13;
 
 /** Display name ("major-fault", ...). */
 const std::string &traceEventName(TraceEvent ev);
@@ -80,6 +84,17 @@ class TraceBuffer
      * Time-bucketed event counts: bucket i covers
      * [start + i*bucket, start + (i+1)*bucket). Covers the retained
      * window, ending at @p end (pass the sim's final time).
+     *
+     * Drop semantics: `start` is the timestamp of the oldest RETAINED
+     * record, not simulation time 0. Once the ring wraps, dropped
+     * records silently re-anchor the series at the oldest survivor —
+     * bucket 0 of a post-wrap series is NOT the start of the trial,
+     * and counts for any interval older than the retained window are
+     * gone (droppedRecords() says how many records they held).
+     * Consequently count(event) — which also covers only retained
+     * records — always equals the sum of that event's rateSeries.
+     * Size the buffer for the trial, or treat the series as a sliding
+     * flight-recorder window.
      */
     std::vector<std::uint64_t> rateSeries(TraceEvent event,
                                           SimDuration bucket,

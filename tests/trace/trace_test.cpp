@@ -61,6 +61,31 @@ TEST(TraceBuffer, RateSeriesBucketsCorrectly)
     EXPECT_EQ(series[2], 1u);
 }
 
+TEST(TraceBuffer, RateSeriesAfterWraparoundCoversRetainedWindowOnly)
+{
+    // Regression test for the documented flight-recorder drop
+    // semantics: once the ring wraps, the series covers only the
+    // retained window — it starts at the oldest retained record, and
+    // intervals older than that are gone entirely (their events
+    // survive only in droppedRecords()) — and count(event) still
+    // equals the series sum.
+    TraceBuffer trace(4);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        trace.emit(usecs(100 * i + 10), TraceEvent::MajorFault, i);
+    EXPECT_EQ(trace.droppedRecords(), 4u);
+    const auto series = trace.rateSeries(TraceEvent::MajorFault,
+                                         usecs(100), usecs(800));
+    // Retained records span [410us, 710us]; four 100us buckets
+    // anchored at the oldest retained record, one event each.
+    ASSERT_EQ(series.size(), 4u);
+    std::uint64_t sum = 0;
+    for (std::size_t b = 0; b < series.size(); ++b) {
+        EXPECT_EQ(series[b], 1u) << "bucket " << b;
+        sum += series[b];
+    }
+    EXPECT_EQ(sum, trace.count(TraceEvent::MajorFault));
+}
+
 TEST(TraceBuffer, BurstinessSeparatesSteadyFromBursty)
 {
     TraceBuffer steady, bursty;
