@@ -38,6 +38,10 @@ set_target_properties(micro_structures PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 pagesim_bench(ext_tpp_tiering)
 
-# Core perf baseline: event-queue throughput vs the legacy heap queue
-# and serial-vs-pooled sweep wall time; writes BENCH_core.json.
+# Core perf baseline: event-queue throughput vs the legacy heap queue,
+# aging-scan throughput vs the per-slot reference loop, and
+# serial-vs-pooled sweep wall time; writes BENCH_core.json. The
+# validator checks a recorded baseline's schema and sanity (CI runs it
+# right after perf_core).
 pagesim_bench(perf_core)
+pagesim_bench(validate_bench_core)

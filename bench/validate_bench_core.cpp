@@ -1,0 +1,41 @@
+/**
+ * @file
+ * CLI wrapper around validateBenchCore: exit 0 when the given
+ * BENCH_core.json is well-formed and sane, exit 1 with one problem
+ * per line otherwise. CI runs this against the freshly recorded
+ * baseline right after perf_core.
+ *
+ * Usage: validate_bench_core [BENCH_core.json]
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "metrics/bench_schema.hh"
+
+int
+main(int argc, char **argv)
+{
+    const std::string path = argc > 1 ? argv[1] : "BENCH_core.json";
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    const std::vector<std::string> problems =
+        pagesim::validateBenchCore(text.str());
+    if (problems.empty()) {
+        std::printf("%s: OK\n", path.c_str());
+        return 0;
+    }
+    for (const std::string &p : problems)
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), p.c_str());
+    std::fprintf(stderr, "%s: %zu problem(s)\n", path.c_str(),
+                 problems.size());
+    return 1;
+}

@@ -1,5 +1,6 @@
 #include "check/mm_audit.hh"
 
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -128,17 +129,31 @@ MmAuditor::checkPtes(AuditReport &rep, WalkContext &ctx) const
 
     for (const AddressSpace *sp : spaces_) {
         const PageTable &pt = sp->table();
+        std::uint64_t spaceMapped = 0;
+        std::uint64_t spacePresent = 0;
         for (std::uint64_t r = 0; r < pt.numRegions(); ++r) {
             std::uint32_t mapped = 0;
             std::uint32_t present = 0;
+            // Recounted bitmap words, accumulated from PTE flags during
+            // the same walk and compared word-for-word below.
+            std::array<std::uint64_t, PageTable::kWordsPerRegion>
+                expPresent{}, expAccessed{}, expMapped{};
             const Vpn base = r * kPtesPerRegion;
             for (Vpn vpn = base; vpn < base + kPtesPerRegion; ++vpn) {
                 const Pte &pte = pt.at(vpn);
                 ++rep.ptesWalked;
-                if (pte.mapped())
+                const std::uint64_t w = (vpn - base) / 64;
+                const std::uint64_t bit = 1ull << (vpn % 64);
+                if (pte.mapped()) {
                     ++mapped;
-                if (pte.present())
+                    expMapped[w] |= bit;
+                }
+                if (pte.present()) {
                     ++present;
+                    expPresent[w] |= bit;
+                }
+                if (pte.accessed())
+                    expAccessed[w] |= bit;
 
                 // Flag-combination sanity first; a PTE with an illegal
                 // combination is not interpreted further.
@@ -279,6 +294,67 @@ MmAuditor::checkPtes(AuditReport &rep, WalkContext &ctx) const
                                  " present=" +
                                  std::to_string(ri.present));
             }
+
+            // Bitmap <-> PTE coherence: every tracked bit must mirror
+            // its PTE's flag, word for word. The scan fast paths read
+            // these words instead of the PTEs, so a desync here means
+            // scans and reality have silently diverged.
+            struct WordCheck
+            {
+                const char *invariant;
+                const std::uint64_t *expected;
+                std::uint64_t actual;
+                std::uint64_t word;
+            };
+            for (std::uint64_t w = 0; w < PageTable::kWordsPerRegion;
+                 ++w) {
+                const WordCheck checks[] = {
+                    {"present-bitmap-mismatch", &expPresent[w],
+                     pt.presentWord(r, w), w},
+                    {"accessed-bitmap-mismatch", &expAccessed[w],
+                     pt.accessedWord(r, w), w},
+                    {"mapped-bitmap-mismatch", &expMapped[w],
+                     pt.mappedWord(r, w), w},
+                };
+                for (const WordCheck &c : checks) {
+                    if (*c.expected == c.actual)
+                        continue;
+                    addViolation(rep, AuditSubsystem::Pte, c.invariant,
+                                 sp->id(), base + w * 64, kInvalidPfn,
+                                 "word " + std::to_string(c.word) +
+                                     " = " +
+                                     std::to_string(*c.expected) +
+                                     " (PTE recount)",
+                                 std::to_string(c.actual));
+                }
+            }
+            if (pt.anyPresent(r) != (present > 0)) {
+                addViolation(rep, AuditSubsystem::Pte,
+                             "present-summary-mismatch", sp->id(), base,
+                             kInvalidPfn,
+                             present > 0 ? "summary bit set"
+                                         : "summary bit clear",
+                             pt.anyPresent(r) ? "set" : "clear");
+            }
+            spaceMapped += mapped;
+            spacePresent += present;
+        }
+
+        // Running totals vs the recount (they replaced O(regions)
+        // re-sums, so drift would silently skew every consumer).
+        if (pt.totalMapped() != spaceMapped) {
+            addViolation(rep, AuditSubsystem::Pte,
+                         "total-mapped-mismatch", sp->id(),
+                         AuditViolation::kNoVpn, kInvalidPfn,
+                         std::to_string(spaceMapped) + " (recount)",
+                         std::to_string(pt.totalMapped()));
+        }
+        if (pt.totalPresent() != spacePresent) {
+            addViolation(rep, AuditSubsystem::Pte,
+                         "total-present-mismatch", sp->id(),
+                         AuditViolation::kNoVpn, kInvalidPfn,
+                         std::to_string(spacePresent) + " (recount)",
+                         std::to_string(pt.totalPresent()));
         }
     }
 }

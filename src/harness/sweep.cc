@@ -36,11 +36,22 @@ runSweep(const std::vector<ExperimentConfig> &cells,
 
     unsigned workers = options.workers;
     if (workers == 0) {
-        workers = std::thread::hardware_concurrency();
-        if (workers == 0)
-            workers = 4;
+        // Resolved once per process: hardware_concurrency() is a
+        // syscall on some libstdc++ targets, and figure benches call
+        // runSweep per figure.
+        static const unsigned hw = [] {
+            const unsigned n = std::thread::hardware_concurrency();
+            return n == 0 ? 4u : n;
+        }();
+        workers = hw;
     }
-    workers = std::min<std::size_t>(workers, tasks.size());
+    // A pool only pays for itself when every worker gets a few trials;
+    // below that, thread spawn/join overhead makes the "parallel" path
+    // slower than just draining inline (the sweep.speedup < 1 trap on
+    // small hosts). Degrade rather than spawn idle threads.
+    workers = std::min<std::size_t>(workers, tasks.size() / 2);
+    if (workers == 0)
+        workers = 1;
 
     // Task claiming is a single atomic chase; each task writes only
     // its own pre-sized result slot, so no further synchronization is

@@ -23,13 +23,6 @@ MemoryManager::MemoryManager(Simulation &sim, FrameTable &frames,
 }
 
 MemoryManager::AccessOutcome
-MemoryManager::access(SimActor &actor, AddressSpace &space, Vpn vpn,
-                      bool is_write, CostSink &sink)
-{
-    return accessImpl(actor, space, vpn, is_write, false, sink);
-}
-
-MemoryManager::AccessOutcome
 MemoryManager::fdAccess(SimActor &actor, AddressSpace &space, Vpn vpn,
                         bool is_write, CostSink &sink)
 {
@@ -48,7 +41,7 @@ MemoryManager::accessImpl(SimActor &actor, AddressSpace &space, Vpn vpn,
         // and a promotion counter.
         ++tierStats_.slowHits;
         sink.charge(config_.tier.slowAccessLatency);
-        pte.setFlag(Pte::Accessed);
+        space.table().setAccessed(vpn);
         if (is_write)
             pte.setFlag(Pte::Dirty);
         PageInfo &pi = slowFrames_.info(pte.pfn());
@@ -76,7 +69,7 @@ MemoryManager::accessImpl(SimActor &actor, AddressSpace &space, Vpn vpn,
             // counts / tiers instead.
             policy_.onFdAccess(pte.pfn());
         } else {
-            pte.setFlag(Pte::Accessed);
+            space.table().setAccessed(vpn);
         }
         if (is_write) {
             pte.setFlag(Pte::Dirty);
@@ -105,15 +98,14 @@ MemoryManager::accessImpl(SimActor &actor, AddressSpace &space, Vpn vpn,
         sink.charge(config_.costs.faultFixed);
         ++stats_.minorFaults;
         traceEmit(TraceEvent::MinorFault, vpn);
-        pte.mapFrame(pfn);
-        space.table().notePresent(vpn);
+        space.table().mapFrame(vpn, pfn);
         policy_.onPageResident(pfn, ResidencyKind::NewAnon, 0);
         if (fd_access) {
             // Buffered I/O leaves no PTE accessed bit behind; the
             // policy's use-count path is the only signal.
             policy_.onFdAccess(pfn);
         } else {
-            pte.setFlag(Pte::Accessed);
+            space.table().setAccessed(vpn);
         }
         if (is_write)
             pte.setFlag(Pte::Dirty);
@@ -347,8 +339,9 @@ MemoryManager::tryDemote(Pfn pfn, CostSink &sink)
     slowFrames_.info(spfn).backing = fast.backing;
     Pte &pte = space.table().at(vpn);
     assert(pte.present());
-    // The page stays mapped; it just lives behind the slow tier now.
-    pte.mapFrame(spfn);
+    // The page stays mapped; it just lives behind the slow tier now
+    // (present -> present, so residency bookkeeping is unchanged).
+    space.table().mapFrame(vpn, spfn);
     pte.setFlag(Pte::Slow);
     slowList_.pushFront(spfn);
     fast.backing = kInvalidSlot;
@@ -385,9 +378,8 @@ MemoryManager::tryPromote(Pfn slow_pfn, CostSink &sink)
     }
     sink.charge(config_.tier.migrateCost);
     frames_.info(fast).backing = slow.backing;
-    Pte &pte = space.table().at(vpn);
-    pte.mapFrame(fast); // clears the Slow flag
-    pte.setFlag(Pte::Accessed);
+    space.table().mapFrame(vpn, fast); // clears the Slow flag
+    space.table().setAccessed(vpn);
     slowList_.remove(slow_pfn);
     slowFrames_.release(slow_pfn);
     policy_.onPageResident(fast, ResidencyKind::SwapInDemand, 0);
@@ -420,8 +412,7 @@ MemoryManager::swapOutPage(FrameTable &table, Pfn pfn,
         }
     }
 
-    pte.unmapToSwap(slot, shadow);
-    space.table().noteNotPresent(vpn);
+    space.table().unmapToSwap(vpn, slot, shadow);
     ++stats_.evictions;
     traceEmit(TraceEvent::Eviction, vpn);
 
@@ -467,9 +458,8 @@ MemoryManager::finishSwapIn(AddressSpace &space, Vpn vpn, SwapSlot slot,
 {
     Pte &pte = space.table().at(vpn);
     assert(pte.swapped() || pte.inIo());
-    pte.mapFrame(pfn);
+    space.table().mapFrame(vpn, pfn);
     pte.clearShadow();
-    space.table().notePresent(vpn);
     PageInfo &pi = frames_.info(pfn);
     // Keep the swap copy: if the page stays clean, eviction is free.
     pi.backing = slot;
@@ -481,7 +471,7 @@ MemoryManager::finishSwapIn(AddressSpace &space, Vpn vpn, SwapSlot slot,
             // MG-LRU's tier machinery depends on).
             policy_.onFdAccess(pfn);
         } else {
-            pte.setFlag(Pte::Accessed);
+            space.table().setAccessed(vpn);
         }
     } else if (kind == ResidencyKind::SwapInReadahead) {
         ++stats_.readaheadReads;
@@ -515,11 +505,10 @@ MemoryManager::completeWriteback(FrameTable &table, AddressSpace &space,
         if (&table == &slowFrames_) {
             // Slow-tier page: restore slow residency (not
             // policy-tracked), back on the demotion FIFO.
-            pte.mapFrame(pfn);
+            space.table().mapFrame(vpn, pfn);
             pte.setFlag(Pte::Slow);
-            pte.setFlag(Pte::Accessed);
+            space.table().setAccessed(vpn);
             pte.clearShadow();
-            space.table().notePresent(vpn);
             PageInfo &pi = table.info(pfn);
             pi.backing = slot;
             pi.refs = 0;

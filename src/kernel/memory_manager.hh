@@ -65,9 +65,27 @@ class MemoryManager
      * On Hit/MinorFault/SyncFault the access is complete and its CPU
      * cost has been charged to @p sink. On Blocked the actor has been
      * registered as a waiter and must block(); when woken it retries.
+     *
+     * The common case — present in the fast tier, accessed bit already
+     * set, no readahead credit pending — has no cost to charge and no
+     * flag, policy, metrics, or trace side effect, so it is resolved
+     * inline here without the accessImpl dispatch. fdAccess() never
+     * takes this path: resident fd hits must feed the policy's
+     * use-count/tier machinery on every access.
      */
-    AccessOutcome access(SimActor &actor, AddressSpace &space, Vpn vpn,
-                         bool is_write, CostSink &sink);
+    AccessOutcome
+    access(SimActor &actor, AddressSpace &space, Vpn vpn, bool is_write,
+           CostSink &sink)
+    {
+        Pte &pte = space.table().at(vpn);
+        if (pte.residentHot() &&
+            !frames_.info(pte.pfn()).fromReadahead) {
+            if (is_write)
+                pte.setFlag(Pte::Dirty);
+            return AccessOutcome::Hit;
+        }
+        return accessImpl(actor, space, vpn, is_write, false, sink);
+    }
 
     /**
      * A buffered-I/O (file descriptor) access: same residency handling

@@ -101,16 +101,10 @@ class FrameTable
         freeList_.pop_back();
         PageInfo &pi = infos_[pfn];
         assert(pi.free());
-        pi.space = space;
-        pi.vpn = vpn;
-        pi.file = file;
-        pi.listId = 0;
-        pi.gen = 0;
-        pi.tier = 0;
-        pi.backing = kInvalidSlot;
-        pi.refs = 0;
-        pi.fromReadahead = false;
-        pi.prev = pi.next = kInvalidPfn;
+        // Aggregate reset: every field not named here gets its
+        // in-class default, so a future PageInfo field can never leak
+        // stale state from the frame's previous tenant.
+        pi = PageInfo{.space = space, .vpn = vpn, .file = file};
         return pfn;
     }
 

@@ -1,18 +1,39 @@
 /**
  * @file
- * Region-structured page table.
+ * Region-structured page table with word-at-a-time flag bitmaps.
  *
- * The table is a flat array of PTEs grouped into regions of 512 (one
- * leaf page-table page each). MG-LRU's aging path walks this structure
+ * The table is a flat array of PTEs grouped into regions (one leaf
+ * page-table page each). MG-LRU's aging path walks this structure
  * linearly, which is exactly the locality advantage the paper describes
  * over Clock's per-page rmap walks; the region is also the granularity
- * of the Bloom filter. Per-region counters (mapped/present/young) let
- * walkers skip empty regions the way the real walker skips holes.
+ * of the Bloom filter. Per-region counters (mapped/present) let walkers
+ * skip empty regions the way the real walker skips holes.
+ *
+ * Alongside the PTE array the table maintains three per-region bitmaps
+ * (kPtesPerRegion bits each, packed into 64-bit words): `present`,
+ * `accessed`, and `mapped`, each bit mirroring the same-named flag of
+ * its PTE. They exist purely for host speed — the scan hot paths
+ * (MG-LRU aging, eviction-side neighbor scans, the resident-hit fast
+ * path) consume whole words with countr_zero instead of touching one
+ * Pte struct per slot, so a region whose `present & accessed` word is
+ * zero costs zero PTE loads. A coarse summary bitmap (one bit per
+ * region: "any PTE present") lets walkers skip empty stretches of the
+ * address space in word-sized jumps.
+ *
+ * Coherence rule: every mutation of a Present/Accessed/Mapped PTE flag
+ * must go through the tracked mutators below (mapFrame, unmapToSwap,
+ * setAccessed, testAndClearAccessed, ...), never through Pte::setFlag
+ * directly — that is what keeps the bitmaps, the per-region counters,
+ * the summary words, and the running totals in lockstep. MmAuditor
+ * cross-checks all four against the PTE flags on every audit pass.
+ * Untracked flags (Dirty, InIo, Slow, File, shadow words) may still be
+ * flipped on the Pte directly.
  */
 
 #ifndef PAGESIM_MEM_PAGE_TABLE_HH
 #define PAGESIM_MEM_PAGE_TABLE_HH
 
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <vector>
@@ -34,12 +55,17 @@ struct RegionInfo
 class PageTable
 {
   public:
+    /** 64-bit bitmap words per region. */
+    static constexpr std::uint64_t kWordsPerRegion = kPtesPerRegion / 64;
+    static_assert(kPtesPerRegion % 64 == 0,
+                  "regions must pack into whole bitmap words");
+
     PageTable() = default;
 
     /** Number of regions the table currently spans. */
     std::uint64_t numRegions() const { return regions_.size(); }
 
-    /** Total VPN span (regions * 512). */
+    /** Total VPN span (regions * kPtesPerRegion). */
     std::uint64_t span() const { return regions_.size() * kPtesPerRegion; }
 
     /** Grow the table to cover @p vpn_end VPNs. */
@@ -51,6 +77,11 @@ class PageTable
         if (need > regions_.size()) {
             ptes_.resize(need * kPtesPerRegion);
             regions_.resize(need);
+            const std::uint64_t words = need * kWordsPerRegion;
+            presentBits_.resize(words);
+            accessedBits_.resize(words);
+            mappedBits_.resize(words);
+            presentSummary_.resize((need + 63) / 64);
         }
     }
 
@@ -82,6 +113,75 @@ class PageTable
         return regions_[r];
     }
 
+    // ---- Word-at-a-time bitmap views (scan hot paths) ---------------
+
+    /** Word @p w of region @p r's present bitmap. */
+    std::uint64_t
+    presentWord(std::uint64_t r, std::uint64_t w = 0) const
+    {
+        return presentBits_[r * kWordsPerRegion + w];
+    }
+
+    /** Word @p w of region @p r's accessed bitmap. */
+    std::uint64_t
+    accessedWord(std::uint64_t r, std::uint64_t w = 0) const
+    {
+        return accessedBits_[r * kWordsPerRegion + w];
+    }
+
+    /** Word @p w of region @p r's mapped bitmap. */
+    std::uint64_t
+    mappedWord(std::uint64_t r, std::uint64_t w = 0) const
+    {
+        return mappedBits_[r * kWordsPerRegion + w];
+    }
+
+    /** Any PTE of region @p r present (summary bitmap read). */
+    bool
+    anyPresent(std::uint64_t r) const
+    {
+        return (presentSummary_[r / 64] >> (r % 64)) & 1u;
+    }
+
+    /**
+     * First region >= @p from with at least one present PTE, or
+     * numRegions() when the rest of the table is empty. Walkers use
+     * this to jump over empty stretches 64 regions per word load.
+     */
+    std::uint64_t
+    nextPresentRegion(std::uint64_t from) const
+    {
+        const std::uint64_t nr = regions_.size();
+        if (from >= nr)
+            return nr;
+        std::uint64_t wi = from / 64;
+        std::uint64_t word =
+            presentSummary_[wi] & (~0ull << (from % 64));
+        while (word == 0) {
+            if (++wi >= presentSummary_.size())
+                return nr;
+            word = presentSummary_[wi];
+        }
+        const std::uint64_t r =
+            wi * 64 + static_cast<std::uint64_t>(std::countr_zero(word));
+        return r < nr ? r : nr;
+    }
+
+    /**
+     * Clear the bits of @p mask in region @p r's accessed word @p w
+     * (bitmap side only). The caller owns the matching Pte flag
+     * fixups — this is the word-store half of the aging scan's
+     * "word-store plus per-PTE fixup" clearing.
+     */
+    void
+    clearAccessedBits(std::uint64_t r, std::uint64_t w,
+                      std::uint64_t mask)
+    {
+        accessedBits_[r * kWordsPerRegion + w] &= ~mask;
+    }
+
+    // ---- Tracked mutators (keep bitmaps in lockstep) ----------------
+
     /** Mark @p vpn as belonging to a VMA (called by AddressSpace). */
     void
     markMapped(Vpn vpn, bool file)
@@ -91,42 +191,118 @@ class PageTable
         pte.setFlag(Pte::Mapped);
         if (file)
             pte.setFlag(Pte::File);
+        mappedBits_[vpn / 64] |= bitOf(vpn);
         ++regions_[regionOf(vpn)].mapped;
+        ++totalMapped_;
     }
 
-    /** Present-count maintenance; callers flip Pte::Present themselves. */
-    void notePresent(Vpn vpn) { ++regions_[regionOf(vpn)].present; }
+    /** Set the accessed bit ("hardware" sets the A bit on access). */
+    void
+    setAccessed(Vpn vpn)
+    {
+        at(vpn).setFlag(Pte::Accessed);
+        accessedBits_[vpn / 64] |= bitOf(vpn);
+    }
+
+    /** Clear the accessed bit (aging / test fixtures). */
+    void
+    clearAccessed(Vpn vpn)
+    {
+        at(vpn).clearFlag(Pte::Accessed);
+        accessedBits_[vpn / 64] &= ~bitOf(vpn);
+    }
+
+    /**
+     * Test-and-clear the accessed bit, the primitive both policies'
+     * scans are built on. @return the prior value.
+     */
+    bool
+    testAndClearAccessed(Vpn vpn)
+    {
+        const bool was = at(vpn).testAndClearAccessed();
+        accessedBits_[vpn / 64] &= ~bitOf(vpn);
+        return was;
+    }
+
+    /**
+     * Transition @p vpn to present (fast or slow tier) at @p pfn. For
+     * a not-present PTE this also books the new residency (region
+     * counter, bitmaps, summary, running total); an already-present
+     * PTE (tier migration) just retargets the frame.
+     */
+    void
+    mapFrame(Vpn vpn, Pfn pfn)
+    {
+        Pte &pte = at(vpn);
+        const bool was = pte.present();
+        pte.mapFrame(pfn);
+        if (!was)
+            notePresent(vpn);
+    }
+
+    /** Transition @p vpn: present -> swapped at @p slot / @p shadow. */
+    void
+    unmapToSwap(Vpn vpn, SwapSlot slot, std::uint32_t shadow)
+    {
+        Pte &pte = at(vpn);
+        assert(pte.present());
+        pte.unmapToSwap(slot, shadow);
+        noteNotPresent(vpn);
+    }
+
+    /** Transition @p vpn: present -> empty (clean discard). */
+    void
+    unmapDiscard(Vpn vpn, std::uint32_t shadow)
+    {
+        Pte &pte = at(vpn);
+        assert(pte.present());
+        pte.unmapDiscard(shadow);
+        noteNotPresent(vpn);
+    }
+
+    /** Total mapped PTEs across the table (running count). */
+    std::uint64_t totalMapped() const { return totalMapped_; }
+
+    /** Total present PTEs across the table (running count). */
+    std::uint64_t totalPresent() const { return totalPresent_; }
+
+  private:
+    static std::uint64_t bitOf(Vpn vpn) { return 1ull << (vpn % 64); }
+
+    void
+    notePresent(Vpn vpn)
+    {
+        presentBits_[vpn / 64] |= bitOf(vpn);
+        const std::uint64_t r = regionOf(vpn);
+        ++regions_[r].present;
+        presentSummary_[r / 64] |= 1ull << (r % 64);
+        ++totalPresent_;
+    }
+
     void
     noteNotPresent(Vpn vpn)
     {
-        RegionInfo &ri = regions_[regionOf(vpn)];
+        presentBits_[vpn / 64] &= ~bitOf(vpn);
+        accessedBits_[vpn / 64] &= ~bitOf(vpn); // unmap clears Accessed
+        const std::uint64_t r = regionOf(vpn);
+        RegionInfo &ri = regions_[r];
         assert(ri.present > 0);
-        --ri.present;
+        if (--ri.present == 0)
+            presentSummary_[r / 64] &= ~(1ull << (r % 64));
+        assert(totalPresent_ > 0);
+        --totalPresent_;
     }
 
-    /** Total mapped PTEs across the table. */
-    std::uint64_t
-    totalMapped() const
-    {
-        std::uint64_t n = 0;
-        for (const auto &r : regions_)
-            n += r.mapped;
-        return n;
-    }
-
-    /** Total present PTEs across the table. */
-    std::uint64_t
-    totalPresent() const
-    {
-        std::uint64_t n = 0;
-        for (const auto &r : regions_)
-            n += r.present;
-        return n;
-    }
-
-  private:
     std::vector<Pte> ptes_;
     std::vector<RegionInfo> regions_;
+    /** Flat bitmaps, one bit per PTE (index vpn/64). */
+    std::vector<std::uint64_t> presentBits_;
+    std::vector<std::uint64_t> accessedBits_;
+    std::vector<std::uint64_t> mappedBits_;
+    /** One bit per region: region has any present PTE. */
+    std::vector<std::uint64_t> presentSummary_;
+    std::uint64_t totalMapped_ = 0;
+    std::uint64_t totalPresent_ = 0;
 };
 
 } // namespace pagesim

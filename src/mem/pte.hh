@@ -41,6 +41,19 @@ class Pte
     bool slow() const { return flags_ & Slow; }
 
     bool present() const { return flags_ & Present; }
+
+    /**
+     * Present in the fast tier with the accessed bit already set — the
+     * precondition for MemoryManager::access()'s inlined hit fast path
+     * (no flag to set, no tier migration to consider).
+     */
+    bool
+    residentHot() const
+    {
+        return (flags_ & (Present | Accessed | Slow)) ==
+               (Present | Accessed);
+    }
+
     bool accessed() const { return flags_ & Accessed; }
     bool dirty() const { return flags_ & Dirty; }
     bool swapped() const { return flags_ & Swapped; }

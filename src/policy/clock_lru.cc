@@ -23,24 +23,19 @@ ClockLru::ClockLru(FrameTable &frames, const MmCosts &costs,
 {
 }
 
-Pte &
-ClockLru::pteOf(Pfn pfn)
-{
-    PageInfo &pi = frames_.info(pfn);
-    assert(pi.space != nullptr);
-    return pi.space->table().at(pi.vpn);
-}
-
 bool
 ClockLru::checkAccessedViaRmap(Pfn pfn, CostSink &costs)
 {
     // Clock resolves the physical page to its PTE through the reverse
     // map on every check — the pointer-chasing cost MG-LRU's linear
-    // walks avoid.
+    // walks avoid. Routed through the PageTable so the accessed
+    // bitmaps stay in lockstep with the flag.
     costs.charge(costs_.rmapWalk);
     ++stats_.rmapWalks;
     ++stats_.ptesScanned;
-    return pteOf(pfn).testAndClearAccessed();
+    PageInfo &pi = frames_.info(pfn);
+    assert(pi.space != nullptr);
+    return pi.space->table().testAndClearAccessed(pi.vpn);
 }
 
 std::uint64_t

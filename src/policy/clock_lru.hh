@@ -81,7 +81,6 @@ class ClockLru : public ReplacementPolicy
     const FrameList &inactiveList() const { return inactive_; }
 
   private:
-    Pte &pteOf(Pfn pfn);
     /** Test-and-clear the accessed bit through an rmap walk. */
     bool checkAccessedViaRmap(Pfn pfn, CostSink &costs);
     std::uint64_t residentPages() const;

@@ -79,14 +79,6 @@ MgLruPolicy::genSize(std::uint64_t seq) const
     return genList(seq).size();
 }
 
-Pte &
-MgLruPolicy::pteOf(Pfn pfn)
-{
-    PageInfo &pi = frames_.info(pfn);
-    assert(pi.space != nullptr);
-    return pi.space->table().at(pi.vpn);
-}
-
 std::uint64_t
 MgLruPolicy::regionKey(const AddressSpace &space,
                        std::uint64_t region) const
@@ -208,41 +200,82 @@ MgLruPolicy::shouldScanRegion(std::uint64_t key, CostSink &costs)
 }
 
 void
+MgLruPolicy::visitYoungPte(const Pte &pte, std::uint64_t promote_seq,
+                           CostSink &costs)
+{
+    const Pfn pfn = pte.pfn();
+    PageInfo &pi = frames_.info(pfn);
+    if (pi.listId != kGenList)
+        return; // in flight (being evicted); leave it alone
+    ++pi.refs;
+    updateTier(pi);
+    if (pi.gen != promote_seq) {
+        promoteTo(pfn, promote_seq);
+        costs.charge(costs_.listOp);
+        ++stats_.promotions;
+    }
+}
+
+void
 MgLruPolicy::scanRegion(AddressSpace &space, std::uint64_t region,
                         std::uint64_t promote_seq, CostSink &costs)
 {
     PageTable &table = space.table();
     const Vpn base = regionBase(region);
     const double ws = costs_.walkScale;
-    // The walker reads every slot of the leaf table page; sparse
-    // regions pay the full linear cost — exactly why naive full scans
-    // are wasteful (Sec. III-B).
+    // The SIMULATED walker reads every slot of the leaf table page;
+    // sparse regions pay the full linear cost — exactly why naive full
+    // scans are wasteful (Sec. III-B). The host-side implementation
+    // below touches only the young PTEs, but the charge stays linear.
     costs.charge(static_cast<SimDuration>(
         ws * static_cast<double>(costs_.pteScan * kPtesPerRegion)));
     stats_.ptesScanned += kPtesPerRegion;
+    // Clearing a live accessed bit costs a TLB shootdown.
+    const auto youngClearCost = static_cast<SimDuration>(
+        ws * static_cast<double>(costs_.youngClear));
     std::uint32_t young = 0;
-    for (Vpn v = base; v < base + kPtesPerRegion; ++v) {
-        Pte &pte = table.at(v);
-        if (!pte.present())
-            continue;
-        if (!pte.testAndClearAccessed())
-            continue;
-        // Clearing a live accessed bit costs a TLB shootdown.
-        costs.charge(static_cast<SimDuration>(
-            ws * static_cast<double>(costs_.youngClear)));
-        ++young;
-        const Pfn pfn = pte.pfn();
-        PageInfo &pi = frames_.info(pfn);
-        if (pi.listId != kGenList)
-            continue; // in flight (being evicted); leave it alone
-        ++pi.refs;
-        updateTier(pi);
-        if (pi.gen != promote_seq) {
-            promoteTo(pfn, promote_seq);
-            costs.charge(costs_.listOp);
-            ++stats_.promotions;
+
+    if (config_.referenceScan) {
+        // Reference implementation: one Pte at a time, exactly the
+        // pre-bitmap loop. Kept selectable so differential tests can
+        // prove the word path below is behavior-identical.
+        for (Vpn v = base; v < base + kPtesPerRegion; ++v) {
+            Pte &pte = table.at(v);
+            if (!pte.present())
+                continue;
+            if (!table.testAndClearAccessed(v))
+                continue;
+            costs.charge(youngClearCost);
+            ++young;
+            visitYoungPte(pte, promote_seq, costs);
+        }
+    } else {
+        // Word-at-a-time: only `present & accessed` bits cost PTE
+        // loads; a cold or empty word costs two bitmap loads total.
+        // Accessed-bit clearing is one word store per word plus a
+        // per-PTE flag fixup only for the set bits. Masking with
+        // `present` matters: the per-slot loop above never clears the
+        // accessed bit of a non-present PTE, so neither may we.
+        for (std::uint64_t w = 0; w < PageTable::kWordsPerRegion; ++w) {
+            std::uint64_t hot = table.accessedWord(region, w) &
+                                table.presentWord(region, w);
+            if (hot == 0)
+                continue;
+            table.clearAccessedBits(region, w, hot);
+            const Vpn wbase = base + w * 64;
+            do {
+                const auto bit = static_cast<unsigned>(
+                    std::countr_zero(hot));
+                hot &= hot - 1;
+                Pte &pte = table.at(wbase + bit);
+                pte.clearFlag(Pte::Accessed);
+                costs.charge(youngClearCost);
+                ++young;
+                visitYoungPte(pte, promote_seq, costs);
+            } while (hot != 0);
         }
     }
+
     if (young >= config_.youngDensityThreshold) {
         filters_[1 - activeFilter_].add(regionKey(space, region));
         costs.charge(costs_.bloomOp);
@@ -309,24 +342,43 @@ MgLruPolicy::ageStep(CostSink &costs, std::uint32_t region_budget)
         return true;
     }
 
-    std::uint32_t visited = 0;
+    // The per-region visit charge is truncated per region (matching
+    // the per-slot reference), then multiplied for batched skips —
+    // never cast(n * cost), which would round differently.
+    const auto regionVisitCost = static_cast<SimDuration>(
+        costs_.walkScale * static_cast<double>(costs_.regionVisit));
+    std::uint64_t visited = 0;
     while (walk_.spaceIdx < spaces_.size()) {
         AddressSpace &space = *spaces_[walk_.spaceIdx];
         PageTable &table = space.table();
-        while (walk_.region < table.numRegions()) {
+        const std::uint64_t nr = table.numRegions();
+        while (walk_.region < nr) {
             if (visited >= region_budget)
                 return false; // pass continues on the next slice
-            const std::uint64_t r = walk_.region++;
-            ++visited;
-            const RegionInfo &ri = table.region(r);
-            costs.charge(static_cast<SimDuration>(
-                costs_.walkScale *
-                static_cast<double>(costs_.regionVisit)));
-            ++stats_.regionsVisited;
-            if (ri.mapped == 0 || ri.present == 0) {
-                ++stats_.regionsSkipped;
+            const std::uint64_t next =
+                table.nextPresentRegion(walk_.region);
+            if (next > walk_.region) {
+                // A run of regions with no present PTE: the per-slot
+                // walker would visit and skip each one (a present-free
+                // region never consults the Bloom filter or the RNG),
+                // so batching the run keeps charges, stats, and RNG
+                // draws identical while costing one summary-bitmap
+                // scan on the host.
+                const std::uint64_t n =
+                    std::min(next - walk_.region,
+                             region_budget - visited);
+                costs.charge(regionVisitCost *
+                             static_cast<SimDuration>(n));
+                stats_.regionsVisited += n;
+                stats_.regionsSkipped += n;
+                visited += n;
+                walk_.region += n;
                 continue;
             }
+            const std::uint64_t r = walk_.region++;
+            ++visited;
+            costs.charge(regionVisitCost);
+            ++stats_.regionsVisited;
             if (!shouldScanRegion(regionKey(space, r), costs)) {
                 ++stats_.regionsSkipped;
                 continue;
@@ -410,8 +462,8 @@ MgLruPolicy::selectVictims(std::vector<Pfn> &out, std::size_t max,
         costs.charge(costs_.rmapWalk);
         ++stats_.rmapWalks;
         ++stats_.ptesScanned;
-        Pte &pte = pteOf(pfn);
-        if (pte.testAndClearAccessed() && !force) {
+        assert(pi.space != nullptr);
+        if (pi.space->table().testAndClearAccessed(pi.vpn) && !force) {
             // Referenced since aging last saw it: send to the youngest
             // generation, then exploit spatial locality by scanning the
             // surrounding PTEs of the same page-table region.

@@ -120,6 +120,14 @@ struct MgLruConfig
      * tail mechanism (Sec. VI-A).
      */
     SimDuration minAgingGap = msecs(25);
+    /**
+     * Use the per-slot reference implementation of scanRegion instead
+     * of the word-at-a-time bitmap path. Behavior (charges, stats,
+     * promotions, PTE end-states) is identical by contract — this
+     * switch exists so differential and bit-identity tests can prove
+     * it. Not a simulation knob; leave it off outside tests.
+     */
+    bool referenceScan = false;
 };
 
 /** Extra counters specific to MG-LRU (on top of PolicyStats). */
@@ -225,7 +233,6 @@ class MgLruPolicy : public ReplacementPolicy
   private:
     FrameList &genList(std::uint64_t seq);
     const FrameList &genList(std::uint64_t seq) const;
-    Pte &pteOf(Pfn pfn);
     std::uint64_t regionKey(const AddressSpace &space,
                             std::uint64_t region) const;
 
@@ -238,6 +245,9 @@ class MgLruPolicy : public ReplacementPolicy
     bool shouldScanRegion(std::uint64_t key, CostSink &costs);
     void scanRegion(AddressSpace &space, std::uint64_t region,
                     std::uint64_t promote_seq, CostSink &costs);
+    /** Shared tail of both scanRegion paths for one young PTE. */
+    void visitYoungPte(const Pte &pte, std::uint64_t promote_seq,
+                       CostSink &costs);
 
     FrameTable &frames_;
     std::vector<AddressSpace *> spaces_;

@@ -218,14 +218,109 @@ TEST(MmAudit, DetectsRegionCounterCorruption)
         return p.present();
     });
     ASSERT_NE(v, AuditViolation::kNoVpn);
-    h.space.table().noteNotPresent(v); // counter now disagrees
+    // Clear the Present flag behind the table's back: the recount no
+    // longer matches the RegionInfo counter.
+    h.space.table().at(v).clearFlag(Pte::Present);
 
     const AuditReport rep = h.auditor->audit();
     ASSERT_FALSE(rep.clean());
     EXPECT_TRUE(rep.hasInvariant("region-counter-mismatch"))
         << rep.toString();
 
-    h.space.table().notePresent(v);
+    h.space.table().at(v).setFlag(Pte::Present);
+}
+
+TEST(MmAudit, DetectsPresentBitmapDesync)
+{
+    KernelHarness h(64, 256);
+    populate(h, 32);
+    const Vpn v = findVpn(h, 32, [](const Pte &p) {
+        return p.present();
+    });
+    ASSERT_NE(v, AuditViolation::kNoVpn);
+    // Flag cleared behind the table's back: the present bitmap word
+    // still has the bit, and the O(1) running total still counts it.
+    h.space.table().at(v).clearFlag(Pte::Present);
+
+    const AuditReport rep = h.auditor->audit();
+    ASSERT_FALSE(rep.clean());
+    EXPECT_TRUE(rep.hasInvariant("present-bitmap-mismatch"))
+        << rep.toString();
+    EXPECT_TRUE(rep.hasInvariant("total-present-mismatch"))
+        << rep.toString();
+
+    h.space.table().at(v).setFlag(Pte::Present);
+}
+
+TEST(MmAudit, DetectsAccessedBitmapDesync)
+{
+    KernelHarness h(64, 256);
+    populate(h, 32);
+    const Vpn v = findVpn(h, 32, [](const Pte &p) {
+        return p.present();
+    });
+    ASSERT_NE(v, AuditViolation::kNoVpn);
+    h.space.table().setAccessed(v);
+    // A scan reading the accessed word would still see this page as
+    // young after the flag was dropped directly on the PTE.
+    h.space.table().at(v).clearFlag(Pte::Accessed);
+
+    const AuditReport rep = h.auditor->audit();
+    ASSERT_FALSE(rep.clean());
+    EXPECT_TRUE(rep.hasInvariant("accessed-bitmap-mismatch"))
+        << rep.toString();
+
+    h.space.table().at(v).setFlag(Pte::Accessed);
+}
+
+TEST(MmAudit, DetectsMappedBitmapDesync)
+{
+    KernelHarness h(64, 256);
+    populate(h, 32);
+    const Vpn v = findVpn(h, 32, [](const Pte &p) {
+        return p.mapped() && p.present();
+    });
+    ASSERT_NE(v, AuditViolation::kNoVpn);
+    h.space.table().at(v).clearFlag(Pte::Mapped);
+
+    const AuditReport rep = h.auditor->audit();
+    ASSERT_FALSE(rep.clean());
+    EXPECT_TRUE(rep.hasInvariant("mapped-bitmap-mismatch"))
+        << rep.toString();
+    EXPECT_TRUE(rep.hasInvariant("total-mapped-mismatch"))
+        << rep.toString();
+
+    h.space.table().at(v).setFlag(Pte::Mapped);
+}
+
+TEST(MmAudit, DetectsSummaryBitmapDesync)
+{
+    KernelHarness h(64, 256);
+    populate(h, 32); // only the first region gains present pages
+    // A mapped-but-untouched VPN two regions past the populated span:
+    // its region's summary bit is clear, so the aging walk would skip
+    // the region wholesale.
+    const Vpn v = h.base() + 2 * kPtesPerRegion;
+    ASSERT_TRUE(h.space.table().at(v).mapped());
+    ASSERT_FALSE(h.space.table().at(v).present());
+    ASSERT_FALSE(h.space.table().anyPresent(v / kPtesPerRegion));
+    // Residency granted behind the table's back: the summary bitmap,
+    // per-word bitmap, region counter, and running total all go stale
+    // at once.
+    h.space.table().at(v).mapFrame(0);
+
+    const AuditReport rep = h.auditor->audit();
+    ASSERT_FALSE(rep.clean());
+    EXPECT_TRUE(rep.hasInvariant("present-summary-mismatch"))
+        << rep.toString();
+    EXPECT_TRUE(rep.hasInvariant("present-bitmap-mismatch"))
+        << rep.toString();
+    EXPECT_TRUE(rep.hasInvariant("region-counter-mismatch"))
+        << rep.toString();
+    EXPECT_TRUE(rep.hasInvariant("total-present-mismatch"))
+        << rep.toString();
+
+    h.space.table().at(v).unmapDiscard(0);
 }
 
 TEST(MmAudit, DetectsFrameLeak)

@@ -61,7 +61,7 @@ TEST(BackgroundNoise, BalloonTriggersReclaimUnderPressure)
         CostSink sink;
         for (Vpn v = h.base(); v < h.base() + 60; ++v) {
             h.mm->access(self, h.space, v, true, sink);
-            h.space.table().at(v).clearFlag(Pte::Accessed);
+            h.space.table().clearAccessed(v);
         }
         self.finish();
     });

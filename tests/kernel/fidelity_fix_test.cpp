@@ -39,7 +39,7 @@ zramEvictionCharge(Vpn vpn_offset)
     ProbeActor probe(h.sim, [&](ProbeActor &self) {
         CostSink sink;
         h.mm->access(self, h.space, target, /*write=*/true, sink);
-        h.space.table().at(target).clearFlag(Pte::Accessed);
+        h.space.table().clearAccessed(target);
         self.finish();
     });
     probe.start();
@@ -119,7 +119,7 @@ TEST(FidelityFix, FdAccessAsyncSwapInLeavesNoAccessedBit)
     ProbeActor setup(h.sim, [&](ProbeActor &self) {
         CostSink sink;
         h.mm->access(self, h.space, target, /*write=*/true, sink);
-        h.space.table().at(target).clearFlag(Pte::Accessed);
+        h.space.table().clearAccessed(target);
         self.finish();
     });
     setup.start();
@@ -163,7 +163,7 @@ TEST(FidelityFix, WritebackRemapIsNotDoubleCountedAsFault)
         CostSink sink;
         if (phase == 0) {
             h.mm->access(self, h.space, target, /*write=*/true, sink);
-            h.space.table().at(target).clearFlag(Pte::Accessed);
+            h.space.table().clearAccessed(target);
             CostSink rsink;
             EXPECT_EQ(h.mm->reclaimBatch(rsink, true), 1u);
             // Dirty page: writeback now in flight.

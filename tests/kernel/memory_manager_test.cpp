@@ -63,8 +63,7 @@ TEST(MemoryManager, MajorFaultBlocksOnSsdAndRetrySucceeds)
             const Pfn pfn = h.space.table().at(h.base()).pfn();
             const std::uint32_t shadow = h.policy->onPageRemoved(pfn);
             const SwapSlot slot = h.swap->allocate();
-            h.space.table().at(h.base()).unmapToSwap(slot, shadow);
-            h.space.table().noteNotPresent(h.base());
+            h.space.table().unmapToSwap(h.base(), slot, shadow);
             h.frames.release(pfn);
             phase = 1;
             // Now fault it back: must block on device read.
@@ -102,8 +101,7 @@ TEST(MemoryManager, ZramFaultIsSynchronousCpuWork)
         const std::uint32_t shadow = h.policy->onPageRemoved(pfn);
         const SwapSlot slot = h.swap->allocate();
         h.swap->recordContents(slot, 1);
-        h.space.table().at(h.base()).unmapToSwap(slot, shadow);
-        h.space.table().noteNotPresent(h.base());
+        h.space.table().unmapToSwap(h.base(), slot, shadow);
         h.frames.release(pfn);
         sink.take();
         const Outcome o =
@@ -221,7 +219,7 @@ TEST(MemoryManager, CleanPageEvictsWithoutWriteback)
             return;
         }
         // Clear the accessed bit so eviction doesn't promote it.
-        h.space.table().at(target).clearFlag(Pte::Accessed);
+        h.space.table().clearAccessed(target);
         self.finish();
     });
     probe.start();
@@ -243,7 +241,7 @@ TEST(MemoryManager, DirtyPageWritesBackOnEviction)
     ProbeActor probe(h.sim, [&](ProbeActor &self) {
         CostSink sink;
         h.mm->access(self, h.space, h.base(), /*write=*/true, sink);
-        h.space.table().at(h.base()).clearFlag(Pte::Accessed);
+        h.space.table().clearAccessed(h.base());
         self.finish();
     });
     probe.start();

@@ -52,7 +52,7 @@ fill(TieredHarness &h, std::uint64_t n)
                 self.block();
                 return;
             }
-            h.space.table().at(v).clearFlag(Pte::Accessed);
+            h.space.table().clearAccessed(v);
         }
         self.finish();
     });
@@ -158,7 +158,7 @@ TEST(TieredMemory, DisabledTierKeepsLegacyBehavior)
         CostSink sink;
         for (Vpn v = h.base(); v < h.base() + 28; ++v) {
             h.mm->access(self, h.space, v, true, sink);
-            h.space.table().at(v).clearFlag(Pte::Accessed);
+            h.space.table().clearAccessed(v);
         }
         self.finish();
     });

@@ -36,7 +36,7 @@ TEST(ClockLru, AgingDemotesColdKeepsHot)
         pfns.push_back(h.makeResident(clock, h.base() + v));
     // Clear all A bits, then re-touch only the first three pages.
     for (Vpn v = 0; v < 12; ++v)
-        h.space.table().at(h.base() + v).clearFlag(Pte::Accessed);
+        h.space.table().clearAccessed(h.base() + v);
     for (Vpn v = 0; v < 3; ++v)
         h.touch(h.base() + v);
 
@@ -58,7 +58,7 @@ TEST(ClockLru, SelectVictimsEvictsColdTail)
     for (Vpn v = 0; v < 16; ++v)
         h.makeResident(clock, h.base() + v);
     for (Vpn v = 0; v < 16; ++v)
-        h.space.table().at(h.base() + v).clearFlag(Pte::Accessed);
+        h.space.table().clearAccessed(h.base() + v);
 
     CostSink sink;
     std::vector<Pfn> victims;
@@ -78,7 +78,7 @@ TEST(ClockLru, SecondChancePromotesAccessed)
     for (Vpn v = 0; v < 8; ++v)
         h.makeResident(clock, h.base() + v);
     for (Vpn v = 0; v < 8; ++v)
-        h.space.table().at(h.base() + v).clearFlag(Pte::Accessed);
+        h.space.table().clearAccessed(h.base() + v);
     CostSink sink;
     clock.age(sink); // move everything toward inactive
     // Re-touch the page at the inactive tail (first demoted = vpn 0).
@@ -99,7 +99,7 @@ TEST(ClockLru, RmapWalkChargedPerScan)
     for (Vpn v = 0; v < 8; ++v)
         h.makeResident(clock, h.base() + v);
     for (Vpn v = 0; v < 8; ++v)
-        h.space.table().at(h.base() + v).clearFlag(Pte::Accessed);
+        h.space.table().clearAccessed(h.base() + v);
     CostSink sink;
     std::vector<Pfn> victims;
     clock.selectVictims(victims, 8, sink);
@@ -157,7 +157,7 @@ TEST(ClockLru, WantsAgingWhenInactiveLow)
         h.makeResident(clock, h.base() + v);
     EXPECT_TRUE(clock.wantsAging()) << "all pages active";
     for (Vpn v = 0; v < 9; ++v)
-        h.space.table().at(h.base() + v).clearFlag(Pte::Accessed);
+        h.space.table().clearAccessed(h.base() + v);
     CostSink sink;
     clock.age(sink);
     EXPECT_FALSE(clock.wantsAging());

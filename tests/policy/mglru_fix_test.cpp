@@ -43,7 +43,7 @@ makeMgLru(PolicyHarness &h, MgLruConfig config = MgLruConfig{})
 std::uint32_t
 evictForShadow(PolicyHarness &h, MgLruPolicy &mg, Vpn vpn, Pfn pfn)
 {
-    h.space.table().at(vpn).clearFlag(Pte::Accessed);
+    h.space.table().clearAccessed(vpn);
     h.completeEviction(mg, pfn);
     return h.space.table().at(vpn).shadow();
 }
@@ -121,7 +121,7 @@ TEST(MgLruFix, MidWalkHeadroomStillMintsGeneration)
     auto mg = makeMgLru(h, cfg);
     for (Vpn v = h.base(); v < h.base() + 8; ++v) {
         h.makeResident(*mg, v);
-        h.space.table().at(v).clearFlag(Pte::Accessed);
+        h.space.table().clearAccessed(v);
     }
     ASSERT_EQ(mg->numGens(), cfg.maxNrGens);
 

@@ -61,7 +61,7 @@ TEST(MgLru, AgingCreatesGenerationAndPromotesAccessed)
     auto mg = makeMgLru(h);
     const Pfn hot = h.makeResident(*mg, h.base());
     const Pfn cold = h.makeResident(*mg, h.base() + 1);
-    h.space.table().at(h.base() + 1).clearFlag(Pte::Accessed);
+    h.space.table().clearAccessed(h.base() + 1);
     // `hot` keeps its accessed bit (set by makeResident).
 
     const std::uint64_t old_max = mg->maxSeq();
@@ -115,7 +115,7 @@ TEST(MgLru, EvictionTakesOldestUnreferenced)
     for (Vpn v = 0; v < 8; ++v)
         pfns.push_back(h.makeResident(*mg, h.base() + v));
     for (Vpn v = 0; v < 8; ++v)
-        h.space.table().at(h.base() + v).clearFlag(Pte::Accessed);
+        h.space.table().clearAccessed(h.base() + v);
     CostSink sink;
     mg->age(sink); // cohort becomes non-youngest
     mg->age(sink);
@@ -139,8 +139,8 @@ TEST(MgLru, EvictionSecondChanceWithNeighborScan)
     const Pfn pb = h.makeResident(*mg, b);
     CostSink sink;
     // Clear bits, age twice so both sit in an old generation.
-    h.space.table().at(a).clearFlag(Pte::Accessed);
-    h.space.table().at(b).clearFlag(Pte::Accessed);
+    h.space.table().clearAccessed(a);
+    h.space.table().clearAccessed(b);
     mg->age(sink);
     mg->age(sink);
     // Now both get touched again — eviction will find A referenced.
@@ -168,8 +168,8 @@ TEST(MgLru, NeighborScanDisabledChecksPagesIndividually)
     h.makeResident(*mg, a);
     h.makeResident(*mg, b);
     CostSink sink;
-    h.space.table().at(a).clearFlag(Pte::Accessed);
-    h.space.table().at(b).clearFlag(Pte::Accessed);
+    h.space.table().clearAccessed(a);
+    h.space.table().clearAccessed(b);
     mg->age(sink);
     mg->age(sink);
     h.touch(a);
@@ -345,10 +345,8 @@ TEST(MgLru, FdAccessClimbsTiersForFilePages)
     h.space.map("file", 64, true);
     auto mg = makeMgLru(h);
     const Vpn fv = h.space.vmas()[1].start;
-    Pte &pte = h.space.table().at(fv);
     const Pfn pfn = h.frames.allocate(&h.space, fv, true);
-    pte.mapFrame(pfn);
-    h.space.table().notePresent(fv);
+    h.space.table().mapFrame(fv, pfn);
     mg->onPageResident(pfn, ResidencyKind::NewAnon, 0);
 
     EXPECT_EQ(h.frames.info(pfn).tier, 0);

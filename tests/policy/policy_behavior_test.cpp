@@ -131,9 +131,7 @@ TEST(PolicyBehavior, MgLruGenerationsGiveFinerRecencyThanClock)
         pfns.push_back(h.makeResident(*mg, h.base() + v));
     for (int epoch = 0; epoch < 3; ++epoch) {
         for (Vpn v = 0; v < 30; ++v)
-            h.space.table()
-                .at(h.base() + v)
-                .clearFlag(Pte::Accessed);
+            h.space.table().clearAccessed(h.base() + v);
         for (Vpn v = epoch * 10u; v < (epoch + 1) * 10u; ++v)
             h.touch(h.base() + v);
         mg->age(sink);

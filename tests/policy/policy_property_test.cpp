@@ -58,7 +58,7 @@ TEST_P(PolicyProperty, RandomChurnPreservesConservation)
                 harness_.base() + rng.uniformInt(0, 1023);
             Pte &pte = harness_.space.table().at(vpn);
             if (pte.present()) {
-                pte.setFlag(Pte::Accessed);
+                harness_.space.table().setAccessed(vpn);
             } else if (harness_.frames.freeFrames() > 0) {
                 harness_.makeResident(*policy_, vpn);
                 resident.insert(vpn);
@@ -94,9 +94,7 @@ TEST_P(PolicyProperty, VictimsAreUniqueAndValid)
     for (Vpn v = 0; v < 64; ++v)
         harness_.makeResident(*policy_, harness_.base() + v);
     for (Vpn v = 0; v < 64; ++v)
-        harness_.space.table()
-            .at(harness_.base() + v)
-            .clearFlag(Pte::Accessed);
+        harness_.space.table().clearAccessed(harness_.base() + v);
     CostSink sink;
     policy_->age(sink);
     policy_->age(sink);
@@ -165,7 +163,7 @@ TEST_P(PolicyProperty, DeterministicAcrossIdenticalRuns)
             const Vpn vpn = harness.base() + rng.uniformInt(0, 255);
             Pte &pte = harness.space.table().at(vpn);
             if (pte.present()) {
-                pte.setFlag(Pte::Accessed);
+                harness.space.table().setAccessed(vpn);
             } else if (harness.frames.freeFrames() > 0) {
                 harness.makeResident(policy, vpn);
             } else {

@@ -43,10 +43,9 @@ struct PolicyHarness
         Pte &pte = space.table().at(vpn);
         const Pfn pfn = frames.allocate(&space, vpn, pte.file());
         EXPECT_NE(pfn, kInvalidPfn);
-        pte.mapFrame(pfn);
-        space.table().notePresent(vpn);
+        space.table().mapFrame(vpn, pfn);
         policy.onPageResident(pfn, kind, shadow);
-        pte.setFlag(Pte::Accessed);
+        space.table().setAccessed(vpn);
         return pfn;
     }
 
@@ -56,7 +55,7 @@ struct PolicyHarness
     {
         Pte &pte = space.table().at(vpn);
         ASSERT_TRUE(pte.present());
-        pte.setFlag(Pte::Accessed);
+        space.table().setAccessed(vpn);
         if (write)
             pte.setFlag(Pte::Dirty);
     }
@@ -68,9 +67,7 @@ struct PolicyHarness
     {
         PageInfo &pi = frames.info(pfn);
         const std::uint32_t shadow = policy.onPageRemoved(pfn);
-        Pte &pte = space.table().at(pi.vpn);
-        pte.unmapToSwap(slot, shadow);
-        space.table().noteNotPresent(pi.vpn);
+        space.table().unmapToSwap(pi.vpn, slot, shadow);
         pi.backing = kInvalidSlot;
         frames.release(pfn);
     }

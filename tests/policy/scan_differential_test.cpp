@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Differential tests for the word-at-a-time aging scan. The bitmap
+ * path in MgLruPolicy::scanRegion is a pure optimization: with
+ * MgLruConfig::referenceScan selecting the per-slot reference loop,
+ * any driving sequence must produce bit-identical charged costs,
+ * stats, generation structure, and PTE end-states. A full-trial check
+ * extends the contract end to end through the kernel layer (where the
+ * resident-hit fast path also sits on the access path).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "policy/mglru/mglru_policy.hh"
+#include "policy_test_util.hh"
+#include "sim/rng.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+/** Everything observable after a driving run, for exact comparison. */
+struct RunSignature
+{
+    SimDuration charged = 0;
+    PolicyStats stats;
+    MgLruStats mg;
+    std::uint64_t minSeq = 0;
+    std::uint64_t maxSeq = 0;
+    std::uint64_t pteHash = 0;
+    std::uint64_t pageHash = 0;
+};
+
+/**
+ * Drive one MgLruPolicy instance through a randomized mix of touches,
+ * faults, evictions, sliced aging steps, and full aging passes. The
+ * sequence depends only on @p seed and @p mode, never on @p reference.
+ */
+RunSignature
+drive(std::uint64_t seed, ScanMode mode, bool reference)
+{
+    PolicyHarness h(128, 1024);
+    MgLruConfig cfg;
+    cfg.scanMode = mode;
+    cfg.agingLowPages = 0;
+    cfg.agingEvictGate = 0;
+    cfg.referenceScan = reference;
+    MgLruPolicy policy(h.frames, {&h.space}, h.costs, Rng(seed), cfg);
+
+    Rng rng(seed * 9176 + 13);
+    CostSink sink;
+    std::vector<Pfn> victims;
+    for (int step = 0; step < 3000; ++step) {
+        const double dice = rng.nextDouble();
+        if (dice < 0.50) {
+            const Vpn vpn = h.base() + rng.uniformInt(0, 1023);
+            Pte &pte = h.space.table().at(vpn);
+            if (pte.present())
+                h.space.table().setAccessed(vpn);
+            else if (h.frames.freeFrames() > 0)
+                h.makeResident(policy, vpn);
+        } else if (dice < 0.75) {
+            victims.clear();
+            policy.selectVictims(victims, 4, sink);
+            for (const Pfn pfn : victims)
+                h.completeEviction(policy, pfn);
+        } else if (dice < 0.90) {
+            // Sliced walk: exercises the batched empty-region skip.
+            policy.ageStep(sink, 8);
+        } else {
+            policy.age(sink);
+        }
+    }
+
+    RunSignature sig;
+    sig.charged = sink.total();
+    sig.stats = policy.stats();
+    sig.mg = policy.mgStats();
+    sig.minSeq = policy.minSeq();
+    sig.maxSeq = policy.maxSeq();
+    for (Vpn vpn = h.base(); vpn < h.base() + 1024; ++vpn) {
+        const Pte &pte = h.space.table().at(vpn);
+        const std::uint64_t flags =
+            (pte.present() ? 1u : 0u) | (pte.accessed() ? 2u : 0u) |
+            (pte.dirty() ? 4u : 0u) | (pte.swapped() ? 8u : 0u) |
+            (pte.slow() ? 16u : 0u);
+        const std::uint64_t value =
+            pte.present() ? pte.pfn()
+                          : (pte.swapped() ? pte.swapSlot() : 0u);
+        sig.pteHash = splitmix64(sig.pteHash ^ (vpn * 31 + flags) ^
+                                 (value << 32) ^ pte.shadow());
+    }
+    for (Pfn pfn = 0; pfn < h.frames.totalFrames(); ++pfn) {
+        const PageInfo &pi = h.frames.info(pfn);
+        if (pi.free())
+            continue;
+        sig.pageHash =
+            splitmix64(sig.pageHash ^ (pi.vpn << 20) ^ (pi.gen << 8) ^
+                       (static_cast<std::uint64_t>(pi.refs) << 4) ^
+                       pi.tier);
+    }
+    return sig;
+}
+
+void
+expectIdentical(const RunSignature &a, const RunSignature &b)
+{
+    EXPECT_EQ(a.charged, b.charged);
+    EXPECT_EQ(a.stats.ptesScanned, b.stats.ptesScanned);
+    EXPECT_EQ(a.stats.regionsVisited, b.stats.regionsVisited);
+    EXPECT_EQ(a.stats.regionsSkipped, b.stats.regionsSkipped);
+    EXPECT_EQ(a.stats.rmapWalks, b.stats.rmapWalks);
+    EXPECT_EQ(a.stats.promotions, b.stats.promotions);
+    EXPECT_EQ(a.stats.demotions, b.stats.demotions);
+    EXPECT_EQ(a.stats.agingPasses, b.stats.agingPasses);
+    EXPECT_EQ(a.stats.evicted, b.stats.evicted);
+    EXPECT_EQ(a.stats.refaults, b.stats.refaults);
+    EXPECT_EQ(a.stats.secondChances, b.stats.secondChances);
+    EXPECT_EQ(a.mg.genCreations, b.mg.genCreations);
+    EXPECT_EQ(a.mg.genCreationBlocked, b.mg.genCreationBlocked);
+    EXPECT_EQ(a.mg.bloomInsertions, b.mg.bloomInsertions);
+    EXPECT_EQ(a.mg.neighborScans, b.mg.neighborScans);
+    EXPECT_EQ(a.mg.neighborPromotions, b.mg.neighborPromotions);
+    EXPECT_EQ(a.mg.lateGenCreations, b.mg.lateGenCreations);
+    EXPECT_EQ(a.minSeq, b.minSeq);
+    EXPECT_EQ(a.maxSeq, b.maxSeq);
+    EXPECT_EQ(a.pteHash, b.pteHash);
+    EXPECT_EQ(a.pageHash, b.pageHash);
+}
+
+TEST(ScanDifferential, WordScanMatchesReferenceAcrossModes)
+{
+    for (const ScanMode mode :
+         {ScanMode::Bloom, ScanMode::All, ScanMode::Random}) {
+        for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+            SCOPED_TRACE("mode=" + std::to_string(static_cast<int>(
+                             mode)) +
+                         " seed=" + std::to_string(seed));
+            expectIdentical(drive(seed, mode, /*reference=*/false),
+                            drive(seed, mode, /*reference=*/true));
+        }
+    }
+}
+
+TEST(ScanDifferential, ReferenceScanIsActuallyExercised)
+{
+    // Guard against the switch rotting: both paths must do real work.
+    const RunSignature sig = drive(7, ScanMode::All, true);
+    EXPECT_GT(sig.stats.ptesScanned, 0u);
+    EXPECT_GT(sig.stats.promotions, 0u);
+    EXPECT_GT(sig.stats.evicted, 0u);
+}
+
+TEST(ScanDifferential, FullTrialIsBitIdentical)
+{
+    // End to end: a whole TPC-H trial through the kernel layer, the
+    // aging daemon, and swap must not change by a single event when
+    // the scan implementation is swapped.
+    ExperimentConfig cfg;
+    cfg.workload = WorkloadKind::Tpch;
+    cfg.policy = PolicyKind::MgLru;
+    cfg.swap = SwapKind::Ssd;
+    cfg.capacityRatio = 0.5;
+    cfg.scale = ScalePreset::Small;
+
+    const TrialResult fast = runTrial(cfg, 42);
+    cfg.mgTweak = [](MgLruConfig &mg) { mg.referenceScan = true; };
+    const TrialResult ref = runTrial(cfg, 42);
+
+    EXPECT_EQ(fast.runtimeNs, ref.runtimeNs);
+    EXPECT_EQ(fast.majorFaults, ref.majorFaults);
+    EXPECT_EQ(fast.kernel.minorFaults, ref.kernel.minorFaults);
+    EXPECT_EQ(fast.kernel.evictions, ref.kernel.evictions);
+    EXPECT_EQ(fast.kernel.dirtyWritebacks, ref.kernel.dirtyWritebacks);
+    EXPECT_EQ(fast.kernel.cleanDrops, ref.kernel.cleanDrops);
+    EXPECT_EQ(fast.kernel.readaheadReads, ref.kernel.readaheadReads);
+    EXPECT_EQ(fast.kernel.readaheadHits, ref.kernel.readaheadHits);
+    EXPECT_EQ(fast.kernel.allocStalls, ref.kernel.allocStalls);
+    EXPECT_EQ(fast.policy.ptesScanned, ref.policy.ptesScanned);
+    EXPECT_EQ(fast.policy.regionsVisited, ref.policy.regionsVisited);
+    EXPECT_EQ(fast.policy.regionsSkipped, ref.policy.regionsSkipped);
+    EXPECT_EQ(fast.policy.promotions, ref.policy.promotions);
+    EXPECT_EQ(fast.policy.evicted, ref.policy.evicted);
+    EXPECT_EQ(fast.policy.refaults, ref.policy.refaults);
+    EXPECT_EQ(fast.mglru.genCreations, ref.mglru.genCreations);
+    EXPECT_EQ(fast.mglru.bloomInsertions, ref.mglru.bloomInsertions);
+    EXPECT_EQ(fast.mglru.neighborScans, ref.mglru.neighborScans);
+    EXPECT_EQ(fast.mglru.neighborPromotions,
+              ref.mglru.neighborPromotions);
+    EXPECT_EQ(fast.swap.reads, ref.swap.reads);
+    EXPECT_EQ(fast.swap.writes, ref.swap.writes);
+    EXPECT_EQ(fast.swap.totalReadLatency, ref.swap.totalReadLatency);
+    EXPECT_EQ(fast.swap.totalWriteLatency, ref.swap.totalWriteLatency);
+    EXPECT_EQ(fast.kswapdCpuNs, ref.kswapdCpuNs);
+    EXPECT_EQ(fast.agingCpuNs, ref.agingCpuNs);
+    EXPECT_EQ(fast.agingPasses, ref.agingPasses);
+    ASSERT_EQ(fast.threadFinishNs.size(), ref.threadFinishNs.size());
+    for (std::size_t i = 0; i < fast.threadFinishNs.size(); ++i) {
+        EXPECT_EQ(fast.threadFinishNs[i], ref.threadFinishNs[i]);
+        EXPECT_EQ(fast.threadBlockedFaults[i],
+                  ref.threadBlockedFaults[i]);
+    }
+}
+
+} // namespace
+} // namespace pagesim
