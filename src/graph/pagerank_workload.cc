@@ -50,6 +50,9 @@ buildPrDataset(const PageRankConfig &config)
         const std::uint64_t lo = ep * kEdgesPerPage;
         const std::uint64_t hi = std::min(m, lo + kEdgesPerPage);
         distinct.clear();
+        // lint:ordered-ok(membership filter only, never iterated; the
+        // replayed trace order comes from `distinct`, which preserves
+        // first-appearance order in the edge list)
         std::unordered_set<std::uint32_t> seen;
         for (std::uint64_t e = lo; e < hi; ++e) {
             const std::uint32_t page =

@@ -566,6 +566,10 @@ MemoryManager::issueReadahead(AddressSpace &space, Vpn vpn)
         // Every issue decays the hit-rate estimate; demand hits on
         // speculative pages push it back up.
         raHitRate_ -= config_.readaheadEma * raHitRate_;
+        // lint:charge-ok(speculative readahead burns no thread CPU by
+        // design: the device models its own service time, and demand
+        // faults that land on this in-flight slot charge their wait in
+        // handleFault when they block on the shared I/O)
         dev.submit(s2, false, [this, &space, v2, s2, f2, shadow2] {
             --swapInsInFlight_;
             finishSwapIn(space, v2, s2, f2,

@@ -19,7 +19,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "kernel/fault_stats.hh"
@@ -217,25 +217,23 @@ class MemoryManager
     const FrameTable &slowFrames() const { return slowFrames_; }
 
   private:
+    /**
+     * Waiter-map key, ordered by (space id, vpn) — NOT by pointer
+     * value, so the audit walk (forEachIoWaiter) visits waiters in the
+     * same order on every run. Space ids are unique per simulation
+     * (contentTag() already relies on this to name page contents).
+     */
     struct WaitKey
     {
         const AddressSpace *space;
         Vpn vpn;
 
         bool
-        operator==(const WaitKey &o) const
+        operator<(const WaitKey &o) const
         {
-            return space == o.space && vpn == o.vpn;
-        }
-    };
-
-    struct WaitKeyHash
-    {
-        std::size_t
-        operator()(const WaitKey &k) const
-        {
-            return std::hash<const void *>()(k.space) ^
-                   std::hash<Vpn>()(k.vpn * 0x9e3779b97f4a7c15ull);
+            if (space->id() != o.space->id())
+                return space->id() < o.space->id();
+            return vpn < o.vpn;
         }
     };
 
@@ -328,8 +326,7 @@ class MemoryManager
     FrameList slowList_;
     TierStats tierStats_;
 
-    std::unordered_map<WaitKey, std::vector<SimActor *>, WaitKeyHash>
-        ioWaiters_;
+    std::map<WaitKey, std::vector<SimActor *>> ioWaiters_;
     std::vector<SimActor *> frameWaiters_;
     /** A frame-stall retry timer is pending. */
     bool stallRetryArmed_ = false;

@@ -268,6 +268,11 @@ MgLruPolicy::scanRegion(AddressSpace &space, std::uint64_t region,
                     std::countr_zero(hot));
                 hot &= hot - 1;
                 Pte &pte = table.at(wbase + bit);
+                // lint:pte-direct-ok(clearAccessedBits above already
+                // reconciled the bitmap word and region counters for
+                // this whole word; this per-bit store only mirrors it
+                // into the Pte, which the word-wide op leaves to the
+                // fixup loop on purpose)
                 pte.clearFlag(Pte::Accessed);
                 costs.charge(youngClearCost);
                 ++young;

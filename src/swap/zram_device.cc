@@ -87,6 +87,8 @@ std::uint64_t
 ZramSwapDevice::auditPoolBytes() const
 {
     std::uint64_t bytes = 0;
+    // lint:ordered-ok(unsigned sum is commutative; iteration order
+    // cannot reach the audit verdict, let alone a TrialResult)
     for (const auto &[slot, tag] : slotTag_) {
         (void)slot;
         bytes += compressedSize(tag);

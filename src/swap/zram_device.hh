@@ -97,6 +97,8 @@ class ZramSwapDevice : public SwapDevice
     }
 
     /** All recorded slot contents (slot -> content tag). */
+    // lint:ordered-ok(audit-only view; MmAuditor keys lookups by slot
+    // and never folds iteration order into simulated state)
     const std::unordered_map<SwapSlot, std::uint64_t> &
     slotTags() const
     {
@@ -110,6 +112,8 @@ class ZramSwapDevice : public SwapDevice
     ZramConfig config_;
     std::string name_ = "zram";
     /** slot -> content tag (present while slot holds data). */
+    // lint:ordered-ok(hot-path point lookups only; the sole iteration,
+    // auditPoolBytes, is an order-independent integer sum)
     std::unordered_map<SwapSlot, std::uint64_t> slotTag_;
     std::uint64_t poolBytes_ = 0;
     std::uint64_t poolPeakBytes_ = 0;

@@ -127,6 +127,9 @@ TEST(MemoryManager, DuplicateFaultWaitsOnExistingIo)
     {
         Pte &pte = h.space.table().at(target);
         const SwapSlot slot = h.swap->allocate();
+        // lint:pte-direct-ok(fixture seeds a swapped-out PTE from the
+        // never-mapped state, which touches no tracked bitmap; the
+        // PageTable mutator asserts present() and cannot express this)
         pte.unmapToSwap(slot, 0);
     }
     int hits = 0;
@@ -158,6 +161,9 @@ TEST(MemoryManager, ReadaheadPullsNeighborSlots)
     // Swap out a run of pages at base..base+7.
     for (Vpn v = h.base(); v < h.base() + 8; ++v) {
         Pte &pte = h.space.table().at(v);
+        // lint:pte-direct-ok(seeds swapped-out PTEs from the
+        // never-mapped state; no tracked bitmap is touched and the
+        // PageTable mutator asserts present())
         pte.unmapToSwap(h.swap->allocate(), 0);
     }
     ProbeActor probe(h.sim, [&](ProbeActor &self) {
@@ -187,6 +193,9 @@ TEST(MemoryManager, NoReadaheadOnZram)
     h.config.readaheadPages = 1; // as the harness sets for zram
     for (Vpn v = h.base(); v < h.base() + 8; ++v) {
         Pte &pte = h.space.table().at(v);
+        // lint:pte-direct-ok(seeds swapped-out PTEs from the
+        // never-mapped state; no tracked bitmap is touched and the
+        // PageTable mutator asserts present())
         pte.unmapToSwap(h.swap->allocate(), 0);
         h.swap->recordContents(pte.swapSlot(), v);
     }
@@ -208,6 +217,9 @@ TEST(MemoryManager, CleanPageEvictsWithoutWriteback)
     Vpn target = h.base();
     {
         Pte &pte = h.space.table().at(target);
+        // lint:pte-direct-ok(seeds a swapped-out PTE from the
+        // never-mapped state; no tracked bitmap is touched and the
+        // PageTable mutator asserts present())
         pte.unmapToSwap(h.swap->allocate(), 0);
     }
     ProbeActor probe(h.sim, [&](ProbeActor &self) {

@@ -1,0 +1,16 @@
+// Fixture: this direct write has no inline waiver; the allow_mut.txt
+// allowlist excuses it file-wide. Expected with allow_mut.txt: one
+// mut-pte finding, waived via allow.txt. Expected with the empty
+// allowlist: the same finding, fatal.
+#include "mem/pte.hh"
+
+namespace fixture
+{
+
+void
+raw(Pte &pte)
+{
+    pte.setFlag(Pte::Accessed);
+}
+
+} // namespace fixture

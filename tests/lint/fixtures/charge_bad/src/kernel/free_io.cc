@@ -1,0 +1,14 @@
+// Fixture: a device submit whose enclosing function never pays a
+// cost. Expected: one charge-pair finding, unwaived.
+#include "kernel/device.hh"
+
+namespace fixture
+{
+
+void
+issueFree(Device &dev, SwapSlot slot)
+{
+    dev.submit(slot, false, [] {});
+}
+
+} // namespace fixture

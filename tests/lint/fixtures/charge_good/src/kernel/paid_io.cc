@@ -1,0 +1,23 @@
+// Fixture: a submit paired with a charge in the same body passes; a
+// deliberately free submit carries a waiver. Expected: one
+// charge-pair finding, waived.
+#include "kernel/device.hh"
+
+namespace fixture
+{
+
+void
+issuePaid(Device &dev, CostSink &costs, SwapSlot slot)
+{
+    costs.charge(kSubmitCost);
+    dev.submit(slot, false, [] {});
+}
+
+void
+issueWaived(Device &dev, SwapSlot slot)
+{
+    // lint:charge-ok(fixture: the device models its own service time and no thread blocks on this issue)
+    dev.submit(slot, false, [] {});
+}
+
+} // namespace fixture

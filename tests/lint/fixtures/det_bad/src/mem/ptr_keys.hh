@@ -1,0 +1,24 @@
+// Fixture: pointer-keyed unordered state that is then iterated.
+// Expected: det-ptr-hash and det-unordered on the member declaration,
+// det-unordered-iter on the range-for. Nothing is waived.
+#pragma once
+
+#include <unordered_map>
+
+namespace fixture
+{
+
+struct PtrKeyed
+{
+    std::unordered_map<const void *, int> byPtr;
+
+    int sum() const
+    {
+        int total = 0;
+        for (const auto &kv : byPtr)
+            total += kv.second;
+        return total;
+    }
+};
+
+} // namespace fixture

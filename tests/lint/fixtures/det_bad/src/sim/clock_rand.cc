@@ -1,0 +1,29 @@
+// Fixture: wall clocks and ambient randomness in a simulation layer.
+// Expected: det-clock on wallNow()'s body and the time() call,
+// det-rand on mt19937 and the rand() call. Nothing is waived.
+#include <chrono>
+#include <random>
+
+namespace fixture
+{
+
+unsigned long
+wallNow()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long
+wallSeconds()
+{
+    return time(nullptr);
+}
+
+int
+ambient()
+{
+    std::mt19937 gen(42);
+    return rand() + static_cast<int>(gen());
+}
+
+} // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: the deterministic spellings pass clean — ordered map
+// iteration is fine, and the one unordered container carries a
+// written waiver. Expected: exactly one det-unordered finding, waived.
+#include <map>
+#include <unordered_set>
+
+namespace fixture
+{
+
+// lint:ordered-ok(membership filter only; never iterated, so its order cannot reach simulated state)
+std::unordered_set<int> makeFilter();
+
+int
+orderedSum(const std::map<int, int> &m)
+{
+    int total = 0;
+    for (const auto &kv : m)
+        total += kv.second;
+    return total;
+}
+
+} // namespace fixture

@@ -1,0 +1,6 @@
+// Fixture: a back-edge (mem including kernel) and a reach into test
+// code. Expected: one layer-dag and one layer-test finding.
+#pragma once
+
+#include "kernel/mm.hh"
+#include "../tests/helper.hh"

@@ -1,0 +1,3 @@
+// Fixture: sim is a substrate and declares no dependencies, so this
+// include is an up-edge. Expected: one layer-dag finding.
+#include "mem/page.hh"

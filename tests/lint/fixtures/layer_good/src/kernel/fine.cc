@@ -1,0 +1,8 @@
+// Fixture: only table-sanctioned edges (kernel -> mem, kernel -> sim),
+// a same-layer include, and an angled system include. Expected: clean.
+#include "kernel/other.hh"
+
+#include <vector>
+
+#include "mem/page.hh"
+#include "sim/simulation.hh"

@@ -1,0 +1,26 @@
+// Fixture: every Pte-level spelling of a tracked mutation, next to
+// the PageTable spellings that must NOT flag. Expected: exactly five
+// mut-pte findings (setFlag, clearFlag, mapFrame/1, unmapToSwap/2,
+// testAndClearAccessed/0); the table calls and the untracked Dirty
+// write stay clean.
+#include "mem/page_table.hh"
+
+namespace fixture
+{
+
+void
+touch(Pte &pte, PageTable &table, Vpn vpn, Pfn pfn, SwapSlot slot)
+{
+    pte.setFlag(Pte::Accessed);
+    pte.clearFlag(Pte::Present);
+    pte.mapFrame(pfn);
+    pte.unmapToSwap(slot, 0);
+    pte.testAndClearAccessed();
+
+    table.mapFrame(vpn, pfn);
+    table.testAndClearAccessed(vpn);
+    table.unmapToSwap(vpn, slot, 0);
+    pte.setFlag(Pte::Dirty);
+}
+
+} // namespace fixture

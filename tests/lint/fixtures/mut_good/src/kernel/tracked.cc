@@ -1,0 +1,17 @@
+// Fixture: tracked mutations through PageTable plus one waived direct
+// write. Expected: exactly one mut-pte finding, waived.
+#include "mem/page_table.hh"
+
+namespace fixture
+{
+
+void
+touch(Pte &pte, PageTable &table, Vpn vpn)
+{
+    table.setAccessed(vpn);
+    // lint:pte-direct-ok(fixture demonstrates the waiver path; the caller reconciled the bitmap word already)
+    pte.clearFlag(Pte::Accessed);
+    pte.setFlag(Pte::Dirty);
+}
+
+} // namespace fixture

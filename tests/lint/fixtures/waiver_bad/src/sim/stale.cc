@@ -1,0 +1,22 @@
+// Fixture: a waiver with an empty reason must NOT excuse its finding,
+// and a waiver that matches nothing is itself a finding. Expected:
+// one det-clock unwaived, one lint-waiver-reason, one
+// lint-unused-waiver.
+namespace fixture
+{
+
+long
+wallSeconds()
+{
+    // lint:clock-ok()
+    return time(nullptr);
+}
+
+int
+pure()
+{
+    // lint:rand-ok(stale waiver: the violation it excused is gone)
+    return 7;
+}
+
+} // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: the waiver reason must survive the lex -> finding round
+// trip byte for byte. Expected: one det-rand finding, waived, whose
+// reason is exactly the text inside the parentheses.
+namespace fixture
+{
+
+int
+seeded()
+{
+    // lint:rand-ok(seeded replay uses the documented fixture stream)
+    return rand();
+}
+
+} // namespace fixture

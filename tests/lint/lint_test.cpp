@@ -1,0 +1,226 @@
+/**
+ * @file
+ * pagesim-lint behavior tests, driven by the fixture corpus under
+ * tests/lint/fixtures/. Each fixture tree is a miniature scan root
+ * with its own src/ layout, checked against the shared fixture layer
+ * table; the final test runs the real configuration against the live
+ * tree and requires it clean.
+ *
+ * Waiver spellings appear below only inside string literals — a
+ * comment-spelled waiver here would register as unused and fail the
+ * live-tree self check.
+ */
+
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "lint.hh"
+
+namespace
+{
+
+using pagesim::lint::Finding;
+using pagesim::lint::formatFinding;
+using pagesim::lint::hasFatalFindings;
+using pagesim::lint::LintOptions;
+using pagesim::lint::LintResult;
+using pagesim::lint::runLint;
+
+const std::string kSourceDir = PAGESIM_SOURCE_DIR;
+const std::string kFixtures = kSourceDir + "/tests/lint/fixtures";
+
+LintResult
+lintTree(const std::string &tree,
+         const std::string &allow = "allow_empty.txt")
+{
+    LintOptions options;
+    options.root = kFixtures + "/" + tree;
+    options.layersFile = kFixtures + "/layers.txt";
+    options.allowFile = kFixtures + "/" + allow;
+    options.paths = {"src"};
+    return runLint(options);
+}
+
+int
+countRule(const LintResult &result, const std::string &rule)
+{
+    return static_cast<int>(std::count_if(
+        result.findings.begin(), result.findings.end(),
+        [&](const Finding &f) { return f.rule == rule; }));
+}
+
+int
+countUnwaived(const LintResult &result, const std::string &rule)
+{
+    return static_cast<int>(std::count_if(
+        result.findings.begin(), result.findings.end(),
+        [&](const Finding &f) { return f.rule == rule && !f.waived; }));
+}
+
+const Finding *
+findRule(const LintResult &result, const std::string &rule)
+{
+    for (const Finding &f : result.findings)
+        if (f.rule == rule)
+            return &f;
+    return nullptr;
+}
+
+TEST(LintDeterminism, FlagsClocksAndRandomness)
+{
+    const LintResult r = lintTree("det_bad");
+    EXPECT_FALSE(r.configError);
+    EXPECT_EQ(r.filesScanned, 2);
+    // clock_rand.cc: chrono + steady_clock tokens, the time() call.
+    EXPECT_GE(countUnwaived(r, "det-clock"), 3);
+    // mt19937 and the rand() call.
+    EXPECT_GE(countUnwaived(r, "det-rand"), 2);
+    EXPECT_TRUE(hasFatalFindings(r));
+}
+
+TEST(LintDeterminism, FlagsPointerKeysAndUnorderedIteration)
+{
+    const LintResult r = lintTree("det_bad");
+    EXPECT_EQ(countUnwaived(r, "det-ptr-hash"), 1);
+    EXPECT_EQ(countUnwaived(r, "det-unordered"), 1);
+    EXPECT_EQ(countUnwaived(r, "det-unordered-iter"), 1);
+    const Finding *iter = findRule(r, "det-unordered-iter");
+    ASSERT_NE(iter, nullptr);
+    EXPECT_EQ(iter->file, "src/mem/ptr_keys.hh");
+    EXPECT_NE(iter->message.find("byPtr"), std::string::npos);
+}
+
+TEST(LintDeterminism, OrderedSpellingsAndWaiversPass)
+{
+    const LintResult r = lintTree("det_good");
+    EXPECT_FALSE(r.configError);
+    EXPECT_FALSE(hasFatalFindings(r));
+    // The one unordered container is reported, but waived.
+    EXPECT_EQ(countRule(r, "det-unordered"), 1);
+    EXPECT_EQ(countRule(r, "det-unordered-iter"), 0);
+}
+
+TEST(LintMutator, FlagsEveryDirectPteSpelling)
+{
+    const LintResult r = lintTree("mut_bad");
+    EXPECT_FALSE(r.configError);
+    // setFlag, clearFlag, mapFrame/1, unmapToSwap/2,
+    // testAndClearAccessed/0 — and nothing for the PageTable
+    // spellings or the untracked Dirty write.
+    EXPECT_EQ(countUnwaived(r, "mut-pte"), 5);
+    EXPECT_EQ(static_cast<int>(r.findings.size()), 5);
+}
+
+TEST(LintMutator, TrackedMutatorsAndWaiversPass)
+{
+    const LintResult r = lintTree("mut_good");
+    EXPECT_FALSE(hasFatalFindings(r));
+    EXPECT_EQ(countRule(r, "mut-pte"), 1); // reported, waived
+}
+
+TEST(LintLayering, FlagsBackEdgesAndTestIncludes)
+{
+    const LintResult r = lintTree("layer_bad");
+    EXPECT_FALSE(r.configError);
+    // mem -> kernel (back_edge.hh) and sim -> mem (up_edge.cc).
+    EXPECT_EQ(countUnwaived(r, "layer-dag"), 2);
+    EXPECT_EQ(countUnwaived(r, "layer-test"), 1);
+}
+
+TEST(LintLayering, SanctionedEdgesPass)
+{
+    const LintResult r = lintTree("layer_good");
+    EXPECT_FALSE(r.configError);
+    EXPECT_EQ(r.findings.size(), 0u);
+}
+
+TEST(LintCharge, FlagsUnchargedSubmit)
+{
+    const LintResult r = lintTree("charge_bad");
+    EXPECT_EQ(countUnwaived(r, "charge-pair"), 1);
+    EXPECT_TRUE(hasFatalFindings(r));
+}
+
+TEST(LintCharge, ChargedAndWaivedSubmitsPass)
+{
+    const LintResult r = lintTree("charge_good");
+    EXPECT_FALSE(hasFatalFindings(r));
+    EXPECT_EQ(countRule(r, "charge-pair"), 1); // the waived free issue
+}
+
+TEST(LintWaivers, EmptyReasonStaysFatal)
+{
+    const LintResult r = lintTree("waiver_bad");
+    EXPECT_EQ(countUnwaived(r, "det-clock"), 1);
+    EXPECT_EQ(countUnwaived(r, "lint-waiver-reason"), 1);
+    EXPECT_TRUE(hasFatalFindings(r));
+}
+
+TEST(LintWaivers, UnusedWaiverIsAFinding)
+{
+    const LintResult r = lintTree("waiver_bad");
+    EXPECT_EQ(countUnwaived(r, "lint-unused-waiver"), 1);
+}
+
+TEST(LintWaivers, ReasonSurvivesRoundTrip)
+{
+    const LintResult r = lintTree("waiver_good");
+    EXPECT_FALSE(hasFatalFindings(r));
+    const Finding *f = findRule(r, "det-rand");
+    ASSERT_NE(f, nullptr);
+    EXPECT_TRUE(f->waived);
+    EXPECT_EQ(f->waiverReason,
+              "seeded replay uses the documented fixture stream");
+}
+
+TEST(LintAllowlist, FileEntryWaivesWithRecordedReason)
+{
+    const LintResult r = lintTree("allowlist", "allow_mut.txt");
+    EXPECT_FALSE(hasFatalFindings(r));
+    const Finding *f = findRule(r, "mut-pte");
+    ASSERT_NE(f, nullptr);
+    EXPECT_TRUE(f->waived);
+    EXPECT_EQ(f->waiverReason.rfind("allow.txt: ", 0), 0u);
+}
+
+TEST(LintAllowlist, WithoutEntryTheSameFindingIsFatal)
+{
+    const LintResult r = lintTree("allowlist");
+    EXPECT_EQ(countUnwaived(r, "mut-pte"), 1);
+    EXPECT_TRUE(hasFatalFindings(r));
+}
+
+TEST(LintConfig, MissingLayerTableIsAConfigError)
+{
+    LintOptions options;
+    options.root = kFixtures + "/det_good";
+    options.layersFile = kFixtures + "/no_such_layers.txt";
+    options.allowFile = kFixtures + "/allow_empty.txt";
+    options.paths = {"src"};
+    const LintResult r = runLint(options);
+    EXPECT_TRUE(r.configError);
+    EXPECT_TRUE(hasFatalFindings(r));
+}
+
+/**
+ * The contract the CI lint job enforces, restated as a test: the live
+ * tree lints clean with the checked-in layer table and allowlist, and
+ * every reported finding carries a written waiver reason.
+ */
+TEST(LintSelfCheck, LiveTreeIsClean)
+{
+    LintOptions options;
+    options.root = kSourceDir;
+    const LintResult r = runLint(options);
+    EXPECT_FALSE(r.configError) << r.configErrorMessage;
+    EXPECT_GT(r.filesScanned, 150);
+    for (const Finding &f : r.findings) {
+        EXPECT_TRUE(f.waived) << formatFinding(f);
+        EXPECT_FALSE(f.waiverReason.empty()) << formatFinding(f);
+    }
+    EXPECT_FALSE(hasFatalFindings(r));
+}
+
+} // namespace

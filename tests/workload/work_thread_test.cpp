@@ -154,6 +154,9 @@ TEST(WorkThread, RequestLatencyCoversFaultTime)
     ThreadHarness h;
     // Swap out the target page first so the request major-faults.
     Pte &pte = h.space.table().at(h.base() + 5);
+    // lint:pte-direct-ok(seeds a swapped-out PTE from the never-mapped
+    // state; no tracked bitmap is touched and the PageTable mutator
+    // asserts present())
     pte.unmapToSwap(h.swap.allocate(), 0);
 
     // A measured request around one touch of the swapped page, with

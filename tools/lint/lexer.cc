@@ -1,0 +1,327 @@
+#include "lexer.hh"
+
+#include <cctype>
+
+namespace pagesim::lint
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Cursor over the raw source with line tracking. */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &src) : src_(src) {}
+
+    bool done() const { return pos_ >= src_.size(); }
+    char peek(std::size_t ahead = 0) const
+    {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+
+    char
+    advance()
+    {
+        const char c = src_[pos_++];
+        if (c == '\n')
+            ++line_;
+        return c;
+    }
+
+    int line() const { return line_; }
+
+  private:
+    const std::string &src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+};
+
+/**
+ * Pull `lint:<name>(<reason>)` markers out of a finished comment
+ * block. Reasons end at the first ')': keep parentheses out of waiver
+ * reasons. A marker with no parens (or empty parens) yields an empty
+ * reason, which the driver reports as a finding of its own.
+ */
+void
+harvestWaivers(const CommentBlock &block, int nextCodeLine,
+               std::vector<Waiver> &out)
+{
+    const std::string &t = block.text;
+    static const std::string kTag = "lint:";
+    std::size_t at = 0;
+    while ((at = t.find(kTag, at)) != std::string::npos) {
+        std::size_t p = at + kTag.size();
+        std::string name;
+        while (p < t.size() &&
+               (std::islower(static_cast<unsigned char>(t[p])) ||
+                t[p] == '-')) {
+            name += t[p++];
+        }
+        at = p;
+        if (name.empty())
+            continue;
+        std::string reason;
+        if (p < t.size() && t[p] == '(') {
+            const std::size_t close = t.find(')', ++p);
+            if (close != std::string::npos) {
+                reason = t.substr(p, close - p);
+                at = close + 1;
+            }
+        }
+        // Trim the reason.
+        while (!reason.empty() && std::isspace(static_cast<unsigned char>(
+                                      reason.front())))
+            reason.erase(reason.begin());
+        while (!reason.empty() &&
+               std::isspace(static_cast<unsigned char>(reason.back())))
+            reason.pop_back();
+
+        Waiver w;
+        w.name = name;
+        w.reason = reason;
+        w.firstLine = block.firstLine;
+        w.lastLine = block.standalone && nextCodeLine > block.lastLine
+                         ? nextCodeLine
+                         : block.lastLine;
+        out.push_back(w);
+    }
+}
+
+} // namespace
+
+LexedFile
+lex(const std::string &source)
+{
+    LexedFile out;
+    Cursor cur(source);
+
+    // Comment-block accumulation state.
+    bool haveBlock = false;
+    CommentBlock block;
+    int lastCodeLine = 0; // last line that produced a code token
+    // Blocks whose waivers await the next code line.
+    std::vector<CommentBlock> pending;
+
+    auto flushBlock = [&]() {
+        if (!haveBlock)
+            return;
+        out.comments.push_back(block);
+        pending.push_back(block);
+        haveBlock = false;
+    };
+    auto notifyCode = [&](int line) {
+        // A code token materializes coverage for pending blocks.
+        for (const CommentBlock &b : pending)
+            harvestWaivers(b, line, out.waivers);
+        pending.clear();
+        lastCodeLine = line;
+    };
+    auto appendComment = [&](const std::string &text, int first,
+                             int last) {
+        const bool standalone = lastCodeLine != first;
+        if (haveBlock && block.lastLine + 1 >= first &&
+            block.standalone && standalone) {
+            block.text += ' ';
+            block.text += text;
+            block.lastLine = last;
+            return;
+        }
+        flushBlock();
+        haveBlock = true;
+        block = CommentBlock{text, first, last, standalone};
+    };
+
+    while (!cur.done()) {
+        const char c = cur.peek();
+        const int line = cur.line();
+
+        if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+            cur.advance();
+            continue;
+        }
+
+        // Comments.
+        if (c == '/' && cur.peek(1) == '/') {
+            cur.advance();
+            cur.advance();
+            std::string text;
+            while (!cur.done() && cur.peek() != '\n')
+                text += cur.advance();
+            appendComment(text, line, line);
+            continue;
+        }
+        if (c == '/' && cur.peek(1) == '*') {
+            cur.advance();
+            cur.advance();
+            std::string text;
+            while (!cur.done() &&
+                   !(cur.peek() == '*' && cur.peek(1) == '/')) {
+                const char cc = cur.advance();
+                text += cc == '\n' ? ' ' : cc;
+            }
+            const int last = cur.line();
+            if (!cur.done()) {
+                cur.advance();
+                cur.advance();
+            }
+            appendComment(text, line, last);
+            continue;
+        }
+
+        // Preprocessor directive: consume the (continued) line, but
+        // extract #include targets.
+        if (c == '#') {
+            std::string text;
+            while (!cur.done()) {
+                if (cur.peek() == '\\' && cur.peek(1) == '\n') {
+                    cur.advance();
+                    cur.advance();
+                    continue;
+                }
+                if (cur.peek() == '\n')
+                    break;
+                text += cur.advance();
+            }
+            std::size_t p = 1;
+            while (p < text.size() &&
+                   std::isspace(static_cast<unsigned char>(text[p])))
+                ++p;
+            if (text.compare(p, 7, "include") == 0) {
+                p += 7;
+                while (p < text.size() &&
+                       std::isspace(
+                           static_cast<unsigned char>(text[p])))
+                    ++p;
+                if (p < text.size() &&
+                    (text[p] == '"' || text[p] == '<')) {
+                    const char closer = text[p] == '"' ? '"' : '>';
+                    const std::size_t end =
+                        text.find(closer, p + 1);
+                    if (end != std::string::npos) {
+                        out.includes.push_back(IncludeDirective{
+                            text.substr(p + 1, end - p - 1), line,
+                            closer == '>'});
+                    }
+                }
+            }
+            continue;
+        }
+
+        // String / char literals (incl. raw strings).
+        if (c == '"' || c == '\'') {
+            // Raw string: R"delim( ... )delim"
+            bool raw = false;
+            if (c == '"' && !out.tokens.empty() &&
+                out.tokens.back().kind == Token::Kind::Identifier) {
+                const std::string &prev = out.tokens.back().text;
+                if (prev == "R" || prev == "u8R" || prev == "uR" ||
+                    prev == "UR" || prev == "LR")
+                    raw = true;
+            }
+            flushBlock();
+            notifyCode(line);
+            if (raw) {
+                cur.advance(); // opening quote
+                std::string delim;
+                while (!cur.done() && cur.peek() != '(')
+                    delim += cur.advance();
+                const std::string close = ")" + delim + "\"";
+                std::string seen;
+                while (!cur.done()) {
+                    seen += cur.advance();
+                    if (seen.size() >= close.size() &&
+                        seen.compare(seen.size() - close.size(),
+                                     close.size(), close) == 0)
+                        break;
+                }
+                out.tokens.push_back(
+                    Token{Token::Kind::String, "<raw>", line});
+                continue;
+            }
+            const char quote = cur.advance();
+            std::string text;
+            while (!cur.done()) {
+                const char cc = cur.advance();
+                if (cc == '\\' && !cur.done()) {
+                    cur.advance();
+                    continue;
+                }
+                if (cc == quote)
+                    break;
+                text += cc;
+            }
+            out.tokens.push_back(Token{quote == '"'
+                                           ? Token::Kind::String
+                                           : Token::Kind::CharLit,
+                                       text, line});
+            continue;
+        }
+
+        flushBlock();
+        notifyCode(line);
+
+        // Identifiers.
+        if (isIdentStart(c)) {
+            std::string text;
+            while (!cur.done() && isIdentChar(cur.peek()))
+                text += cur.advance();
+            out.tokens.push_back(
+                Token{Token::Kind::Identifier, text, line});
+            continue;
+        }
+
+        // Numbers (opaque; 0x..., digit separators, suffixes).
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::string text;
+            while (!cur.done() &&
+                   (isIdentChar(cur.peek()) || cur.peek() == '\'' ||
+                    ((cur.peek() == '+' || cur.peek() == '-') &&
+                     !text.empty() &&
+                     (text.back() == 'e' || text.back() == 'E' ||
+                      text.back() == 'p' || text.back() == 'P')) ||
+                    cur.peek() == '.')) {
+                text += cur.advance();
+            }
+            out.tokens.push_back(Token{Token::Kind::Number, text, line});
+            continue;
+        }
+
+        // Punctuation; fuse the two digraphs the rules care about.
+        if (c == ':' && cur.peek(1) == ':') {
+            cur.advance();
+            cur.advance();
+            out.tokens.push_back(Token{Token::Kind::Punct, "::", line});
+            continue;
+        }
+        if (c == '-' && cur.peek(1) == '>') {
+            cur.advance();
+            cur.advance();
+            out.tokens.push_back(Token{Token::Kind::Punct, "->", line});
+            continue;
+        }
+        out.tokens.push_back(
+            Token{Token::Kind::Punct, std::string(1, cur.advance()),
+                  line});
+    }
+    flushBlock();
+    // EOF: waivers in trailing blocks cover only their own lines.
+    for (const CommentBlock &b : pending)
+        harvestWaivers(b, b.lastLine, out.waivers);
+
+    return out;
+}
+
+} // namespace pagesim::lint

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A small, dependency-free C++ tokenizer for pagesim-lint.
+ *
+ * This is not a compiler front end: it splits a translation unit into
+ * identifier / number / punctuation tokens with line numbers, strips
+ * string, character, and raw-string literals, collects comments into
+ * blocks (for waiver parsing), and extracts #include directives. That
+ * is exactly enough for the contract rules in rules_*.cc, which match
+ * token shapes (call arity, template argument text, include targets)
+ * rather than types.
+ */
+
+#ifndef PAGESIM_TOOLS_LINT_LEXER_HH
+#define PAGESIM_TOOLS_LINT_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pagesim::lint
+{
+
+/** One lexical token. */
+struct Token
+{
+    enum class Kind
+    {
+        Identifier, ///< [A-Za-z_][A-Za-z0-9_]*
+        Number,     ///< numeric literal (opaque text)
+        Punct,      ///< operator/punctuator; "::" and "->" are fused
+        String,     ///< string literal (text is the raw spelling)
+        CharLit,    ///< character literal
+    };
+
+    Kind kind;
+    std::string text;
+    int line; ///< 1-based
+};
+
+/** A quoted or angle #include. */
+struct IncludeDirective
+{
+    std::string path;
+    int line;
+    bool angled; ///< <...> (system) vs "..." (project)
+};
+
+/**
+ * A comment block: one /<*...*>/ comment, or a run of //-comments on
+ * consecutive lines with no code tokens between them.
+ */
+struct CommentBlock
+{
+    std::string text; ///< concatenated text, newlines collapsed
+    int firstLine;
+    int lastLine;
+    /** True when no code token precedes the block on firstLine. */
+    bool standalone;
+};
+
+/**
+ * A `lint:<name>(<reason>)` waiver parsed out of a comment block.
+ * A standalone block's waiver covers the block's lines plus the next
+ * line carrying a code token; a trailing comment covers its own line.
+ */
+struct Waiver
+{
+    std::string name;   ///< e.g. "ordered-ok"
+    std::string reason; ///< may be empty: that is itself a finding
+    int firstLine;      ///< first covered line
+    int lastLine;       ///< last covered line
+    bool used = false;  ///< set when a finding consumes it
+};
+
+/** Everything the rules need to know about one source file. */
+struct LexedFile
+{
+    std::vector<Token> tokens;
+    std::vector<IncludeDirective> includes;
+    std::vector<CommentBlock> comments;
+    std::vector<Waiver> waivers;
+};
+
+/** Tokenize @p source (the contents of one file). */
+LexedFile lex(const std::string &source);
+
+} // namespace pagesim::lint
+
+#endif // PAGESIM_TOOLS_LINT_LEXER_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * pagesim-lint CLI.
+ *
+ *   pagesim_lint [--root DIR] [--layers FILE] [--allow FILE]
+ *                [--quiet] [paths...]
+ *
+ * Scans src/ bench/ tests/ (or the given paths) under the repo root
+ * and prints structured findings. Exit status: 0 when every finding
+ * is waived with a written reason, 1 on any unwaived finding, 2 on a
+ * configuration error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pagesim::lint;
+
+    LintOptions options;
+    bool quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--root") {
+            options.root = value("--root");
+        } else if (arg == "--layers") {
+            options.layersFile = value("--layers");
+        } else if (arg == "--allow") {
+            options.allowFile = value("--allow");
+        } else if (arg == "--quiet" || arg == "-q") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: pagesim_lint [--root DIR] [--layers FILE] "
+                "[--allow FILE] [--quiet] [paths...]\n"
+                "Contract linter for pagesim: determinism, tracked "
+                "PTE mutators, layer DAG, charge pairing.\n"
+                "Default paths: src bench tests (relative to root).\n");
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            return 2;
+        } else {
+            options.paths.push_back(arg);
+        }
+    }
+
+    const LintResult result = runLint(options);
+    if (result.configError) {
+        std::fprintf(stderr, "pagesim-lint: %s\n",
+                     result.configErrorMessage.c_str());
+        return 2;
+    }
+
+    int unwaived = 0, waived = 0;
+    for (const Finding &f : result.findings) {
+        if (f.waived) {
+            ++waived;
+            if (!quiet)
+                std::printf("%s\n", formatFinding(f).c_str());
+        } else {
+            ++unwaived;
+            std::fprintf(stderr, "%s\n", formatFinding(f).c_str());
+        }
+    }
+    std::fprintf(stderr,
+                 "pagesim-lint: %d file(s), %d finding(s) "
+                 "(%d unwaived, %d waived)\n",
+                 result.filesScanned, unwaived + waived, unwaived,
+                 waived);
+    return hasFatalFindings(result) ? 1 : 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Internal interfaces between the pagesim-lint driver and its rule
+ * families. Nothing here is part of the tool's CLI surface.
+ */
+
+#ifndef PAGESIM_TOOLS_LINT_RULES_HH
+#define PAGESIM_TOOLS_LINT_RULES_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hh"
+#include "lint.hh"
+
+namespace pagesim::lint
+{
+
+/** The declarative layer table parsed from layers.txt. */
+struct LayerConfig
+{
+    struct Layer
+    {
+        std::string name;
+        std::string prefix; ///< path prefix, e.g. "src/kernel"
+    };
+
+    std::vector<Layer> layers;
+    /** Allowed direct include edges: from -> {to...}. */
+    std::map<std::string, std::set<std::string>> edges;
+    /** Layers under the full determinism rule family. */
+    std::set<std::string> simScope;
+    /** Layers under the charge-pairing rule. */
+    std::set<std::string> chargeScope;
+
+    /** Layer a repo-relative path belongs to ("" = none). */
+    std::string layerOf(const std::string &relPath) const;
+
+    /** Layer an include target ("kernel/kswapd.hh") resolves to. */
+    std::string layerOfInclude(const std::string &incPath) const;
+
+    static bool load(const std::string &file, LayerConfig &out,
+                     std::string &error);
+};
+
+/** One allow.txt entry: excuse (rule, path-or-prefix) with a reason. */
+struct AllowEntry
+{
+    std::string rule;
+    std::string path; ///< exact path, or directory prefix ending in /
+    std::string reason;
+};
+
+bool loadAllowlist(const std::string &file,
+                   std::vector<AllowEntry> &out, std::string &error);
+
+/** One scanned file, lexed, with its scopes resolved. */
+struct SourceFile
+{
+    std::string relPath; ///< forward-slash path relative to root
+    std::string stem;    ///< relPath minus extension (TU pairing)
+    std::string layer;   ///< "" when outside every layer
+    bool simScope = false;
+    bool chargeScope = false;
+    LexedFile lex;
+};
+
+/** Shared state the rule passes read. */
+struct RuleContext
+{
+    const LayerConfig &layers;
+    /**
+     * Names declared (or returned by reference) with an unordered
+     * container type, grouped by SourceFile::stem so a .cc sees the
+     * members of its own header.
+     */
+    const std::map<std::string, std::set<std::string>> &unorderedNames;
+};
+
+/** Pre-pass: record unordered-typed names declared in @p file. */
+void collectUnorderedNames(const SourceFile &file,
+                           std::set<std::string> &out);
+
+void runDeterminismRules(const SourceFile &file, const RuleContext &ctx,
+                         std::vector<Finding> &out);
+void runMutatorRules(const SourceFile &file, const RuleContext &ctx,
+                     std::vector<Finding> &out);
+void runLayeringRules(const SourceFile &file, const RuleContext &ctx,
+                      std::vector<Finding> &out);
+void runChargeRules(const SourceFile &file, const RuleContext &ctx,
+                    std::vector<Finding> &out);
+
+/** Waiver keyword accepted for @p rule ("" = not waivable inline). */
+std::string waiverNameFor(const std::string &rule);
+
+// ---- Token-walk helpers shared by rule files ------------------------
+
+/** Index of the matching ')' for the '(' at @p open, or npos. */
+std::size_t matchParen(const std::vector<Token> &toks, std::size_t open);
+
+/**
+ * Number of top-level comma-separated arguments inside the paren pair
+ * starting at @p open (0 for an empty list). Brackets, braces, and
+ * nested parens shield their commas; template '<' is NOT tracked (an
+ * arity probe, not a parser) which is fine for the call shapes the
+ * rules match.
+ */
+int callArity(const std::vector<Token> &toks, std::size_t open);
+
+} // namespace pagesim::lint
+
+#endif // PAGESIM_TOOLS_LINT_RULES_HH

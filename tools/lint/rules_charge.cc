@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Charge-pairing rule family (charge-*).
+ *
+ * Every device operation the kernel issues — an async submit() or a
+ * synchronous noteSyncOp() service — represents work someone must pay
+ * for in simulated cost. A call site whose enclosing function body
+ * never charges a cost sink is either missing its charge (a fidelity
+ * bug: I/O that is free on the simulated clock) or intentionally
+ * uncharged and must say why in a `// lint:charge-ok(...)` waiver.
+ *
+ * Heuristic, by design: "enclosing function body" is recovered from
+ * brace shapes (a '{' whose preceding ')' is not an if/for/while/
+ * switch/catch header), and "charges" means any `charge` identifier
+ * in that body. Tight enough to have caught a real gap (readahead's
+ * deliberate free issue is now documented at the call site), loose
+ * enough to never need type information.
+ */
+
+#include "rules.hh"
+
+namespace pagesim::lint
+{
+
+namespace
+{
+
+struct Span
+{
+    std::size_t open;
+    std::size_t close;
+    bool function;
+};
+
+bool
+isControlKeyword(const std::string &s)
+{
+    return s == "if" || s == "for" || s == "while" || s == "switch" ||
+           s == "catch";
+}
+
+/**
+ * Classify every brace span in the token stream, marking those that
+ * look like function (or lambda) bodies.
+ */
+std::vector<Span>
+braceSpans(const std::vector<Token> &toks)
+{
+    // For each ')' index, the token index just before its matching '('.
+    std::vector<std::size_t> beforeOpen(toks.size(), SIZE_MAX);
+    std::vector<std::size_t> parenStack;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != Token::Kind::Punct)
+            continue;
+        if (toks[i].text == "(") {
+            parenStack.push_back(i);
+        } else if (toks[i].text == ")" && !parenStack.empty()) {
+            beforeOpen[i] = parenStack.back() == 0
+                                ? SIZE_MAX
+                                : parenStack.back() - 1;
+            parenStack.pop_back();
+        }
+    }
+
+    std::vector<Span> spans;
+    std::vector<std::size_t> braceStack;
+    std::vector<bool> functionStack;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != Token::Kind::Punct)
+            continue;
+        if (toks[i].text == "{") {
+            // Walk back over trailing qualifiers to the header ')'.
+            std::size_t j = i;
+            while (j > 0) {
+                const Token &p = toks[j - 1];
+                if (p.kind == Token::Kind::Identifier &&
+                    (p.text == "const" || p.text == "override" ||
+                     p.text == "final" || p.text == "noexcept" ||
+                     p.text == "mutable")) {
+                    --j;
+                    continue;
+                }
+                break;
+            }
+            bool function = false;
+            if (j > 0 && toks[j - 1].kind == Token::Kind::Punct &&
+                toks[j - 1].text == ")") {
+                const std::size_t before = beforeOpen[j - 1];
+                function =
+                    before == SIZE_MAX ||
+                    !(toks[before].kind == Token::Kind::Identifier &&
+                      isControlKeyword(toks[before].text));
+            }
+            braceStack.push_back(i);
+            functionStack.push_back(function);
+        } else if (toks[i].text == "}" && !braceStack.empty()) {
+            spans.push_back(
+                Span{braceStack.back(), i, functionStack.back()});
+            braceStack.pop_back();
+            functionStack.pop_back();
+        }
+    }
+    return spans;
+}
+
+} // namespace
+
+std::size_t
+matchParen(const std::vector<Token> &toks, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+        if (toks[i].kind != Token::Kind::Punct)
+            continue;
+        if (toks[i].text == "(") {
+            ++depth;
+        } else if (toks[i].text == ")") {
+            if (--depth == 0)
+                return i;
+        }
+    }
+    return std::string::npos;
+}
+
+int
+callArity(const std::vector<Token> &toks, std::size_t open)
+{
+    const std::size_t close = matchParen(toks, open);
+    if (close == std::string::npos || close == open + 1)
+        return 0;
+    int args = 1;
+    int paren = 0, bracket = 0, brace = 0;
+    for (std::size_t i = open + 1; i < close; ++i) {
+        if (toks[i].kind != Token::Kind::Punct)
+            continue;
+        const std::string &p = toks[i].text;
+        if (p == "(")
+            ++paren;
+        else if (p == ")")
+            --paren;
+        else if (p == "[")
+            ++bracket;
+        else if (p == "]")
+            --bracket;
+        else if (p == "{")
+            ++brace;
+        else if (p == "}")
+            --brace;
+        else if (p == "," && paren == 0 && bracket == 0 && brace == 0)
+            ++args;
+    }
+    return args;
+}
+
+void
+runChargeRules(const SourceFile &file, const RuleContext &,
+               std::vector<Finding> &out)
+{
+    if (!file.chargeScope)
+        return;
+    const std::vector<Token> &toks = file.lex.tokens;
+    std::vector<Span> spans; // computed lazily: most files have no hit
+    bool haveSpans = false;
+
+    for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != Token::Kind::Identifier ||
+            (t.text != "submit" && t.text != "noteSyncOp"))
+            continue;
+        const Token &prev = toks[i - 1];
+        if (prev.kind != Token::Kind::Punct ||
+            (prev.text != "." && prev.text != "->"))
+            continue; // a definition or unqualified use, not a call
+        if (toks[i + 1].kind != Token::Kind::Punct ||
+            toks[i + 1].text != "(")
+            continue;
+
+        if (!haveSpans) {
+            spans = braceSpans(toks);
+            haveSpans = true;
+        }
+        // Innermost function-like span containing the call.
+        const Span *enclosing = nullptr;
+        for (const Span &s : spans) {
+            if (!s.function || s.open > i || s.close < i)
+                continue;
+            if (enclosing == nullptr ||
+                s.open > enclosing->open)
+                enclosing = &s;
+        }
+        if (enclosing == nullptr)
+            continue; // interface declaration, not a body
+
+        bool charged = false;
+        for (std::size_t j = enclosing->open; j <= enclosing->close;
+             ++j) {
+            if (toks[j].kind == Token::Kind::Identifier &&
+                toks[j].text == "charge") {
+                charged = true;
+                break;
+            }
+        }
+        if (!charged) {
+            out.push_back(Finding{
+                file.relPath, t.line, kRuleChargePair,
+                "device op '" + t.text +
+                    "' with no cost charge in the enclosing function "
+                    "body: simulated work must cost simulated time"});
+        }
+    }
+}
+
+} // namespace pagesim::lint

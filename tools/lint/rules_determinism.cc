@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Determinism rule family (det-*).
+ *
+ * Simulation layers must be a pure function of their seeds: no wall
+ * clocks, no ambient randomness (pagesim::Rng is the only sanctioned
+ * stream), no pointer-value hashing or ordering, and no unordered-
+ * container state unless a written waiver argues why its iteration
+ * order cannot reach a TrialResult.
+ */
+
+#include <array>
+#include <cstddef>
+
+#include "rules.hh"
+
+namespace pagesim::lint
+{
+
+namespace
+{
+
+/** Identifiers that name a wall-clock time source. */
+constexpr std::array kClockIdents = {
+    "system_clock",    "steady_clock", "high_resolution_clock",
+    "gettimeofday",    "clock_gettime", "timespec_get",
+    "ftime",           "localtime",     "gmtime",
+};
+
+/** Identifiers that name an ambient randomness source. */
+constexpr std::array kRandIdents = {
+    "random_device", "mt19937",  "mt19937_64", "minstd_rand",
+    "minstd_rand0",  "ranlux24", "ranlux48",
+    "default_random_engine", "knuth_b",
+};
+
+/** Free functions banned when called (identifier followed by '('). */
+constexpr std::array kClockCalls = {"time", "clock"};
+constexpr std::array kRandCalls = {"rand", "srand", "rand_r",
+                                   "drand48", "random", "srandom"};
+
+constexpr std::array kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+
+template <std::size_t N>
+bool
+in(const std::array<const char *, N> &set, const std::string &s)
+{
+    for (const char *e : set)
+        if (s == e)
+            return true;
+    return false;
+}
+
+bool
+isMemberAccess(const std::vector<Token> &toks, std::size_t i)
+{
+    if (i == 0)
+        return false;
+    const Token &prev = toks[i - 1];
+    return prev.kind == Token::Kind::Punct &&
+           (prev.text == "." || prev.text == "->");
+}
+
+/**
+ * Scan a template argument list starting at the '<' at @p open.
+ * Returns the index one past the matching '>', or @p open + 1 when
+ * the '<' does not open a (plausible) template argument list. Sets
+ * @p sawStar when a '*' occurs anywhere inside.
+ */
+std::size_t
+scanAngles(const std::vector<Token> &toks, std::size_t open,
+           bool &sawStar)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != Token::Kind::Punct) {
+            continue;
+        } else if (t.text == "<") {
+            ++depth;
+        } else if (t.text == ">") {
+            if (--depth == 0)
+                return i + 1;
+        } else if (t.text == "*") {
+            sawStar = true;
+        } else if (t.text == ";" || t.text == "{") {
+            break; // not a template argument list after all
+        }
+    }
+    sawStar = false;
+    return open + 1;
+}
+
+} // namespace
+
+void
+collectUnorderedNames(const SourceFile &file, std::set<std::string> &out)
+{
+    const std::vector<Token> &toks = file.lex.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind != Token::Kind::Identifier ||
+            !in(kUnorderedTypes, toks[i].text))
+            continue;
+        if (toks[i + 1].kind != Token::Kind::Punct ||
+            toks[i + 1].text != "<")
+            continue;
+        bool star = false;
+        std::size_t after = scanAngles(toks, i + 1, star);
+        // Skip declarator decorations between the type and the name.
+        while (after < toks.size() &&
+               ((toks[after].kind == Token::Kind::Punct &&
+                 (toks[after].text == "&" || toks[after].text == "*")) ||
+                (toks[after].kind == Token::Kind::Identifier &&
+                 toks[after].text == "const")))
+            ++after;
+        if (after < toks.size() &&
+            toks[after].kind == Token::Kind::Identifier)
+            out.insert(toks[after].text);
+    }
+}
+
+void
+runDeterminismRules(const SourceFile &file, const RuleContext &ctx,
+                    std::vector<Finding> &out)
+{
+    if (!file.simScope)
+        return;
+    const std::vector<Token> &toks = file.lex.tokens;
+    const std::set<std::string> *unordered = nullptr;
+    if (auto it = ctx.unorderedNames.find(file.stem);
+        it != ctx.unorderedNames.end())
+        unordered = &it->second;
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != Token::Kind::Identifier)
+            continue;
+        const bool called =
+            i + 1 < toks.size() &&
+            toks[i + 1].kind == Token::Kind::Punct &&
+            toks[i + 1].text == "(";
+
+        // det-clock -------------------------------------------------
+        if (in(kClockIdents, t.text) || t.text == "chrono") {
+            out.push_back(Finding{
+                file.relPath, t.line, kRuleDetClock,
+                "wall-clock source '" + t.text +
+                    "' in a simulation layer; simulated time is "
+                    "Simulation::now()"});
+            continue;
+        }
+        if (called && in(kClockCalls, t.text) &&
+            !isMemberAccess(toks, i)) {
+            out.push_back(Finding{
+                file.relPath, t.line, kRuleDetClock,
+                "call to wall-clock function '" + t.text + "()'"});
+            continue;
+        }
+
+        // det-rand --------------------------------------------------
+        if (in(kRandIdents, t.text)) {
+            out.push_back(Finding{
+                file.relPath, t.line, kRuleDetRand,
+                "ambient randomness source '" + t.text +
+                    "'; use the trial-seeded pagesim::Rng"});
+            continue;
+        }
+        if (called && in(kRandCalls, t.text) &&
+            !isMemberAccess(toks, i)) {
+            out.push_back(Finding{
+                file.relPath, t.line, kRuleDetRand,
+                "call to ambient randomness '" + t.text + "()'"});
+            continue;
+        }
+
+        // det-ptr-hash ----------------------------------------------
+        if ((t.text == "hash" || in(kUnorderedTypes, t.text)) &&
+            i + 1 < toks.size() &&
+            toks[i + 1].kind == Token::Kind::Punct &&
+            toks[i + 1].text == "<") {
+            bool star = false;
+            scanAngles(toks, i + 1, star);
+            if (star) {
+                out.push_back(Finding{
+                    file.relPath, t.line, kRuleDetPtrHash,
+                    "'" + t.text +
+                        "<...*...>' hashes/keys on pointer values, "
+                        "which vary run to run; key on a stable id"});
+            }
+        }
+
+        // det-unordered (any mention of an unordered container) -----
+        if (in(kUnorderedTypes, t.text)) {
+            out.push_back(Finding{
+                file.relPath, t.line, kRuleDetUnordered,
+                "'" + t.text +
+                    "' in a simulation layer: iteration order is "
+                    "unspecified; use an ordered/indexed container "
+                    "or waive with the determinism argument"});
+            continue;
+        }
+
+        // det-unordered-iter (range-for over a known-unordered name)
+        if (t.text == "for" && called && unordered != nullptr) {
+            const std::size_t close = matchParen(toks, i + 1);
+            if (close == std::string::npos)
+                continue;
+            // Find the range ':' at depth 1, then scan the range
+            // expression for unordered names.
+            std::size_t colon = std::string::npos;
+            int depth = 0;
+            for (std::size_t j = i + 1; j < close; ++j) {
+                const Token &tj = toks[j];
+                if (tj.kind != Token::Kind::Punct)
+                    continue;
+                if (tj.text == "(")
+                    ++depth;
+                else if (tj.text == ")")
+                    --depth;
+                else if (tj.text == ":" && depth == 1) {
+                    colon = j;
+                    break;
+                }
+            }
+            if (colon == std::string::npos)
+                continue;
+            for (std::size_t j = colon + 1; j < close; ++j) {
+                if (toks[j].kind == Token::Kind::Identifier &&
+                    unordered->count(toks[j].text) != 0) {
+                    out.push_back(Finding{
+                        file.relPath, t.line, kRuleDetUnorderedIter,
+                        "range-iteration over unordered container '" +
+                            toks[j].text +
+                            "' feeds unspecified order into a "
+                            "simulation layer"});
+                    break;
+                }
+            }
+        }
+    }
+}
+
+} // namespace pagesim::lint

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Layering rule family (layer-*).
+ *
+ * The include graph between src/ layers must match the declarative
+ * DAG in tools/lint/layers.txt exactly: an edge that is not listed is
+ * a back-edge (or a new dependency that needs a deliberate table
+ * edit, which is the point — layering changes should be reviewed as
+ * layering changes). Separately, nothing under src/ may reach into
+ * tests/ or bench/.
+ */
+
+#include "rules.hh"
+
+namespace pagesim::lint
+{
+
+namespace
+{
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+} // namespace
+
+std::string
+LayerConfig::layerOf(const std::string &relPath) const
+{
+    const Layer *best = nullptr;
+    for (const Layer &l : layers) {
+        if (startsWith(relPath, l.prefix + "/") &&
+            (best == nullptr || l.prefix.size() > best->prefix.size()))
+            best = &l;
+    }
+    return best != nullptr ? best->name : std::string{};
+}
+
+std::string
+LayerConfig::layerOfInclude(const std::string &incPath) const
+{
+    // Project includes are rooted at src/: "kernel/kswapd.hh".
+    return layerOf("src/" + incPath);
+}
+
+void
+runLayeringRules(const SourceFile &file, const RuleContext &ctx,
+                 std::vector<Finding> &out)
+{
+    const bool inSrc = startsWith(file.relPath, "src/");
+    for (const IncludeDirective &inc : file.lex.includes) {
+        if (inc.angled)
+            continue;
+
+        // layer-test: src/ reaching into test or bench code.
+        if (inSrc &&
+            (startsWith(inc.path, "tests/") ||
+             startsWith(inc.path, "bench/") ||
+             inc.path.find("../tests/") != std::string::npos ||
+             inc.path.find("../bench/") != std::string::npos)) {
+            out.push_back(Finding{
+                file.relPath, inc.line, kRuleLayerTest,
+                "src/ must not include test or bench code ('" +
+                    inc.path + "')"});
+            continue;
+        }
+
+        // layer-dag: edges between declared layers.
+        if (file.layer.empty())
+            continue; // tests/bench/examples may include any layer
+        const std::string to = ctx.layers.layerOfInclude(inc.path);
+        if (to.empty() || to == file.layer)
+            continue;
+        const auto it = ctx.layers.edges.find(file.layer);
+        const bool allowed =
+            it != ctx.layers.edges.end() && it->second.count(to) != 0;
+        if (!allowed) {
+            out.push_back(Finding{
+                file.relPath, inc.line, kRuleLayerDag,
+                "include edge " + file.layer + " -> " + to +
+                    " ('" + inc.path +
+                    "') is not in tools/lint/layers.txt; back-edge, "
+                    "or a new dependency that needs a table edit"});
+        }
+    }
+}
+
+} // namespace pagesim::lint
