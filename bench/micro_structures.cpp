@@ -9,6 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "mem/address_space.hh"
 #include "mem/frame_table.hh"
 #include "policy/mglru/bloom_filter.hh"
@@ -70,6 +73,80 @@ BM_FrameListMove(benchmark::State &state)
 }
 BENCHMARK(BM_FrameListMove);
 
+/**
+ * AoS replica of the page metadata record FrameTable used to hold per
+ * frame, for the allocate-reset comparison below. Kept local to the
+ * bench: the live tree is SoA-only.
+ */
+struct LegacyPageInfo
+{
+    AddressSpace *space = nullptr;
+    Vpn vpn = 0;
+    Pfn prev = kInvalidPfn;
+    Pfn next = kInvalidPfn;
+    std::uint8_t listId = 0;
+    std::uint64_t gen = 0;
+    std::uint8_t tier = 0;
+    bool file = false;
+    bool fromReadahead = false;
+    SwapSlot backing = kInvalidSlot;
+    std::uint32_t refs = 0;
+};
+
+void
+BM_PageInfoResetAos(benchmark::State &state)
+{
+    // Release/allocate churn against an AoS array: each allocate
+    // resets one whole record wherever the free list points,
+    // dirtying that record's cache line(s). Mirrors the SoA bench's
+    // free-list handling so only the layout differs.
+    std::vector<LegacyPageInfo> infos(1u << 16);
+    std::vector<Pfn> freeList;
+    AddressSpace space(0);
+    Pfn pfn = 0;
+    for (auto _ : state) {
+        freeList.push_back(pfn);
+        const Pfn got = freeList.back();
+        freeList.pop_back();
+        LegacyPageInfo &pi = infos[got];
+        pi.space = &space;
+        pi.vpn = got;
+        pi.prev = kInvalidPfn;
+        pi.next = kInvalidPfn;
+        pi.listId = 0;
+        pi.gen = 0;
+        pi.tier = 0;
+        pi.file = false;
+        pi.fromReadahead = false;
+        pi.backing = kInvalidSlot;
+        pi.refs = 0;
+        benchmark::DoNotOptimize(infos.data());
+        pfn = (pfn + 4097) & 0xffff; // LIFO-recycle-like stride
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageInfoResetAos);
+
+void
+BM_PageInfoResetSoa(benchmark::State &state)
+{
+    // The live path: FrameTable release + allocate, where allocate
+    // resets the same logical record lane by lane (resetLanes). Same
+    // stride and free-list discipline as the AoS bench.
+    FrameTable frames(1u << 16);
+    AddressSpace space(0);
+    for (std::uint32_t i = 0; i < (1u << 16); ++i)
+        frames.allocate(&space, i, false);
+    Pfn pfn = 0;
+    for (auto _ : state) {
+        frames.release(pfn);
+        benchmark::DoNotOptimize(frames.allocate(&space, pfn, false));
+        pfn = (pfn + 4097) & 0xffff;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageInfoResetSoa);
+
 void
 BM_PageTableScanRegion(benchmark::State &state)
 {
@@ -85,7 +162,7 @@ BM_PageTableScanRegion(benchmark::State &state)
         std::uint64_t young = 0;
         const Vpn rb = regionBase(region);
         for (Vpn v = rb; v < rb + kPtesPerRegion; ++v) {
-            Pte &pte = table.at(v);
+            const auto pte = table.at(v);
             if (pte.testAndClearAccessed()) {
                 ++young;
                 pte.setFlag(Pte::Accessed); // restore for next iter

@@ -1,5 +1,6 @@
 #include "check/mm_audit.hh"
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <cstdlib>
@@ -9,6 +10,7 @@
 
 #include "policy/clock_lru.hh"
 #include "policy/mglru/mglru_policy.hh"
+#include "sim/parallel.hh"
 #include "swap/zram_device.hh"
 
 namespace pagesim
@@ -18,7 +20,7 @@ namespace
 {
 
 std::string
-flagString(const Pte &pte)
+flagString(PteView pte)
 {
     std::string s;
     const auto add = [&s](bool on, const char *name) {
@@ -64,11 +66,11 @@ MmAuditor::knownSpace(const AddressSpace *space) const
     return spaceSet_.count(space) != 0;
 }
 
-void
-MmAuditor::addViolation(AuditReport &rep, AuditSubsystem subsystem,
-                        const char *invariant, std::uint32_t space_id,
-                        Vpn vpn, Pfn pfn, std::string expected,
-                        std::string actual) const
+AuditViolation
+MmAuditor::makeViolation(AuditSubsystem subsystem,
+                         const char *invariant, std::uint32_t space_id,
+                         Vpn vpn, Pfn pfn, std::string expected,
+                         std::string actual)
 {
     AuditViolation v;
     v.subsystem = subsystem;
@@ -78,7 +80,19 @@ MmAuditor::addViolation(AuditReport &rep, AuditSubsystem subsystem,
     v.pfn = pfn;
     v.expected = std::move(expected);
     v.actual = std::move(actual);
-    rep.violations.push_back(std::move(v));
+    return v;
+}
+
+void
+MmAuditor::addViolation(AuditReport &rep, AuditSubsystem subsystem,
+                        const char *invariant, std::uint32_t space_id,
+                        Vpn vpn, Pfn pfn, std::string expected,
+                        std::string actual) const
+{
+    rep.violations.push_back(makeViolation(subsystem, invariant,
+                                           space_id, vpn, pfn,
+                                           std::move(expected),
+                                           std::move(actual)));
 }
 
 void
@@ -122,16 +136,86 @@ MmAuditor::installPeriodic(bool hard_fail)
 void
 MmAuditor::checkPtes(AuditReport &rep, WalkContext &ctx) const
 {
-    const FrameTable &fast = mm_.frames();
-    const FrameTable &slow = mm_.slowFrames();
-    const SwapManager &swap = mm_.swap();
-    const ZramSwapDevice *zram = swap.zram();
+    // Shard-parallel walk: harvest each (space, shard) pair into its
+    // own ShardPteOut, then merge in the serial walk's order. The
+    // harvest only READS MM state (and appends to its private out
+    // slot), so shards are trivially safe to walk concurrently; the
+    // ordered merge makes the report byte-identical to a serial walk.
+    struct Task
+    {
+        const AddressSpace *sp;
+        std::uint64_t shard;
+    };
+    std::vector<Task> tasks;
+    for (const AddressSpace *sp : spaces_) {
+        const std::uint64_t ns = sp->table().numShards();
+        for (std::uint64_t s = 0; s < ns; ++s)
+            tasks.push_back(Task{sp, s});
+    }
+    std::vector<ShardPteOut> outs(tasks.size());
+    const unsigned workers =
+        workerOverride() != 0 ? workerOverride() : 1;
+    parallelFor(workers, tasks.size(), [&](std::size_t t) {
+        harvestPteShard(tasks[t].sp, tasks[t].shard, outs[t]);
+    });
 
+    std::size_t t = 0;
     for (const AddressSpace *sp : spaces_) {
         const PageTable &pt = sp->table();
         std::uint64_t spaceMapped = 0;
         std::uint64_t spacePresent = 0;
-        for (std::uint64_t r = 0; r < pt.numRegions(); ++r) {
+        for (std::uint64_t s = 0; s < pt.numShards(); ++s, ++t) {
+            ShardPteOut &o = outs[t];
+            for (AuditViolation &v : o.violations)
+                rep.violations.push_back(std::move(v));
+            rep.ptesWalked += o.ptesWalked;
+            ctx.presentFastPtes += o.presentFast;
+            ctx.presentSlowPtes += o.presentSlow;
+            for (const auto &[slot, owner] : o.slotRefs)
+                ctx.slotRefs[slot].push_back(owner);
+            for (const auto &p : o.inIoPtes)
+                ctx.inIoPtes.push_back(p);
+            spaceMapped += o.mapped;
+            spacePresent += o.present;
+        }
+
+        // Running totals vs the recount (they replaced O(regions)
+        // re-sums, so drift would silently skew every consumer).
+        if (pt.totalMapped() != spaceMapped) {
+            addViolation(rep, AuditSubsystem::Pte,
+                         "total-mapped-mismatch", sp->id(),
+                         AuditViolation::kNoVpn, kInvalidPfn,
+                         std::to_string(spaceMapped) + " (recount)",
+                         std::to_string(pt.totalMapped()));
+        }
+        if (pt.totalPresent() != spacePresent) {
+            addViolation(rep, AuditSubsystem::Pte,
+                         "total-present-mismatch", sp->id(),
+                         AuditViolation::kNoVpn, kInvalidPfn,
+                         std::to_string(spacePresent) + " (recount)",
+                         std::to_string(pt.totalPresent()));
+        }
+    }
+}
+
+void
+MmAuditor::harvestPteShard(const AddressSpace *sp, std::uint64_t shard,
+                           ShardPteOut &out) const
+{
+    const FrameTable &fast = mm_.frames();
+    const FrameTable &slow = mm_.slowFrames();
+    const SwapManager &swap = mm_.swap();
+    const ZramSwapDevice *zram = swap.zram();
+    // Violations land in a shard-local report (same addViolation
+    // helper), moved into `out` at the end.
+    AuditReport rep;
+
+    {
+        const PageTable &pt = sp->table();
+        const std::uint64_t rEnd = std::min(
+            pt.numRegions(), (shard + 1) * kRegionsPerShard);
+        for (std::uint64_t r = shard * kRegionsPerShard; r < rEnd;
+             ++r) {
             std::uint32_t mapped = 0;
             std::uint32_t present = 0;
             // Recounted bitmap words, accumulated from PTE flags during
@@ -140,7 +224,7 @@ MmAuditor::checkPtes(AuditReport &rep, WalkContext &ctx) const
                 expPresent{}, expAccessed{}, expMapped{};
             const Vpn base = r * kPtesPerRegion;
             for (Vpn vpn = base; vpn < base + kPtesPerRegion; ++vpn) {
-                const Pte &pte = pt.at(vpn);
+                const auto pte = pt.at(vpn);
                 ++rep.ptesWalked;
                 const std::uint64_t w = (vpn - base) / 64;
                 const std::uint64_t bit = 1ull << (vpn % 64);
@@ -197,7 +281,7 @@ MmAuditor::checkPtes(AuditReport &rep, WalkContext &ctx) const
                 }
 
                 if (pte.present() && !pte.slow()) {
-                    ++ctx.presentFastPtes;
+                    ++out.presentFast;
                     const Pfn pfn = pte.pfn();
                     if (pfn >= fast.totalFrames()) {
                         addViolation(rep, AuditSubsystem::Pte,
@@ -209,7 +293,7 @@ MmAuditor::checkPtes(AuditReport &rep, WalkContext &ctx) const
                                      std::to_string(pfn));
                         continue;
                     }
-                    const PageInfo &pi = fast.info(pfn);
+                    const auto pi = fast.info(pfn);
                     if (pi.free() || pi.space != sp || pi.vpn != vpn) {
                         addViolation(
                             rep, AuditSubsystem::Pte,
@@ -221,7 +305,7 @@ MmAuditor::checkPtes(AuditReport &rep, WalkContext &ctx) const
                                       : ownerString(pi.space, pi.vpn));
                     }
                 } else if (pte.present() && pte.slow()) {
-                    ++ctx.presentSlowPtes;
+                    ++out.presentSlow;
                     const Pfn pfn = pte.pfn();
                     if (pfn >= slow.totalFrames()) {
                         addViolation(rep, AuditSubsystem::SlowTier,
@@ -233,7 +317,7 @@ MmAuditor::checkPtes(AuditReport &rep, WalkContext &ctx) const
                                      std::to_string(pfn));
                         continue;
                     }
-                    const PageInfo &pi = slow.info(pfn);
+                    const auto pi = slow.info(pfn);
                     if (pi.free() || pi.space != sp || pi.vpn != vpn) {
                         addViolation(
                             rep, AuditSubsystem::SlowTier,
@@ -245,7 +329,8 @@ MmAuditor::checkPtes(AuditReport &rep, WalkContext &ctx) const
                     }
                 } else if (pte.swapped()) {
                     const SwapSlot slot = pte.swapSlot();
-                    recordSlotRef(ctx, slot, sp, vpn, "pte");
+                    out.slotRefs.emplace_back(
+                        slot, WalkContext::SlotOwner{sp, vpn, "pte"});
                     if (!swap.slotAllocated(slot)) {
                         addViolation(rep, AuditSubsystem::Swap,
                                      "swapped-slot-not-allocated",
@@ -278,7 +363,7 @@ MmAuditor::checkPtes(AuditReport &rep, WalkContext &ctx) const
                         }
                     }
                     if (pte.inIo())
-                        ctx.inIoPtes.emplace_back(sp, vpn);
+                        out.inIoPtes.emplace_back(sp, vpn);
                 }
             }
 
@@ -336,27 +421,26 @@ MmAuditor::checkPtes(AuditReport &rep, WalkContext &ctx) const
                                          : "summary bit clear",
                              pt.anyPresent(r) ? "set" : "clear");
             }
-            spaceMapped += mapped;
-            spacePresent += present;
+            out.mapped += mapped;
+            out.present += present;
         }
 
-        // Running totals vs the recount (they replaced O(regions)
-        // re-sums, so drift would silently skew every consumer).
-        if (pt.totalMapped() != spaceMapped) {
+        // Shard counters vs the recount: the coarse accounting the
+        // sharded walkers trust to size their work.
+        const ShardInfo &si = pt.shard(shard);
+        if (si.mapped != out.mapped || si.present != out.present) {
             addViolation(rep, AuditSubsystem::Pte,
-                         "total-mapped-mismatch", sp->id(),
-                         AuditViolation::kNoVpn, kInvalidPfn,
-                         std::to_string(spaceMapped) + " (recount)",
-                         std::to_string(pt.totalMapped()));
-        }
-        if (pt.totalPresent() != spacePresent) {
-            addViolation(rep, AuditSubsystem::Pte,
-                         "total-present-mismatch", sp->id(),
-                         AuditViolation::kNoVpn, kInvalidPfn,
-                         std::to_string(spacePresent) + " (recount)",
-                         std::to_string(pt.totalPresent()));
+                         "shard-counter-mismatch", sp->id(),
+                         shard * kVpnsPerShard, kInvalidPfn,
+                         "mapped=" + std::to_string(out.mapped) +
+                             " present=" + std::to_string(out.present) +
+                             " (recount)",
+                         "mapped=" + std::to_string(si.mapped) +
+                             " present=" + std::to_string(si.present));
         }
     }
+    out.violations = std::move(rep.violations);
+    out.ptesWalked = rep.ptesWalked;
 }
 
 void
@@ -377,7 +461,7 @@ MmAuditor::checkFastFrames(AuditReport &rep, WalkContext &ctx) const
     }
 
     for (Pfn pfn = 0; pfn < fast.totalFrames(); ++pfn) {
-        const PageInfo &pi = fast.info(pfn);
+        const auto pi = fast.info(pfn);
         ++rep.framesWalked;
         const bool onFreeList = freeSet.count(pfn) != 0;
         if (pi.free() != onFreeList) {
@@ -433,7 +517,7 @@ MmAuditor::checkFastFrames(AuditReport &rep, WalkContext &ctx) const
                          std::to_string(pi.vpn));
             continue;
         }
-        const Pte &pte = sp.table().at(pi.vpn);
+        const auto pte = sp.table().at(pi.vpn);
         if (pte.present() && !pte.slow() && pte.pfn() == pfn) {
             ++ctx.fastListTagged[pi.listId];
         } else if (pte.swapped() && pte.inIo()) {
@@ -489,7 +573,7 @@ MmAuditor::checkSlowTier(AuditReport &rep, WalkContext &ctx) const
                                     slow.freeList().end());
 
     for (Pfn pfn = 0; pfn < slow.totalFrames(); ++pfn) {
-        const PageInfo &pi = slow.info(pfn);
+        const auto pi = slow.info(pfn);
         ++rep.framesWalked;
         if (pi.free()) {
             if (freeSet.count(pfn) == 0) {
@@ -519,7 +603,7 @@ MmAuditor::checkSlowTier(AuditReport &rep, WalkContext &ctx) const
                          std::to_string(pi.vpn));
             continue;
         }
-        const Pte &pte = sp.table().at(pi.vpn);
+        const auto pte = sp.table().at(pi.vpn);
         if (pte.present() && pte.slow() && pte.pfn() == pfn) {
             ++ctx.slowResidentFrames;
             // Slow-tier pages are never policy-tracked; their only
@@ -598,7 +682,7 @@ MmAuditor::checkPolicy(AuditReport &rep, WalkContext &ctx) const
             std::uint64_t hops = 0;
             while (cur != kInvalidPfn &&
                    hops++ < fast.totalFrames()) {
-                const PageInfo &pi = fast.info(cur);
+                const auto pi = fast.info(cur);
                 if (pi.gen < mg->minSeq() || pi.gen > mg->maxSeq()) {
                     addViolation(rep, AuditSubsystem::Policy,
                                  "gen-out-of-range",
@@ -822,7 +906,7 @@ MmAuditor::checkWaiters(AuditReport &rep, WalkContext &ctx) const
             return; // drained entry; harmless
         if (!knownSpace(&space) || vpn >= space.table().span())
             return; // reported via the frame/PTE walks
-        const Pte &pte = space.table().at(vpn);
+        const auto pte = space.table().at(vpn);
         if (!pte.inIo()) {
             addViolation(rep, AuditSubsystem::Waiters,
                          "waiter-without-inio", space.id(), vpn,

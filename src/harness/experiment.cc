@@ -69,6 +69,7 @@ struct ScaleParams
     unsigned prIterations;
     std::uint64_t ycsbItems;
     double ycsbRequestsPerItem;
+    std::uint32_t ycsbItemBytes;
 };
 
 ScaleParams
@@ -76,11 +77,25 @@ scaleParams(ScalePreset scale)
 {
     switch (scale) {
       case ScalePreset::Small:
-        return ScaleParams{60000, 1u << 16, 1ull << 19, 3, 6000, 5.0};
+        return ScaleParams{60000, 1u << 16, 1ull << 19, 3, 6000, 5.0,
+                           1200};
+      // The Big presets size only YCSB (TPC-H/PageRank keep Default
+      // params): 16 KiB items make the slab 4 pages per item, of
+      // which a request touches the first and last — a big, sparsely
+      // referenced address space whose PTE walks dwarf the request
+      // stream, like a real 256 GiB memcached box.
+      case ScalePreset::Big1M:
+        // 256 Ki items x 16 KiB = 2^20 slab pages (4 GiB).
+        return ScaleParams{600000, 1u << 19, 1ull << 22, 8, 1ull << 18,
+                           1.0, 16384};
+      case ScalePreset::Big64M:
+        // 16 Mi items x 16 KiB = 2^26 slab pages (256 GiB).
+        return ScaleParams{600000, 1u << 19, 1ull << 22, 8, 1ull << 24,
+                           0.25, 16384};
       case ScalePreset::Default:
       default:
         return ScaleParams{600000, 1u << 19, 1ull << 22, 8, 48000,
-                           10.0};
+                           10.0, 1200};
     }
 }
 
@@ -89,7 +104,11 @@ std::shared_ptr<const PrDataset>
 cachedPrDataset(ScalePreset scale)
 {
     static std::mutex mutex;
-    static std::shared_ptr<const PrDataset> cache[2];
+    static std::shared_ptr<const PrDataset> cache[4];
+    // The Big presets reuse Default's PageRank sizing; share the slot
+    // so they never rebuild an identical dataset.
+    if (scale == ScalePreset::Big1M || scale == ScalePreset::Big64M)
+        scale = ScalePreset::Default;
     std::lock_guard<std::mutex> lock(mutex);
     auto &slot = cache[static_cast<int>(scale)];
     if (!slot) {
@@ -123,6 +142,7 @@ makeWorkload(WorkloadKind kind, ScalePreset scale)
       case WorkloadKind::YcsbC: {
         YcsbConfig config;
         config.kv.items = p.ycsbItems;
+        config.kv.itemBytes = p.ycsbItemBytes;
         config.requestsPerItem = p.ycsbRequestsPerItem;
         config.mix = kind == WorkloadKind::YcsbA   ? YcsbMix::A
                      : kind == WorkloadKind::YcsbB ? YcsbMix::B

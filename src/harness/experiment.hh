@@ -61,11 +61,21 @@ enum class WorkloadKind
 const std::vector<WorkloadKind> &allWorkloadKinds();
 const std::string &workloadKindName(WorkloadKind kind);
 
-/** Workload sizing presets (Default for benches, Small for tests). */
+/**
+ * Workload sizing presets. Default for the figure benches, Small for
+ * tests. The Big presets exist for the big-machine scaling study:
+ * they blow the YCSB slab up to a 1M- / 64M-page footprint (4 GiB /
+ * 256 GiB of simulated memory) with large multi-page items, so the
+ * page tables — not the request stream — dominate the trial. Only the
+ * YCSB workloads are sized by them; the other workloads fall back to
+ * Default sizing.
+ */
 enum class ScalePreset
 {
     Default,
     Small,
+    Big1M,
+    Big64M,
 };
 
 /** Build a workload instance (datasets cached across calls). */

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <thread>
 
+#include "sim/parallel.hh"
+
 namespace pagesim
 {
 
@@ -35,6 +37,8 @@ runSweep(const std::vector<ExperimentConfig> &cells,
         return results;
 
     unsigned workers = options.workers;
+    if (workers == 0)
+        workers = workerOverride();
     if (workers == 0) {
         // Resolved once per process: hardware_concurrency() is a
         // syscall on some libstdc++ targets, and figure benches call

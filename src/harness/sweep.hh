@@ -29,7 +29,12 @@ namespace pagesim
 /** Tunables for runSweep(). */
 struct SweepOptions
 {
-    /** Worker threads; 0 = one per hardware thread. 1 = serial. */
+    /**
+     * Worker threads; 1 = serial. 0 defers to the PAGESIM_WORKERS
+     * environment override, then to one per hardware thread. The old
+     * behavior cached hardware_concurrency() before the override
+     * could be consulted, so PAGESIM_WORKERS was silently ignored.
+     */
     unsigned workers = 0;
 };
 

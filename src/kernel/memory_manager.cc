@@ -33,7 +33,7 @@ MemoryManager::AccessOutcome
 MemoryManager::accessImpl(SimActor &actor, AddressSpace &space, Vpn vpn,
                           bool is_write, bool fd_access, CostSink &sink)
 {
-    Pte &pte = space.table().at(vpn);
+    const auto pte = space.table().at(vpn);
     assert(pte.mapped() && "access outside any VMA");
 
     if (pte.present() && pte.slow()) {
@@ -44,14 +44,14 @@ MemoryManager::accessImpl(SimActor &actor, AddressSpace &space, Vpn vpn,
         space.table().setAccessed(vpn);
         if (is_write)
             pte.setFlag(Pte::Dirty);
-        PageInfo &pi = slowFrames_.info(pte.pfn());
+        const auto pi = slowFrames_.info(pte.pfn());
         if (++pi.refs >= config_.tier.promoteThreshold)
             tryPromote(pte.pfn(), sink);
         return AccessOutcome::Hit;
     }
 
     if (pte.present()) {
-        PageInfo &pi = frames_.info(pte.pfn());
+        const auto pi = frames_.info(pte.pfn());
         if (pi.fromReadahead) {
             // First demand use of a speculative page: readahead hit.
             pi.fromReadahead = false;
@@ -322,7 +322,7 @@ MemoryManager::evictPage(Pfn pfn, CostSink &sink)
 bool
 MemoryManager::tryDemote(Pfn pfn, CostSink &sink)
 {
-    PageInfo &fast = frames_.info(pfn);
+    const auto fast = frames_.info(pfn);
     AddressSpace &space = *fast.space;
     const Vpn vpn = fast.vpn;
 
@@ -337,7 +337,7 @@ MemoryManager::tryDemote(Pfn pfn, CostSink &sink)
 
     sink.charge(config_.tier.migrateCost);
     slowFrames_.info(spfn).backing = fast.backing;
-    Pte &pte = space.table().at(vpn);
+    const auto pte = space.table().at(vpn);
     assert(pte.present());
     // The page stays mapped; it just lives behind the slow tier now
     // (present -> present, so residency bookkeeping is unchanged).
@@ -366,7 +366,7 @@ MemoryManager::evictSlowPage(CostSink &sink)
 void
 MemoryManager::tryPromote(Pfn slow_pfn, CostSink &sink)
 {
-    PageInfo &slow = slowFrames_.info(slow_pfn);
+    const auto slow = slowFrames_.info(slow_pfn);
     AddressSpace &space = *slow.space;
     const Vpn vpn = slow.vpn;
     const Pfn fast = frames_.allocate(&space, vpn, slow.file);
@@ -392,11 +392,11 @@ void
 MemoryManager::swapOutPage(FrameTable &table, Pfn pfn,
                            std::uint32_t shadow, CostSink &sink)
 {
-    PageInfo &pi = table.info(pfn);
+    const auto pi = table.info(pfn);
     assert(!pi.free());
     AddressSpace &space = *pi.space;
     const Vpn vpn = pi.vpn;
-    Pte &pte = space.table().at(vpn);
+    const auto pte = space.table().at(vpn);
     assert(pte.present() && pte.pfn() == pfn);
 
     const bool dirty = pte.dirty();
@@ -456,11 +456,11 @@ MemoryManager::finishSwapIn(AddressSpace &space, Vpn vpn, SwapSlot slot,
                             Pfn pfn, ResidencyKind kind,
                             std::uint32_t shadow, bool fd_access)
 {
-    Pte &pte = space.table().at(vpn);
+    const auto pte = space.table().at(vpn);
     assert(pte.swapped() || pte.inIo());
     space.table().mapFrame(vpn, pfn);
     pte.clearShadow();
-    PageInfo &pi = frames_.info(pfn);
+    const auto pi = frames_.info(pfn);
     // Keep the swap copy: if the page stays clean, eviction is free.
     pi.backing = slot;
     policy_.onPageResident(pfn, kind, shadow);
@@ -487,7 +487,7 @@ MemoryManager::completeWriteback(FrameTable &table, AddressSpace &space,
     --writebacksInFlight_;
     swap_.recordContents(slot, contentTag(space, vpn));
 
-    Pte &pte = space.table().at(vpn);
+    const auto pte = space.table().at(vpn);
     pte.clearFlag(Pte::InIo);
 
     const WaitKey key{&space, vpn};
@@ -509,7 +509,7 @@ MemoryManager::completeWriteback(FrameTable &table, AddressSpace &space,
             pte.setFlag(Pte::Slow);
             space.table().setAccessed(vpn);
             pte.clearShadow();
-            PageInfo &pi = table.info(pfn);
+            const auto pi = table.info(pfn);
             pi.backing = slot;
             pi.refs = 0;
             slowList_.pushFront(pfn);
@@ -521,7 +521,7 @@ MemoryManager::completeWriteback(FrameTable &table, AddressSpace &space,
         return;
     }
 
-    PageInfo &pi = table.info(pfn);
+    const auto pi = table.info(pfn);
     pi.backing = kInvalidSlot;
     table.release(pfn);
     wakeFrameWaiters();
@@ -547,7 +547,7 @@ MemoryManager::issueReadahead(AddressSpace &space, Vpn vpn)
         const Vpn v2 = vpn + i;
         if (v2 >= space.table().span())
             break;
-        Pte &p2 = space.table().at(v2);
+        const auto p2 = space.table().at(v2);
         if (!p2.mapped())
             break; // end of the VMA
         if (!p2.swapped() || p2.inIo())

@@ -77,7 +77,7 @@ class MemoryManager
     access(SimActor &actor, AddressSpace &space, Vpn vpn, bool is_write,
            CostSink &sink)
     {
-        Pte &pte = space.table().at(vpn);
+        const auto pte = space.table().at(vpn);
         if (pte.residentHot() &&
             !frames_.info(pte.pfn()).fromReadahead) {
             if (is_write)

@@ -2,11 +2,25 @@
  * @file
  * Physical frame table, per-frame metadata, and the reverse map.
  *
- * PageInfo is the analogue of struct page: it records which (address
- * space, VPN) a frame currently holds — that mapping *is* the reverse
- * map; what the policies pay for is the simulated cost of walking it —
- * plus the intrusive list linkage and the policy-owned classification
- * fields (Clock's list id, MG-LRU's generation and tier).
+ * Per-frame metadata (the analogue of struct page) is stored
+ * structure-of-arrays: one flat lane per field, indexed by PFN. The
+ * lanes record which (address space, VPN) a frame currently holds —
+ * that mapping *is* the reverse map; what the policies pay for is the
+ * simulated cost of walking it — plus the intrusive list linkage and
+ * the policy-owned classification fields (Clock's list id, MG-LRU's
+ * generation and tier).
+ *
+ * The SoA split is what lets a 64M-frame machine scan at interactive
+ * speed: an aging pass touching only `gen` streams 8 bytes per frame
+ * instead of dragging a 40+-byte struct through cache, and the
+ * allocator's reset touches each lane once. `info()` hands out
+ * PageInfoRef/PageInfoView proxies whose reference members preserve
+ * the field-access syntax of the old struct, so policy code is
+ * unchanged except for declarations.
+ *
+ * Contract: the intrusive-link lanes (prev/next/listId) may only be
+ * mutated by FrameList — pagesim-lint's mut-pageinfo rule enforces
+ * this, mirroring mut-pte for PTE flags.
  */
 
 #ifndef PAGESIM_MEM_FRAME_TABLE_HH
@@ -23,51 +37,80 @@ namespace pagesim
 
 class AddressSpace;
 
-/** Per-frame metadata ("struct page"). */
-struct PageInfo
+/**
+ * Mutable proxy over one frame's SoA lanes ("struct page" view).
+ * Members are references into FrameTable's lanes, so `pi.gen = seq`
+ * writes the lane directly; the proxy is freely copyable (copies
+ * alias the same frame).
+ */
+struct PageInfoRef
 {
     /** Owning address space; nullptr while the frame is free. */
-    AddressSpace *space = nullptr;
+    AddressSpace *&space;
     /** VPN this frame backs (valid while space != nullptr). */
-    Vpn vpn = 0;
+    Vpn &vpn;
 
     /** Intrusive list links (frame is on at most one policy list). */
-    Pfn prev = kInvalidPfn;
-    Pfn next = kInvalidPfn;
+    Pfn &prev;
+    Pfn &next;
     /** Which policy list the frame is on (policy-defined; 0 = none). */
-    std::uint8_t listId = 0;
+    std::uint8_t &listId;
 
     /** MG-LRU: absolute generation sequence number. */
-    std::uint64_t gen = 0;
+    std::uint64_t &gen;
     /** MG-LRU: tier within the generation (log2 of use count). */
-    std::uint8_t tier = 0;
-    /** File-backed page (cached from the VMA at fault time). */
-    bool file = false;
-    /** Brought in speculatively; cleared on first demand access. */
-    bool fromReadahead = false;
+    std::uint8_t &tier;
+    /** File-backed page, 0/1 (cached from the VMA at fault time). */
+    std::uint8_t &file;
+    /** Brought in speculatively, 0/1; cleared on first demand access. */
+    std::uint8_t &fromReadahead;
 
     /**
      * Swap-cache backing: slot whose contents still match this frame.
      * While valid and the PTE stays clean, eviction can drop the page
      * without writing it back (the kernel's swap-cache reuse).
      */
-    SwapSlot backing = kInvalidSlot;
+    SwapSlot &backing;
     /** Accesses observed since residency (drives MG-LRU tiers). */
-    std::uint32_t refs = 0;
+    std::uint32_t &refs;
+
+    bool free() const { return space == nullptr; }
+};
+
+/** Read-only counterpart of PageInfoRef (const FrameTable access). */
+struct PageInfoView
+{
+    AddressSpace *const &space;
+    const Vpn &vpn;
+    const Pfn &prev;
+    const Pfn &next;
+    const std::uint8_t &listId;
+    const std::uint64_t &gen;
+    const std::uint8_t &tier;
+    const std::uint8_t &file;
+    const std::uint8_t &fromReadahead;
+    const SwapSlot &backing;
+    const std::uint32_t &refs;
 
     bool free() const { return space == nullptr; }
 };
 
 /**
  * The machine's physical memory: a fixed set of frames with a free
- * list and the PageInfo array.
+ * list and the per-frame metadata lanes. The lanes are sized once at
+ * construction and never reallocate, so proxies stay valid for the
+ * table's lifetime.
  */
 class FrameTable
 {
   public:
     explicit
     FrameTable(std::uint32_t nframes)
-        : infos_(nframes)
+        : space_(nframes, nullptr), vpn_(nframes, 0),
+          prev_(nframes, kInvalidPfn), next_(nframes, kInvalidPfn),
+          listId_(nframes, 0), gen_(nframes, 0), tier_(nframes, 0),
+          file_(nframes, 0), fromReadahead_(nframes, 0),
+          backing_(nframes, kInvalidSlot), refs_(nframes, 0)
     {
         freeList_.reserve(nframes);
         // Allocate ascending: push in reverse so pop_back yields pfn 0
@@ -78,7 +121,7 @@ class FrameTable
 
     std::uint32_t totalFrames() const
     {
-        return static_cast<std::uint32_t>(infos_.size());
+        return static_cast<std::uint32_t>(space_.size());
     }
 
     std::uint32_t freeFrames() const
@@ -99,12 +142,8 @@ class FrameTable
             return kInvalidPfn;
         const Pfn pfn = freeList_.back();
         freeList_.pop_back();
-        PageInfo &pi = infos_[pfn];
-        assert(pi.free());
-        // Aggregate reset: every field not named here gets its
-        // in-class default, so a future PageInfo field can never leak
-        // stale state from the frame's previous tenant.
-        pi = PageInfo{.space = space, .vpn = vpn, .file = file};
+        assert(space_[pfn] == nullptr);
+        resetLanes(pfn, space, vpn, file);
         return pfn;
     }
 
@@ -112,25 +151,32 @@ class FrameTable
     void
     release(Pfn pfn)
     {
-        PageInfo &pi = infos_[pfn];
-        assert(!pi.free());
-        assert(pi.listId == 0 && "frame still on a policy list");
-        pi.space = nullptr;
+        assert(space_[pfn] != nullptr);
+        assert(listId_[pfn] == 0 && "frame still on a policy list");
+        space_[pfn] = nullptr;
         freeList_.push_back(pfn);
     }
 
-    PageInfo &
+    PageInfoRef
     info(Pfn pfn)
     {
-        assert(pfn < infos_.size());
-        return infos_[pfn];
+        assert(pfn < space_.size());
+        return PageInfoRef{space_[pfn],   vpn_[pfn],  prev_[pfn],
+                           next_[pfn],    listId_[pfn], gen_[pfn],
+                           tier_[pfn],    file_[pfn],
+                           fromReadahead_[pfn], backing_[pfn],
+                           refs_[pfn]};
     }
 
-    const PageInfo &
+    PageInfoView
     info(Pfn pfn) const
     {
-        assert(pfn < infos_.size());
-        return infos_[pfn];
+        assert(pfn < space_.size());
+        return PageInfoView{space_[pfn],   vpn_[pfn],  prev_[pfn],
+                            next_[pfn],    listId_[pfn], gen_[pfn],
+                            tier_[pfn],    file_[pfn],
+                            fromReadahead_[pfn], backing_[pfn],
+                            refs_[pfn]};
     }
 
     /**
@@ -139,24 +185,57 @@ class FrameTable
      * chase is charged separately by whoever walks it (see
      * MmCosts::rmapWalk).
      */
-    const PageInfo &rmap(Pfn pfn) const { return info(pfn); }
+    PageInfoView rmap(Pfn pfn) const { return info(pfn); }
 
     /** Audit hook: the raw free list (order is allocator policy). */
     const std::vector<Pfn> &freeList() const { return freeList_; }
 
   private:
-    std::vector<PageInfo> infos_;
+    /**
+     * Reset every lane of @p pfn for a new tenant — the SoA
+     * equivalent of the old aggregate `pi = PageInfo{...}` reset.
+     * Keep in lockstep with the lane members: a lane missing here
+     * would leak state from the frame's previous tenant.
+     */
+    void
+    resetLanes(Pfn pfn, AddressSpace *space, Vpn vpn, bool file)
+    {
+        space_[pfn] = space;
+        vpn_[pfn] = vpn;
+        prev_[pfn] = kInvalidPfn;
+        next_[pfn] = kInvalidPfn;
+        listId_[pfn] = 0;
+        gen_[pfn] = 0;
+        tier_[pfn] = 0;
+        file_[pfn] = file ? 1 : 0;
+        fromReadahead_[pfn] = 0;
+        backing_[pfn] = kInvalidSlot;
+        refs_[pfn] = 0;
+    }
+
+    /** Per-frame metadata lanes (structure-of-arrays, PFN-indexed). */
+    std::vector<AddressSpace *> space_;
+    std::vector<Vpn> vpn_;
+    std::vector<Pfn> prev_;
+    std::vector<Pfn> next_;
+    std::vector<std::uint8_t> listId_;
+    std::vector<std::uint64_t> gen_;
+    std::vector<std::uint8_t> tier_;
+    std::vector<std::uint8_t> file_;
+    std::vector<std::uint8_t> fromReadahead_;
+    std::vector<SwapSlot> backing_;
+    std::vector<std::uint32_t> refs_;
     std::vector<Pfn> freeList_;
 };
 
 /**
  * Intrusive doubly-linked list over frames.
  *
- * Uses PageInfo::prev/next, so membership moves are O(1) — the property
- * the paper leans on when arguing generation-count increases are cheap
- * ("moving page metadata between generation lists is an O(1) operation",
- * Sec. V-B). A frame may be on at most one FrameList; the @p list_id
- * tags membership for debugging and policy queries.
+ * Uses the prev/next/listId lanes, so membership moves are O(1) — the
+ * property the paper leans on when arguing generation-count increases
+ * are cheap ("moving page metadata between generation lists is an O(1)
+ * operation", Sec. V-B). A frame may be on at most one FrameList; the
+ * @p list_id tags membership for debugging and policy queries.
  */
 class FrameList
 {
@@ -177,7 +256,7 @@ class FrameList
     void
     pushFront(Pfn pfn)
     {
-        PageInfo &pi = frames_->info(pfn);
+        const PageInfoRef pi = frames_->info(pfn);
         assert(pi.listId == 0);
         pi.listId = listId_;
         pi.prev = kInvalidPfn;
@@ -194,7 +273,7 @@ class FrameList
     void
     pushBack(Pfn pfn)
     {
-        PageInfo &pi = frames_->info(pfn);
+        const PageInfoRef pi = frames_->info(pfn);
         assert(pi.listId == 0);
         pi.listId = listId_;
         pi.next = kInvalidPfn;
@@ -211,7 +290,7 @@ class FrameList
     void
     remove(Pfn pfn)
     {
-        PageInfo &pi = frames_->info(pfn);
+        const PageInfoRef pi = frames_->info(pfn);
         assert(pi.listId == listId_);
         if (pi.prev != kInvalidPfn)
             frames_->info(pi.prev).next = pi.next;
@@ -288,7 +367,7 @@ class FrameList
                 wc.firstBad = cur;
                 return wc;
             }
-            const PageInfo &pi = frames_->info(cur);
+            const PageInfoRef pi = frames_->info(cur);
             if (pi.listId != listId_ || pi.prev != prev) {
                 wc.linksOk = false;
                 wc.firstBad = cur;

@@ -2,32 +2,43 @@
  * @file
  * Region-structured page table with word-at-a-time flag bitmaps.
  *
- * The table is a flat array of PTEs grouped into regions (one leaf
- * page-table page each). MG-LRU's aging path walks this structure
- * linearly, which is exactly the locality advantage the paper describes
- * over Clock's per-page rmap walks; the region is also the granularity
- * of the Bloom filter. Per-region counters (mapped/present) let walkers
- * skip empty regions the way the real walker skips holes.
+ * PTE state is stored structure-of-arrays: three parallel lanes (value
+ * word, shadow word, flag byte) indexed by VPN, grouped into regions
+ * (one leaf page-table page each). MG-LRU's aging path walks this
+ * structure linearly, which is exactly the locality advantage the paper
+ * describes over Clock's per-page rmap walks; the region is also the
+ * granularity of the Bloom filter. Per-region counters (mapped/present)
+ * let walkers skip empty regions the way the real walker skips holes.
+ * `at()` hands out PteRef/PteView proxies, so call sites keep the
+ * member-function syntax of the old array-of-structs Pte.
  *
- * Alongside the PTE array the table maintains three per-region bitmaps
+ * Alongside the PTE lanes the table maintains three per-region bitmaps
  * (kPtesPerRegion bits each, packed into 64-bit words): `present`,
  * `accessed`, and `mapped`, each bit mirroring the same-named flag of
  * its PTE. They exist purely for host speed — the scan hot paths
  * (MG-LRU aging, eviction-side neighbor scans, the resident-hit fast
  * path) consume whole words with countr_zero instead of touching one
- * Pte struct per slot, so a region whose `present & accessed` word is
+ * PTE record per slot, so a region whose `present & accessed` word is
  * zero costs zero PTE loads. A coarse summary bitmap (one bit per
  * region: "any PTE present") lets walkers skip empty stretches of the
  * address space in word-sized jumps.
  *
+ * Regions are further grouped into fixed shards (kRegionsPerShard)
+ * carrying coarse mapped/present counters. Shards are the unit of
+ * parallel harvesting: a worker owning a shard touches only that
+ * shard's bitmap words and flag bytes, so disjoint shards can be
+ * scanned concurrently without synchronization, and the auditor can
+ * cross-check shard totals without walking the whole table serially.
+ *
  * Coherence rule: every mutation of a Present/Accessed/Mapped PTE flag
  * must go through the tracked mutators below (mapFrame, unmapToSwap,
- * setAccessed, testAndClearAccessed, ...), never through Pte::setFlag
- * directly — that is what keeps the bitmaps, the per-region counters,
- * the summary words, and the running totals in lockstep. MmAuditor
- * cross-checks all four against the PTE flags on every audit pass.
- * Untracked flags (Dirty, InIo, Slow, File, shadow words) may still be
- * flipped on the Pte directly.
+ * setAccessed, testAndClearAccessed, harvestYoungWord, ...), never
+ * through PteRef::setFlag directly — that is what keeps the bitmaps,
+ * the per-region counters, the shard counters, the summary words, and
+ * the running totals in lockstep. MmAuditor cross-checks all of them
+ * against the PTE flags on every audit pass. Untracked flags (Dirty,
+ * InIo, Slow, File, shadow words) may still be flipped on the proxy
+ * directly.
  */
 
 #ifndef PAGESIM_MEM_PAGE_TABLE_HH
@@ -51,6 +62,13 @@ struct RegionInfo
     std::uint32_t present = 0;  ///< resident PTEs
 };
 
+/** Per-shard bookkeeping (kRegionsPerShard regions per shard). */
+struct ShardInfo
+{
+    std::uint64_t mapped = 0;  ///< PTEs inside a VMA
+    std::uint64_t present = 0; ///< resident PTEs
+};
+
 /** A single address space's page table. */
 class PageTable
 {
@@ -65,6 +83,9 @@ class PageTable
     /** Number of regions the table currently spans. */
     std::uint64_t numRegions() const { return regions_.size(); }
 
+    /** Number of shards the table currently spans. */
+    std::uint64_t numShards() const { return shards_.size(); }
+
     /** Total VPN span (regions * kPtesPerRegion). */
     std::uint64_t span() const { return regions_.size() * kPtesPerRegion; }
 
@@ -75,8 +96,13 @@ class PageTable
         const std::uint64_t need =
             (vpn_end + kPtesPerRegion - 1) / kPtesPerRegion;
         if (need > regions_.size()) {
-            ptes_.resize(need * kPtesPerRegion);
+            const std::uint64_t slots = need * kPtesPerRegion;
+            pteValue_.resize(slots);
+            pteShadow_.resize(slots);
+            pteFlags_.resize(slots);
             regions_.resize(need);
+            shards_.resize((need + kRegionsPerShard - 1) /
+                           kRegionsPerShard);
             const std::uint64_t words = need * kWordsPerRegion;
             presentBits_.resize(words);
             accessedBits_.resize(words);
@@ -85,18 +111,18 @@ class PageTable
         }
     }
 
-    Pte &
+    PteRef
     at(Vpn vpn)
     {
-        assert(vpn < ptes_.size());
-        return ptes_[vpn];
+        assert(vpn < pteFlags_.size());
+        return PteRef(pteValue_[vpn], pteShadow_[vpn], pteFlags_[vpn]);
     }
 
-    const Pte &
+    PteView
     at(Vpn vpn) const
     {
-        assert(vpn < ptes_.size());
-        return ptes_[vpn];
+        assert(vpn < pteFlags_.size());
+        return PteView(pteValue_[vpn], pteShadow_[vpn], pteFlags_[vpn]);
     }
 
     RegionInfo &
@@ -111,6 +137,14 @@ class PageTable
     {
         assert(r < regions_.size());
         return regions_[r];
+    }
+
+    /** Shard @p s's coarse counters. */
+    const ShardInfo &
+    shard(std::uint64_t s) const
+    {
+        assert(s < shards_.size());
+        return shards_[s];
     }
 
     // ---- Word-at-a-time bitmap views (scan hot paths) ---------------
@@ -169,7 +203,7 @@ class PageTable
 
     /**
      * Clear the bits of @p mask in region @p r's accessed word @p w
-     * (bitmap side only). The caller owns the matching Pte flag
+     * (bitmap side only). The caller owns the matching PTE flag
      * fixups — this is the word-store half of the aging scan's
      * "word-store plus per-PTE fixup" clearing.
      */
@@ -180,19 +214,49 @@ class PageTable
         accessedBits_[r * kWordsPerRegion + w] &= ~mask;
     }
 
+    /**
+     * Aging-harvest primitive: return the present&accessed mask of
+     * bitmap word @p wi and clear those accessed bits, both in the
+     * bitmap word and in the affected PTE flag bytes — the fused
+     * tracked-mutator form of accessedWord + clearAccessedBits +
+     * per-PTE testAndClearAccessed.
+     *
+     * Safe to call concurrently for DISTINCT words: it reads and
+     * writes only word @p wi of the accessed bitmap plus the flag
+     * bytes of that word's own 64 PTEs, so workers harvesting
+     * disjoint shards never touch the same memory location.
+     */
+    std::uint64_t
+    harvestYoungWord(std::uint64_t wi)
+    {
+        const std::uint64_t young = accessedBits_[wi] & presentBits_[wi];
+        if (young == 0)
+            return 0;
+        accessedBits_[wi] &= ~young;
+        const Vpn base = wi * 64;
+        for (std::uint64_t m = young; m != 0; m &= m - 1) {
+            const auto bit =
+                static_cast<std::uint64_t>(std::countr_zero(m));
+            pteFlags_[base + bit] &=
+                static_cast<std::uint8_t>(~Pte::Accessed);
+        }
+        return young;
+    }
+
     // ---- Tracked mutators (keep bitmaps in lockstep) ----------------
 
     /** Mark @p vpn as belonging to a VMA (called by AddressSpace). */
     void
     markMapped(Vpn vpn, bool file)
     {
-        Pte &pte = at(vpn);
+        const PteRef pte = at(vpn);
         assert(!pte.mapped());
         pte.setFlag(Pte::Mapped);
         if (file)
             pte.setFlag(Pte::File);
         mappedBits_[vpn / 64] |= bitOf(vpn);
         ++regions_[regionOf(vpn)].mapped;
+        ++shards_[vpn / kVpnsPerShard].mapped;
         ++totalMapped_;
     }
 
@@ -233,7 +297,7 @@ class PageTable
     void
     mapFrame(Vpn vpn, Pfn pfn)
     {
-        Pte &pte = at(vpn);
+        const PteRef pte = at(vpn);
         const bool was = pte.present();
         pte.mapFrame(pfn);
         if (!was)
@@ -244,7 +308,7 @@ class PageTable
     void
     unmapToSwap(Vpn vpn, SwapSlot slot, std::uint32_t shadow)
     {
-        Pte &pte = at(vpn);
+        const PteRef pte = at(vpn);
         assert(pte.present());
         pte.unmapToSwap(slot, shadow);
         noteNotPresent(vpn);
@@ -254,7 +318,7 @@ class PageTable
     void
     unmapDiscard(Vpn vpn, std::uint32_t shadow)
     {
-        Pte &pte = at(vpn);
+        const PteRef pte = at(vpn);
         assert(pte.present());
         pte.unmapDiscard(shadow);
         noteNotPresent(vpn);
@@ -275,6 +339,7 @@ class PageTable
         presentBits_[vpn / 64] |= bitOf(vpn);
         const std::uint64_t r = regionOf(vpn);
         ++regions_[r].present;
+        ++shards_[shardOf(r)].present;
         presentSummary_[r / 64] |= 1ull << (r % 64);
         ++totalPresent_;
     }
@@ -289,12 +354,19 @@ class PageTable
         assert(ri.present > 0);
         if (--ri.present == 0)
             presentSummary_[r / 64] &= ~(1ull << (r % 64));
+        ShardInfo &si = shards_[shardOf(r)];
+        assert(si.present > 0);
+        --si.present;
         assert(totalPresent_ > 0);
         --totalPresent_;
     }
 
-    std::vector<Pte> ptes_;
+    /** PTE lanes, one entry per VPN (structure-of-arrays). */
+    std::vector<std::uint32_t> pteValue_;
+    std::vector<std::uint32_t> pteShadow_;
+    std::vector<std::uint8_t> pteFlags_;
     std::vector<RegionInfo> regions_;
+    std::vector<ShardInfo> shards_;
     /** Flat bitmaps, one bit per PTE (index vpn/64). */
     std::vector<std::uint64_t> presentBits_;
     std::vector<std::uint64_t> accessedBits_;

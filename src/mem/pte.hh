@@ -128,6 +128,166 @@ class Pte
     std::uint8_t flags_ = 0;
 };
 
+/**
+ * Read-only view of one PTE stored structure-of-arrays.
+ *
+ * PageTable keeps PTE state in three parallel lanes (value, shadow,
+ * flag byte) so scans stream one lane without dragging the others
+ * through cache; PteView binds const references into those lanes and
+ * mirrors Pte's accessors, so call sites written against `const Pte &`
+ * only change their declaration to `auto`.
+ */
+class PteView
+{
+  public:
+    PteView(const std::uint32_t &value, const std::uint32_t &shadow,
+            const std::uint8_t &flags)
+        : value_(value), shadow_(shadow), flags_(flags)
+    {
+    }
+
+    bool slow() const { return flags_ & Pte::Slow; }
+    bool present() const { return flags_ & Pte::Present; }
+
+    /** See Pte::residentHot(). */
+    bool
+    residentHot() const
+    {
+        return (flags_ & (Pte::Present | Pte::Accessed | Pte::Slow)) ==
+               (Pte::Present | Pte::Accessed);
+    }
+
+    bool accessed() const { return flags_ & Pte::Accessed; }
+    bool dirty() const { return flags_ & Pte::Dirty; }
+    bool swapped() const { return flags_ & Pte::Swapped; }
+    bool mapped() const { return flags_ & Pte::Mapped; }
+    bool file() const { return flags_ & Pte::File; }
+    bool inIo() const { return flags_ & Pte::InIo; }
+
+    /** Physical frame; only meaningful while present(). */
+    Pfn pfn() const { return value_; }
+
+    /** Swap slot; only meaningful while swapped(). */
+    SwapSlot swapSlot() const { return value_; }
+
+    /** Eviction shadow stored at last unmap (0 = none). */
+    std::uint32_t shadow() const { return shadow_; }
+
+  private:
+    const std::uint32_t &value_;
+    const std::uint32_t &shadow_;
+    const std::uint8_t &flags_;
+};
+
+/**
+ * Mutable proxy for one SoA-stored PTE, mirroring Pte's full method
+ * set. Member functions are const-qualified because the proxy itself
+ * is a value (often a temporary: `table.at(vpn).setFlag(...)`) while
+ * the referenced lanes are mutable — standard proxy semantics.
+ *
+ * The tracked-mutator contract is unchanged: Present/Accessed/Mapped
+ * bits still may only change through PageTable's tracked mutators,
+ * which now route through this proxy internally.
+ */
+class PteRef
+{
+  public:
+    PteRef(std::uint32_t &value, std::uint32_t &shadow,
+           std::uint8_t &flags)
+        : value_(value), shadow_(shadow), flags_(flags)
+    {
+    }
+
+    /** PteRef decays to PteView wherever a read-only PTE is wanted. */
+    operator PteView() const { return PteView(value_, shadow_, flags_); }
+
+    bool slow() const { return flags_ & Pte::Slow; }
+    bool present() const { return flags_ & Pte::Present; }
+
+    /** See Pte::residentHot(). */
+    bool
+    residentHot() const
+    {
+        return (flags_ & (Pte::Present | Pte::Accessed | Pte::Slow)) ==
+               (Pte::Present | Pte::Accessed);
+    }
+
+    bool accessed() const { return flags_ & Pte::Accessed; }
+    bool dirty() const { return flags_ & Pte::Dirty; }
+    bool swapped() const { return flags_ & Pte::Swapped; }
+    bool mapped() const { return flags_ & Pte::Mapped; }
+    bool file() const { return flags_ & Pte::File; }
+    bool inIo() const { return flags_ & Pte::InIo; }
+
+    void setFlag(Pte::Flags f) const { flags_ |= f; }
+
+    void
+    clearFlag(Pte::Flags f) const
+    {
+        flags_ &= static_cast<std::uint8_t>(~f);
+    }
+
+    /** See Pte::testAndClearAccessed(). @return the prior value. */
+    bool
+    testAndClearAccessed() const
+    {
+        const bool was = accessed();
+        clearFlag(Pte::Accessed);
+        return was;
+    }
+
+    /** Physical frame; only meaningful while present(). */
+    Pfn pfn() const { return value_; }
+
+    /** Swap slot; only meaningful while swapped(). */
+    SwapSlot swapSlot() const { return value_; }
+
+    /** Transition: not-present -> present (fast tier) at @p pfn. */
+    void
+    mapFrame(Pfn pfn) const
+    {
+        value_ = pfn;
+        setFlag(Pte::Present);
+        clearFlag(Pte::Swapped);
+        clearFlag(Pte::InIo);
+        clearFlag(Pte::Slow);
+    }
+
+    /** Transition: present -> swapped at @p slot with @p shadow. */
+    void
+    unmapToSwap(SwapSlot slot, std::uint32_t shadow) const
+    {
+        value_ = slot;
+        shadow_ = shadow;
+        clearFlag(Pte::Present);
+        clearFlag(Pte::Accessed);
+        clearFlag(Pte::Dirty);
+        clearFlag(Pte::Slow);
+        setFlag(Pte::Swapped);
+    }
+
+    /** Transition: present -> empty (page discarded, e.g. clean drop). */
+    void
+    unmapDiscard(std::uint32_t shadow) const
+    {
+        value_ = 0;
+        shadow_ = shadow;
+        clearFlag(Pte::Present);
+        clearFlag(Pte::Accessed);
+        clearFlag(Pte::Dirty);
+        clearFlag(Pte::Swapped);
+    }
+
+    /** Eviction shadow stored at last unmap (0 = none). */
+    std::uint32_t shadow() const { return shadow_; }
+    void clearShadow() const { shadow_ = 0; }
+
+  private:
+    std::uint32_t &value_;
+    std::uint32_t &shadow_;
+    std::uint8_t &flags_;
+};
+
 } // namespace pagesim
 
 #endif // PAGESIM_MEM_PTE_HH

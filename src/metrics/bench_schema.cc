@@ -189,6 +189,33 @@ validateBenchCore(const std::string &json_text)
                        "full_sampler_overhead_pct");
     }
 
+    if (const JsonValue *big = c.object(doc, "", "big_machine")) {
+        c.positiveNumber(*big, "big_machine", "pages");
+        if (const JsonValue *scan =
+                c.object(*big, "big_machine", "scan")) {
+            c.positiveNumber(*scan, "big_machine.scan", "workers");
+            c.positiveNumber(*scan, "big_machine.scan", "passes");
+            c.throughputPair(*scan, "big_machine.scan",
+                             "serial_ptes_per_sec",
+                             "sharded_ptes_per_sec");
+        }
+        if (const JsonValue *trial =
+                c.object(*big, "big_machine", "trial")) {
+            c.nonEmptyString(*trial, "big_machine.trial", "cell");
+            c.nonEmptyString(*trial, "big_machine.trial", "scale");
+            c.positiveNumber(*trial, "big_machine.trial",
+                             "wall_seconds");
+            c.positiveNumber(*trial, "big_machine.trial",
+                             "faults_per_sec");
+        }
+        // Serial and sharded scans of the same machine must report
+        // identical TrialResult fingerprints; a divergent document
+        // is invalid, not merely slow.
+        const bool required = true;
+        c.boolean(*big, "big_machine", "fingerprint_identity",
+                  &required);
+    }
+
     if (const JsonValue *sweep = c.object(doc, "", "sweep")) {
         c.positiveNumber(*sweep, "sweep", "cells");
         c.positiveNumber(*sweep, "sweep", "trials_per_cell");

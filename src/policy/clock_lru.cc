@@ -33,7 +33,7 @@ ClockLru::checkAccessedViaRmap(Pfn pfn, CostSink &costs)
     costs.charge(costs_.rmapWalk);
     ++stats_.rmapWalks;
     ++stats_.ptesScanned;
-    PageInfo &pi = frames_.info(pfn);
+    const auto pi = frames_.info(pfn);
     assert(pi.space != nullptr);
     return pi.space->table().testAndClearAccessed(pi.vpn);
 }
@@ -90,7 +90,7 @@ ClockLru::onPageResident(Pfn pfn, ResidencyKind kind,
 std::uint32_t
 ClockLru::onPageRemoved(Pfn pfn)
 {
-    PageInfo &pi = frames_.info(pfn);
+    const auto pi = frames_.info(pfn);
     if (pi.listId == kActiveList)
         active_.remove(pfn);
     else if (pi.listId == kInactiveList)

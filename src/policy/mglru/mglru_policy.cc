@@ -5,6 +5,7 @@
 #include <cassert>
 
 #include "metrics/sampler.hh"
+#include "sim/parallel.hh"
 
 namespace pagesim
 {
@@ -58,6 +59,10 @@ MgLruPolicy::MgLruPolicy(FrameTable &frames,
     gens_.reserve(config_.maxNrGens);
     for (std::uint32_t i = 0; i < config_.maxNrGens; ++i)
         gens_.emplace_back(frames_, kGenList);
+    if (config_.scanWorkers != 0)
+        scanWorkers_ = config_.scanWorkers;
+    else if (workerOverride() != 0)
+        scanWorkers_ = workerOverride();
 }
 
 FrameList &
@@ -87,7 +92,7 @@ MgLruPolicy::regionKey(const AddressSpace &space,
 }
 
 void
-MgLruPolicy::updateTier(PageInfo &pi)
+MgLruPolicy::updateTier(PageInfoRef pi)
 {
     if (!pi.file) {
         pi.tier = 0;
@@ -103,7 +108,7 @@ MgLruPolicy::updateTier(PageInfo &pi)
 void
 MgLruPolicy::promoteTo(Pfn pfn, std::uint64_t seq)
 {
-    PageInfo &pi = frames_.info(pfn);
+    const auto pi = frames_.info(pfn);
     assert(pi.listId == kGenList);
     genList(pi.gen).remove(pfn);
     pi.gen = seq;
@@ -114,7 +119,7 @@ void
 MgLruPolicy::onPageResident(Pfn pfn, ResidencyKind kind,
                             std::uint32_t shadow)
 {
-    PageInfo &pi = frames_.info(pfn);
+    const auto pi = frames_.info(pfn);
     assert(pi.listId == 0);
     std::uint64_t seq;
     switch (kind) {
@@ -169,7 +174,7 @@ MgLruPolicy::onPageResident(Pfn pfn, ResidencyKind kind,
 std::uint32_t
 MgLruPolicy::onPageRemoved(Pfn pfn)
 {
-    PageInfo &pi = frames_.info(pfn);
+    const auto pi = frames_.info(pfn);
     if (pi.listId == kGenList) {
         genList(pi.gen).remove(pfn);
         assert(resident_ > 0);
@@ -200,11 +205,11 @@ MgLruPolicy::shouldScanRegion(std::uint64_t key, CostSink &costs)
 }
 
 void
-MgLruPolicy::visitYoungPte(const Pte &pte, std::uint64_t promote_seq,
+MgLruPolicy::visitYoungPte(PteView pte, std::uint64_t promote_seq,
                            CostSink &costs)
 {
     const Pfn pfn = pte.pfn();
-    PageInfo &pi = frames_.info(pfn);
+    const auto pi = frames_.info(pfn);
     if (pi.listId != kGenList)
         return; // in flight (being evicted); leave it alone
     ++pi.refs;
@@ -240,7 +245,7 @@ MgLruPolicy::scanRegion(AddressSpace &space, std::uint64_t region,
         // pre-bitmap loop. Kept selectable so differential tests can
         // prove the word path below is behavior-identical.
         for (Vpn v = base; v < base + kPtesPerRegion; ++v) {
-            Pte &pte = table.at(v);
+            const auto pte = table.at(v);
             if (!pte.present())
                 continue;
             if (!table.testAndClearAccessed(v))
@@ -267,7 +272,7 @@ MgLruPolicy::scanRegion(AddressSpace &space, std::uint64_t region,
                 const auto bit = static_cast<unsigned>(
                     std::countr_zero(hot));
                 hot &= hot - 1;
-                Pte &pte = table.at(wbase + bit);
+                const auto pte = table.at(wbase + bit);
                 // lint:pte-direct-ok(clearAccessedBits above already
                 // reconciled the bitmap word and region counters for
                 // this whole word; this per-bit store only mirrors it
@@ -347,6 +352,9 @@ MgLruPolicy::ageStep(CostSink &costs, std::uint32_t region_budget)
         return true;
     }
 
+    if (useShardedScan())
+        return ageStepSharded(costs, region_budget);
+
     // The per-region visit charge is truncated per region (matching
     // the per-slot reference), then multiplied for batched skips —
     // never cast(n * cost), which would round differently.
@@ -389,6 +397,156 @@ MgLruPolicy::ageStep(CostSink &costs, std::uint32_t region_budget)
                 continue;
             }
             scanRegion(space, r, walk_.promoteSeq, costs);
+        }
+        ++walk_.spaceIdx;
+        walk_.region = 0;
+    }
+    finishWalk();
+    return true;
+}
+
+bool
+MgLruPolicy::useShardedScan() const
+{
+    // Random mode draws the RNG once per present region, in walk
+    // order — state the order-free harvest cannot reproduce. The
+    // reference scan exists precisely to pin the legacy loop.
+    return config_.shardedScan && !config_.referenceScan &&
+           config_.scanMode != ScanMode::Random;
+}
+
+void
+MgLruPolicy::harvestChunk(PageTable &table, const AddressSpace &space,
+                          const ScanChunk &chunk,
+                          const RegionBloomFilter *filter,
+                          ChunkHarvest &out) const
+{
+    // Runs concurrently with other chunks' harvests. Reads bitmap
+    // words and the (frozen) active Bloom filter; its only writes are
+    // harvestYoungWord's accessed-bit clears, confined to this
+    // chunk's own words and flag bytes. No policy state is touched —
+    // that all happens in the serial apply loop.
+    const std::uint64_t end = chunk.firstRegion + chunk.numRegions;
+    for (std::uint64_t r = chunk.firstRegion; r < end; ++r) {
+        if (!table.anyPresent(r)) {
+            ++out.empty;
+            continue;
+        }
+        ++out.present;
+        if (filter != nullptr &&
+            !filter->maybeContains(regionKey(space, r))) {
+            ++out.rejected;
+            continue;
+        }
+        ++out.scanned;
+        std::uint64_t young = 0;
+        for (std::uint64_t w = 0; w < PageTable::kWordsPerRegion; ++w) {
+            std::uint64_t mask = table.harvestYoungWord(
+                r * PageTable::kWordsPerRegion + w);
+            if (mask == 0)
+                continue;
+            young += static_cast<std::uint64_t>(std::popcount(mask));
+            const Vpn wbase = regionBase(r) + w * 64;
+            do {
+                out.youngVpns.push_back(
+                    wbase + static_cast<std::uint64_t>(
+                                std::countr_zero(mask)));
+                mask &= mask - 1;
+            } while (mask != 0);
+        }
+        out.young += young;
+        if (young >= config_.youngDensityThreshold)
+            out.bloomKeys.push_back(regionKey(space, r));
+    }
+}
+
+bool
+MgLruPolicy::ageStepSharded(CostSink &costs,
+                            std::uint32_t region_budget)
+{
+    // Same per-region charge quantities as the legacy loop: each
+    // truncated once from double, then multiplied by integer counts
+    // (CostSink::charge is a plain sum, so count * cost == the legacy
+    // per-region accumulation bit for bit).
+    const double ws = costs_.walkScale;
+    const auto regionVisitCost = static_cast<SimDuration>(
+        ws * static_cast<double>(costs_.regionVisit));
+    const auto pteScanCost = static_cast<SimDuration>(
+        ws * static_cast<double>(costs_.pteScan * kPtesPerRegion));
+    const auto youngClearCost = static_cast<SimDuration>(
+        ws * static_cast<double>(costs_.youngClear));
+    const bool bloom = config_.scanMode == ScanMode::Bloom;
+    // The active filter is frozen for the whole pass (inserts go to
+    // the inactive one), so concurrent reads are safe.
+    const RegionBloomFilter *filter =
+        (bloom && filterWarm_) ? &filters_[activeFilter_] : nullptr;
+
+    std::uint64_t visited = 0;
+    while (walk_.spaceIdx < spaces_.size()) {
+        AddressSpace &space = *spaces_[walk_.spaceIdx];
+        PageTable &table = space.table();
+        const std::uint64_t nr = table.numRegions();
+        while (walk_.region < nr) {
+            if (visited >= region_budget)
+                return false; // pass continues on the next slice
+            // Every region costs exactly one budget unit in the
+            // legacy loop too (empty-run batching included), so the
+            // slice boundary is content-independent.
+            const std::uint64_t take = std::min<std::uint64_t>(
+                nr - walk_.region, region_budget - visited);
+
+            // Split [region, region + take) at shard boundaries.
+            chunkScratch_.clear();
+            for (std::uint64_t r = walk_.region, left = take;
+                 left > 0;) {
+                const std::uint64_t n = std::min(
+                    kRegionsPerShard - r % kRegionsPerShard, left);
+                chunkScratch_.push_back(ScanChunk{r, n});
+                r += n;
+                left -= n;
+            }
+            harvestScratch_.assign(chunkScratch_.size(),
+                                   ChunkHarvest{});
+
+            // Parallel harvest: chunks claim slots atomically but
+            // write disjoint output, so completion order is
+            // unobservable.
+            parallelFor(scanWorkers_, chunkScratch_.size(),
+                        [&](std::size_t ci) {
+                            harvestChunk(table, space,
+                                         chunkScratch_[ci], filter,
+                                         harvestScratch_[ci]);
+                        });
+
+            // Serial apply in ascending chunk (= region) order: the
+            // only order-sensitive state is generation-list pushFront
+            // order, replayed here exactly as the legacy walk would.
+            for (std::size_t ci = 0; ci < chunkScratch_.size(); ++ci) {
+                const ScanChunk &ch = chunkScratch_[ci];
+                const ChunkHarvest &h = harvestScratch_[ci];
+                costs.charge(regionVisitCost *
+                             static_cast<SimDuration>(ch.numRegions));
+                stats_.regionsVisited += ch.numRegions;
+                stats_.regionsSkipped += h.empty + h.rejected;
+                if (bloom)
+                    costs.charge(costs_.bloomOp *
+                                 static_cast<SimDuration>(h.present));
+                costs.charge(pteScanCost *
+                             static_cast<SimDuration>(h.scanned));
+                stats_.ptesScanned += h.scanned * kPtesPerRegion;
+                costs.charge(youngClearCost *
+                             static_cast<SimDuration>(h.young));
+                for (const Vpn v : h.youngVpns)
+                    visitYoungPte(table.at(v), walk_.promoteSeq,
+                                  costs);
+                for (const std::uint64_t key : h.bloomKeys) {
+                    filters_[1 - activeFilter_].add(key);
+                    costs.charge(costs_.bloomOp);
+                    ++mgStats_.bloomInsertions;
+                }
+            }
+            walk_.region += take;
+            visited += take;
         }
         ++walk_.spaceIdx;
         walk_.region = 0;
@@ -462,7 +620,7 @@ MgLruPolicy::selectVictims(std::vector<Pfn> &out, std::size_t max,
             break;
 
         const Pfn pfn = oldest.popBack();
-        PageInfo &pi = frames_.info(pfn);
+        const auto pi = frames_.info(pfn);
         // Like Clock, eviction resolves the page's PTE via the rmap.
         costs.charge(costs_.rmapWalk);
         ++stats_.rmapWalks;
@@ -516,7 +674,7 @@ MgLruPolicy::selectVictims(std::vector<Pfn> &out, std::size_t max,
 void
 MgLruPolicy::onFdAccess(Pfn pfn)
 {
-    PageInfo &pi = frames_.info(pfn);
+    const auto pi = frames_.info(pfn);
     if (pi.listId != kGenList)
         return;
     // fd-accessed pages do NOT jump to the youngest generation; they

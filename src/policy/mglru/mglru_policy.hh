@@ -128,6 +128,24 @@ struct MgLruConfig
      * it. Not a simulation knob; leave it off outside tests.
      */
     bool referenceScan = false;
+    /**
+     * Shard-sliced aging walk: split each slice at shard boundaries,
+     * harvest young PTEs per shard (optionally on worker threads),
+     * then apply charges/promotions serially in ascending shard
+     * order. Behavior (charges, stats, promotions, PTE and list
+     * end-states) is bit-identical to the legacy loop by construction
+     * — see DESIGN.md Sec. 4f. Ignored under ScanMode::Random (the
+     * legacy loop draws the RNG per present region, an order the
+     * harvest cannot reproduce) and under referenceScan.
+     */
+    bool shardedScan = true;
+    /**
+     * Harvest worker threads for the sharded walk. 0 resolves from
+     * the PAGESIM_WORKERS env override, defaulting to 1 — which runs
+     * the harvest inline (no threads), so parallelism is strictly
+     * opt-in and never oversubscribes sweep workers.
+     */
+    unsigned scanWorkers = 0;
 };
 
 /** Extra counters specific to MG-LRU (on top of PolicyStats). */
@@ -240,14 +258,47 @@ class MgLruPolicy : public ReplacementPolicy
     void promoteTo(Pfn pfn, std::uint64_t seq);
 
     /** Recompute a file page's tier from its use count. */
-    void updateTier(PageInfo &pi);
+    void updateTier(PageInfoRef pi);
 
     bool shouldScanRegion(std::uint64_t key, CostSink &costs);
     void scanRegion(AddressSpace &space, std::uint64_t region,
                     std::uint64_t promote_seq, CostSink &costs);
     /** Shared tail of both scanRegion paths for one young PTE. */
-    void visitYoungPte(const Pte &pte, std::uint64_t promote_seq,
+    void visitYoungPte(PteView pte, std::uint64_t promote_seq,
                        CostSink &costs);
+
+    /** One shard-aligned run of regions within an aging slice. */
+    struct ScanChunk
+    {
+        std::uint64_t firstRegion;
+        std::uint64_t numRegions;
+    };
+    /**
+     * Per-chunk harvest output. Region tallies plus the young VPNs
+     * (ascending) and the region keys that crossed the Bloom density
+     * threshold, in region order — everything the serial apply step
+     * needs to replay the legacy walk's effects exactly.
+     */
+    struct ChunkHarvest
+    {
+        std::uint64_t empty = 0;    ///< regions with no present PTE
+        std::uint64_t present = 0;  ///< regions with a present PTE
+        std::uint64_t rejected = 0; ///< present, Bloom-filtered out
+        std::uint64_t scanned = 0;  ///< present, actually scanned
+        std::uint64_t young = 0;    ///< accessed bits harvested
+        std::vector<Vpn> youngVpns;
+        std::vector<std::uint64_t> bloomKeys;
+    };
+
+    /** ageStep body for the sharded walk (see MgLruConfig). */
+    bool ageStepSharded(CostSink &costs, std::uint32_t region_budget);
+    /** Harvest one chunk: read-only apart from accessed-bit clears. */
+    void harvestChunk(PageTable &table, const AddressSpace &space,
+                      const ScanChunk &chunk,
+                      const RegionBloomFilter *filter,
+                      ChunkHarvest &out) const;
+    /** Sharded walk applicable to the current configuration? */
+    bool useShardedScan() const;
 
     FrameTable &frames_;
     std::vector<AddressSpace *> spaces_;
@@ -287,6 +338,12 @@ class MgLruPolicy : public ReplacementPolicy
         std::uint64_t promoteSeq = 0;
     };
     WalkState walk_;
+
+    /** Resolved harvest worker count (>= 1; 1 = inline, no threads). */
+    unsigned scanWorkers_ = 1;
+    /** Slice scratch, reused across slices to avoid reallocation. */
+    std::vector<ScanChunk> chunkScratch_;
+    std::vector<ChunkHarvest> harvestScratch_;
 
     void startWalk();
     void finishWalk();

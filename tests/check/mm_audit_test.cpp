@@ -73,7 +73,7 @@ TEST(MmAudit, DetectsRmapBackPointerCorruption)
 {
     KernelHarness h(64, 256);
     populate(h, 96);
-    const Vpn v = findVpn(h, 96, [](const Pte &p) {
+    const Vpn v = findVpn(h, 96, [](PteView p) {
         return p.present() && !p.slow();
     });
     ASSERT_NE(v, AuditViolation::kNoVpn);
@@ -104,11 +104,11 @@ TEST(MmAudit, DetectsSharedSwapSlot)
 {
     KernelHarness h(64, 256);
     populate(h, 96);
-    const Vpn v1 = findVpn(h, 96, [](const Pte &p) {
+    const Vpn v1 = findVpn(h, 96, [](PteView p) {
         return p.swapped() && !p.inIo();
     });
     ASSERT_NE(v1, AuditViolation::kNoVpn);
-    const Vpn v2 = findVpn(h, 96, [&](const Pte &p) {
+    const Vpn v2 = findVpn(h, 96, [&](PteView p) {
         return p.swapped() && !p.inIo() &&
                p.swapSlot() != h.space.table().at(v1).swapSlot();
     });
@@ -129,7 +129,7 @@ TEST(MmAudit, DetectsUnallocatedSlotReference)
 {
     KernelHarness h(64, 256);
     populate(h, 96);
-    const Vpn v = findVpn(h, 96, [](const Pte &p) {
+    const Vpn v = findVpn(h, 96, [](PteView p) {
         return p.swapped() && !p.inIo();
     });
     ASSERT_NE(v, AuditViolation::kNoVpn);
@@ -147,7 +147,7 @@ TEST(MmAudit, DetectsSpuriousInIoFlag)
 {
     KernelHarness h(64, 256);
     populate(h, 96);
-    const Vpn v = findVpn(h, 96, [](const Pte &p) {
+    const Vpn v = findVpn(h, 96, [](PteView p) {
         return p.swapped() && !p.inIo();
     });
     ASSERT_NE(v, AuditViolation::kNoVpn);
@@ -170,21 +170,23 @@ TEST(MmAudit, DetectsListMembershipCorruption)
 {
     KernelHarness h(64, 256);
     populate(h, 96);
-    const Vpn v = findVpn(h, 96, [](const Pte &p) {
+    const Vpn v = findVpn(h, 96, [](PteView p) {
         return p.present() && !p.slow();
     });
     ASSERT_NE(v, AuditViolation::kNoVpn);
     const Pfn pfn = h.space.table().at(v).pfn();
-    PageInfo &pi = h.frames.info(pfn);
+    const auto pi = h.frames.info(pfn);
     ASSERT_NE(pi.listId, 0); // resident pages are policy-tracked
     const std::uint8_t saved = pi.listId;
-    pi.listId = 0; // frame claims to be on no list, links say otherwise
+    // lint:pageinfo-direct-ok(deliberate desync: frame claims to be on no list, links say otherwise)
+    pi.listId = 0;
 
     const AuditReport rep = h.auditor->audit();
     ASSERT_FALSE(rep.clean());
     EXPECT_TRUE(rep.hasInvariant("list-links-corrupt"))
         << rep.toString();
 
+    // lint:pageinfo-direct-ok(undo the deliberate corruption above)
     pi.listId = saved;
 }
 
@@ -194,11 +196,11 @@ TEST(MmAudit, DetectsGenerationOutOfRange)
     populate(h, 96);
     auto *mg = dynamic_cast<MgLruPolicy *>(h.policy.get());
     ASSERT_NE(mg, nullptr);
-    const Vpn v = findVpn(h, 96, [](const Pte &p) {
+    const Vpn v = findVpn(h, 96, [](PteView p) {
         return p.present() && !p.slow();
     });
     ASSERT_NE(v, AuditViolation::kNoVpn);
-    PageInfo &pi = h.frames.info(h.space.table().at(v).pfn());
+    const auto pi = h.frames.info(h.space.table().at(v).pfn());
     const std::uint64_t saved = pi.gen;
     pi.gen = mg->maxSeq() + 10;
 
@@ -214,7 +216,7 @@ TEST(MmAudit, DetectsRegionCounterCorruption)
 {
     KernelHarness h(64, 256);
     populate(h, 32); // no reclaim needed
-    const Vpn v = findVpn(h, 32, [](const Pte &p) {
+    const Vpn v = findVpn(h, 32, [](PteView p) {
         return p.present();
     });
     ASSERT_NE(v, AuditViolation::kNoVpn);
@@ -234,7 +236,7 @@ TEST(MmAudit, DetectsPresentBitmapDesync)
 {
     KernelHarness h(64, 256);
     populate(h, 32);
-    const Vpn v = findVpn(h, 32, [](const Pte &p) {
+    const Vpn v = findVpn(h, 32, [](PteView p) {
         return p.present();
     });
     ASSERT_NE(v, AuditViolation::kNoVpn);
@@ -256,7 +258,7 @@ TEST(MmAudit, DetectsAccessedBitmapDesync)
 {
     KernelHarness h(64, 256);
     populate(h, 32);
-    const Vpn v = findVpn(h, 32, [](const Pte &p) {
+    const Vpn v = findVpn(h, 32, [](PteView p) {
         return p.present();
     });
     ASSERT_NE(v, AuditViolation::kNoVpn);
@@ -277,7 +279,7 @@ TEST(MmAudit, DetectsMappedBitmapDesync)
 {
     KernelHarness h(64, 256);
     populate(h, 32);
-    const Vpn v = findVpn(h, 32, [](const Pte &p) {
+    const Vpn v = findVpn(h, 32, [](PteView p) {
         return p.mapped() && p.present();
     });
     ASSERT_NE(v, AuditViolation::kNoVpn);
@@ -327,11 +329,11 @@ TEST(MmAudit, DetectsFrameLeak)
 {
     KernelHarness h(64, 256);
     populate(h, 96);
-    const Vpn v = findVpn(h, 96, [](const Pte &p) {
+    const Vpn v = findVpn(h, 96, [](PteView p) {
         return p.present() && !p.slow();
     });
     ASSERT_NE(v, AuditViolation::kNoVpn);
-    PageInfo &pi = h.frames.info(h.space.table().at(v).pfn());
+    const auto pi = h.frames.info(h.space.table().at(v).pfn());
     AddressSpace *saved = pi.space;
     pi.space = nullptr; // "free" frame that is on no free list
 
@@ -360,7 +362,7 @@ TEST(MmAudit, DetectsZramTagMismatch)
 {
     KernelHarness h(64, 256, /*zram=*/true);
     populate(h, 96);
-    const Vpn v = findVpn(h, 96, [](const Pte &p) {
+    const Vpn v = findVpn(h, 96, [](PteView p) {
         return p.swapped() && !p.inIo();
     });
     ASSERT_NE(v, AuditViolation::kNoVpn);
@@ -381,7 +383,7 @@ TEST(MmAudit, DetectsZramPoolCorruption)
 {
     KernelHarness h(64, 256, /*zram=*/true);
     populate(h, 96);
-    const Vpn v = findVpn(h, 96, [](const Pte &p) {
+    const Vpn v = findVpn(h, 96, [](PteView p) {
         return p.swapped() && !p.inIo();
     });
     ASSERT_NE(v, AuditViolation::kNoVpn);
@@ -418,7 +420,7 @@ TEST(MmAudit, DetectsSlowTierCorruption)
     ASSERT_GT(h.mm->tierStats().demotions, 0u);
     ASSERT_TRUE(h.auditor->audit().clean());
 
-    const Vpn v = findVpn(h, 24, [](const Pte &p) {
+    const Vpn v = findVpn(h, 24, [](PteView p) {
         return p.present() && p.slow();
     });
     ASSERT_NE(v, AuditViolation::kNoVpn);

@@ -146,5 +146,39 @@ TEST(BitIdentity, PageRankMgLruSsdPinned)
               15287283016998830679ull);
 }
 
+/*
+ * PR 6 pin: the SoA metadata + sharded-scan refactor, captured on a
+ * 1M-page (4 GiB) YCSB machine — large enough that the aging scan
+ * crosses many shards and the sharded slicing/merge logic carries the
+ * whole trial. Runs the same trial twice, serial and sharded, and
+ * checks both against the recorded value: a fingerprint mismatch
+ * means the refactor altered simulated behavior; a serial/sharded
+ * split means the sharded walk diverged from the contract.
+ */
+TEST(BitIdentity, Big1MSerialAndShardedPinned)
+{
+    ExperimentConfig cfg;
+    cfg.workload = WorkloadKind::YcsbA;
+    cfg.policy = PolicyKind::MgLru;
+    cfg.swap = SwapKind::Ssd;
+    cfg.capacityRatio = 0.5;
+    cfg.scale = ScalePreset::Big1M;
+    cfg.baseSeed = 12345;
+
+    cfg.mgTweak = [](MgLruConfig &mg) {
+        mg.shardedScan = false;
+    };
+    const std::uint64_t serial = fingerprint(runTrial(cfg, 12345));
+
+    cfg.mgTweak = [](MgLruConfig &mg) {
+        mg.shardedScan = true;
+        mg.scanWorkers = 4;
+    };
+    const std::uint64_t sharded = fingerprint(runTrial(cfg, 12345));
+
+    EXPECT_EQ(serial, 15456000562956673319ull);
+    EXPECT_EQ(sharded, serial);
+}
+
 } // namespace
 } // namespace pagesim

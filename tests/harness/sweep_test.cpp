@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "harness/sweep.hh"
+#include "sim/parallel.hh"
 
 namespace pagesim
 {
@@ -111,6 +112,39 @@ TEST(Sweep, ResultCacheHitsAndMisses)
 
     // Cached results match a fresh computation.
     expectSameResults({cache.get(cells[0])}, {runExperiment(cells[0])});
+}
+
+TEST(Sweep, WorkersOverrideParsing)
+{
+    // The PAGESIM_WORKERS plumbing shared by runSweep, the sharded
+    // aging scan, and the auditor. workerOverride() caches its getenv
+    // read, so the parser is exercised directly.
+    EXPECT_EQ(parseWorkersOverride(nullptr), 0u);
+    EXPECT_EQ(parseWorkersOverride(""), 0u);
+    EXPECT_EQ(parseWorkersOverride("4"), 4u);
+    EXPECT_EQ(parseWorkersOverride("1"), 1u);
+    EXPECT_EQ(parseWorkersOverride("1024"), 1024u);
+    // Garbage, non-positive, and absurd values all mean "no override"
+    // rather than a crash or a zero-thread pool.
+    EXPECT_EQ(parseWorkersOverride("0"), 0u);
+    EXPECT_EQ(parseWorkersOverride("-3"), 0u);
+    EXPECT_EQ(parseWorkersOverride("lots"), 0u);
+    EXPECT_EQ(parseWorkersOverride("4x"), 0u);
+    EXPECT_EQ(parseWorkersOverride("1025"), 0u);
+}
+
+TEST(Sweep, ExplicitWorkersBeatsOverride)
+{
+    // options.workers != 0 must win over the environment: figure
+    // benches pin workers explicitly and may run under a CI job that
+    // exports PAGESIM_WORKERS for the scan/audit paths.
+    const std::vector<ExperimentConfig> cells = smallCells();
+    SweepOptions pinned;
+    pinned.workers = 2;
+    const std::vector<ExperimentResult> a = runSweep(cells, pinned);
+    SweepOptions serial;
+    serial.workers = 1;
+    expectSameResults(a, runSweep(cells, serial));
 }
 
 TEST(Sweep, HonorsTrialsOverrideConsistently)

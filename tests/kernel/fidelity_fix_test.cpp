@@ -101,7 +101,7 @@ TEST(FidelityFix, FdAccessSwapInLeavesNoAccessedBit)
     EXPECT_TRUE(h.sim.runToCompletion());
     ASSERT_EQ(phase, 1);
 
-    const Pte &pte = h.space.table().at(target);
+    const auto pte = h.space.table().at(target);
     ASSERT_TRUE(pte.present());
     // Buffered I/O must not leave a PTE accessed bit behind...
     EXPECT_FALSE(pte.accessed())
@@ -147,7 +147,7 @@ TEST(FidelityFix, FdAccessAsyncSwapInLeavesNoAccessedBit)
     probe.start();
     EXPECT_TRUE(h.sim.runToCompletion());
     ASSERT_EQ(phase, 2);
-    const Pte &pte = h.space.table().at(target);
+    const auto pte = h.space.table().at(target);
     ASSERT_TRUE(pte.present());
     EXPECT_FALSE(pte.accessed())
         << "async fd-access swap-in set the accessed bit";

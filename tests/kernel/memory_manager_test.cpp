@@ -125,7 +125,7 @@ TEST(MemoryManager, DuplicateFaultWaitsOnExistingIo)
     Vpn target = h.base();
     // Set up a swapped-out PTE directly.
     {
-        Pte &pte = h.space.table().at(target);
+        const auto pte = h.space.table().at(target);
         const SwapSlot slot = h.swap->allocate();
         // lint:pte-direct-ok(fixture seeds a swapped-out PTE from the
         // never-mapped state, which touches no tracked bitmap; the
@@ -160,7 +160,7 @@ TEST(MemoryManager, ReadaheadPullsNeighborSlots)
     KernelHarness h(64, 256);
     // Swap out a run of pages at base..base+7.
     for (Vpn v = h.base(); v < h.base() + 8; ++v) {
-        Pte &pte = h.space.table().at(v);
+        const auto pte = h.space.table().at(v);
         // lint:pte-direct-ok(seeds swapped-out PTEs from the
         // never-mapped state; no tracked bitmap is touched and the
         // PageTable mutator asserts present())
@@ -192,7 +192,7 @@ TEST(MemoryManager, NoReadaheadOnZram)
     KernelHarness h(64, 256, /*zram=*/true);
     h.config.readaheadPages = 1; // as the harness sets for zram
     for (Vpn v = h.base(); v < h.base() + 8; ++v) {
-        Pte &pte = h.space.table().at(v);
+        const auto pte = h.space.table().at(v);
         // lint:pte-direct-ok(seeds swapped-out PTEs from the
         // never-mapped state; no tracked bitmap is touched and the
         // PageTable mutator asserts present())
@@ -216,7 +216,7 @@ TEST(MemoryManager, CleanPageEvictsWithoutWriteback)
     // retained backing slot means no write I/O.
     Vpn target = h.base();
     {
-        Pte &pte = h.space.table().at(target);
+        const auto pte = h.space.table().at(target);
         // lint:pte-direct-ok(seeds a swapped-out PTE from the
         // never-mapped state; no tracked bitmap is touched and the
         // PageTable mutator asserts present())

@@ -74,7 +74,7 @@ TEST(TieredMemory, ReclaimDemotesInsteadOfSwapping)
     // Demoted pages remain present (mapped) in their PTEs.
     std::uint64_t slow_present = 0;
     for (Vpn v = h.base(); v < h.base() + 24; ++v) {
-        const Pte &pte = h.space.table().at(v);
+        const auto pte = h.space.table().at(v);
         if (pte.present() && pte.slow())
             ++slow_present;
     }
@@ -130,7 +130,7 @@ TEST(TieredMemory, HotSlowPagesGetPromoted)
     probe.start();
     EXPECT_TRUE(h.sim.runToCompletion());
     EXPECT_GT(h.mm->tierStats().promotions, 0u);
-    const Pte &pte = h.space.table().at(slow_vpn);
+    const auto pte = h.space.table().at(slow_vpn);
     EXPECT_TRUE(pte.present());
     EXPECT_FALSE(pte.slow()) << "promoted back to fast memory";
 }

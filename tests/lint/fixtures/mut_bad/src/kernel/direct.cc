@@ -2,7 +2,9 @@
 // the PageTable spellings that must NOT flag. Expected: exactly five
 // mut-pte findings (setFlag, clearFlag, mapFrame/1, unmapToSwap/2,
 // testAndClearAccessed/0); the table calls and the untracked Dirty
-// write stay clean.
+// write stay clean. Plus exactly three mut-pageinfo findings (the
+// prev/next/listId assignments in relink); the reads, comparisons,
+// and untracked-lane writes stay clean.
 #include "mem/page_table.hh"
 
 namespace fixture
@@ -21,6 +23,20 @@ touch(Pte &pte, PageTable &table, Vpn vpn, Pfn pfn, SwapSlot slot)
     table.testAndClearAccessed(vpn);
     table.unmapToSwap(vpn, slot, 0);
     pte.setFlag(Pte::Dirty);
+}
+
+void
+relink(PageInfoRef pi, FrameList &list, Pfn pfn)
+{
+    pi.prev = pfn;          // flagged: link lane write
+    pi->next = kInvalidPfn; // flagged: arrow spelling too
+    pi.listId = 3;          // flagged: membership lane write
+
+    list.pushBack(pfn);     // the sanctioned spelling
+    const Pfn p = pi.prev;  // read: clean
+    if (pi.next == pfn)     // comparison: clean
+        pi.gen = 0;         // untracked lane: clean
+    (void)p;
 }
 
 } // namespace fixture

@@ -1,5 +1,6 @@
 // Fixture: tracked mutations through PageTable plus one waived direct
-// write. Expected: exactly one mut-pte finding, waived.
+// write per rule. Expected: exactly one mut-pte finding and one
+// mut-pageinfo finding, both waived.
 #include "mem/page_table.hh"
 
 namespace fixture
@@ -12,6 +13,13 @@ touch(Pte &pte, PageTable &table, Vpn vpn)
     // lint:pte-direct-ok(fixture demonstrates the waiver path; the caller reconciled the bitmap word already)
     pte.clearFlag(Pte::Accessed);
     pte.setFlag(Pte::Dirty);
+}
+
+void
+relink(PageInfoRef pi, Pfn pfn)
+{
+    // lint:pageinfo-direct-ok(fixture demonstrates the waiver path; list membership reconciled by the caller)
+    pi.next = pfn;
 }
 
 } // namespace fixture

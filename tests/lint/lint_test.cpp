@@ -110,14 +110,18 @@ TEST(LintMutator, FlagsEveryDirectPteSpelling)
     // testAndClearAccessed/0 — and nothing for the PageTable
     // spellings or the untracked Dirty write.
     EXPECT_EQ(countUnwaived(r, "mut-pte"), 5);
-    EXPECT_EQ(static_cast<int>(r.findings.size()), 5);
+    // prev/next/listId assignments in relink — and nothing for the
+    // FrameList call, lane reads, comparisons, or untracked lanes.
+    EXPECT_EQ(countUnwaived(r, "mut-pageinfo"), 3);
+    EXPECT_EQ(static_cast<int>(r.findings.size()), 8);
 }
 
 TEST(LintMutator, TrackedMutatorsAndWaiversPass)
 {
     const LintResult r = lintTree("mut_good");
     EXPECT_FALSE(hasFatalFindings(r));
-    EXPECT_EQ(countRule(r, "mut-pte"), 1); // reported, waived
+    EXPECT_EQ(countRule(r, "mut-pte"), 1);      // reported, waived
+    EXPECT_EQ(countRule(r, "mut-pageinfo"), 1); // reported, waived
 }
 
 TEST(LintLayering, FlagsBackEdgesAndTestIncludes)

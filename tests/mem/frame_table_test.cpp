@@ -46,15 +46,16 @@ TEST(FrameTable, InfoResetOnAllocate)
     FrameTable ft(1);
     AddressSpace space(0);
     Pfn pfn = ft.allocate(&space, 7, true);
-    PageInfo &pi = ft.info(pfn);
+    const auto pi = ft.info(pfn);
     pi.gen = 99;
     pi.tier = 3;
     pi.refs = 12;
     pi.backing = 5;
+    // lint:pageinfo-direct-ok(reset test dirties every lane incl. listId; the frame is on no list)
     pi.listId = 0;
     ft.release(pfn);
     pfn = ft.allocate(&space, 8, false);
-    const PageInfo &fresh = ft.info(pfn);
+    const auto fresh = ft.info(pfn);
     EXPECT_EQ(fresh.vpn, 8u);
     EXPECT_FALSE(fresh.file);
     EXPECT_EQ(fresh.gen, 0u);

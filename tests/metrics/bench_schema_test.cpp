@@ -77,6 +77,23 @@ goodDocument()
     "counters_overhead_pct": 0.4,
     "full_sampler_overhead_pct": -1.2
   },
+  "big_machine": {
+    "pages": 67108864,
+    "scan": {
+      "workers": 4,
+      "passes": 3,
+      "serial_ptes_per_sec": 300000000,
+      "sharded_ptes_per_sec": 600000000,
+      "speedup": 2.0
+    },
+    "trial": {
+      "cell": "YCSB-A/MG-LRU/SSD/50%",
+      "scale": "Big64M",
+      "wall_seconds": 106.4,
+      "faults_per_sec": 316000
+    },
+    "fingerprint_identity": true
+  },
   "sweep": {
     "cells": 6,
     "trials_per_cell": 3,
@@ -196,6 +213,31 @@ TEST(BenchSchema, NegativeOverheadPctIsAllowed)
         patch(goodDocument(), "\"counters_overhead_pct\": 0.4",
               "\"counters_overhead_pct\": -0.8"));
     EXPECT_TRUE(problems.empty());
+}
+
+TEST(BenchSchema, DetectsMissingBigMachineScanField)
+{
+    const auto problems = validateBenchCore(
+        patch(goodDocument(), "\"sharded_ptes_per_sec\"",
+              "\"shredded_ptes_per_sec\""));
+    expectOneProblemAt(problems,
+                       "big_machine.scan.sharded_ptes_per_sec");
+}
+
+TEST(BenchSchema, DetectsNonPositiveBigMachineWall)
+{
+    const auto problems = validateBenchCore(
+        patch(goodDocument(), "\"wall_seconds\": 106.4",
+              "\"wall_seconds\": 0"));
+    expectOneProblemAt(problems, "big_machine.trial.wall_seconds");
+}
+
+TEST(BenchSchema, DetectsBigMachineFingerprintDivergence)
+{
+    const auto problems = validateBenchCore(
+        patch(goodDocument(), "\"fingerprint_identity\": true",
+              "\"fingerprint_identity\": false"));
+    expectOneProblemAt(problems, "big_machine.fingerprint_identity");
 }
 
 TEST(BenchSchema, ReportsMultipleProblems)

@@ -56,7 +56,7 @@ TEST_P(PolicyProperty, RandomChurnPreservesConservation)
             // Touch (possibly faulting in) a random page.
             const Vpn vpn =
                 harness_.base() + rng.uniformInt(0, 1023);
-            Pte &pte = harness_.space.table().at(vpn);
+            const auto pte = harness_.space.table().at(vpn);
             if (pte.present()) {
                 harness_.space.table().setAccessed(vpn);
             } else if (harness_.frames.freeFrames() > 0) {
@@ -68,7 +68,7 @@ TEST_P(PolicyProperty, RandomChurnPreservesConservation)
             victims.clear();
             policy_->selectVictims(victims, 4, sink);
             for (const Pfn pfn : victims) {
-                const PageInfo &pi = harness_.frames.info(pfn);
+                const auto pi = harness_.frames.info(pfn);
                 ASSERT_EQ(pi.listId, 0)
                     << "victims must be off policy lists";
                 ASSERT_EQ(resident.count(pi.vpn), 1u)
@@ -161,7 +161,7 @@ TEST_P(PolicyProperty, DeterministicAcrossIdenticalRuns)
         std::uint64_t signature = 0;
         for (int step = 0; step < 800; ++step) {
             const Vpn vpn = harness.base() + rng.uniformInt(0, 255);
-            Pte &pte = harness.space.table().at(vpn);
+            const auto pte = harness.space.table().at(vpn);
             if (pte.present()) {
                 harness.space.table().setAccessed(vpn);
             } else if (harness.frames.freeFrames() > 0) {

@@ -40,7 +40,7 @@ struct PolicyHarness
                  ResidencyKind kind = ResidencyKind::NewAnon,
                  std::uint32_t shadow = 0)
     {
-        Pte &pte = space.table().at(vpn);
+        const auto pte = space.table().at(vpn);
         const Pfn pfn = frames.allocate(&space, vpn, pte.file());
         EXPECT_NE(pfn, kInvalidPfn);
         space.table().mapFrame(vpn, pfn);
@@ -53,7 +53,7 @@ struct PolicyHarness
     void
     touch(Vpn vpn, bool write = false)
     {
-        Pte &pte = space.table().at(vpn);
+        const auto pte = space.table().at(vpn);
         ASSERT_TRUE(pte.present());
         space.table().setAccessed(vpn);
         if (write)
@@ -65,7 +65,7 @@ struct PolicyHarness
     completeEviction(ReplacementPolicy &policy, Pfn pfn,
                      SwapSlot slot = 1)
     {
-        PageInfo &pi = frames.info(pfn);
+        const auto pi = frames.info(pfn);
         const std::uint32_t shadow = policy.onPageRemoved(pfn);
         space.table().unmapToSwap(pi.vpn, slot, shadow);
         pi.backing = kInvalidSlot;

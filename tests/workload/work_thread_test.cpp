@@ -153,7 +153,7 @@ TEST(WorkThread, RequestLatencyCoversFaultTime)
 {
     ThreadHarness h;
     // Swap out the target page first so the request major-faults.
-    Pte &pte = h.space.table().at(h.base() + 5);
+    const auto pte = h.space.table().at(h.base() + 5);
     // lint:pte-direct-ok(seeds a swapped-out PTE from the never-mapped
     // state; no tracked bitmap is touched and the PageTable mutator
     // asserts present())

@@ -147,6 +147,8 @@ waiverNameFor(const std::string &rule)
         return "ordered-ok";
     if (rule == kRuleMutPte)
         return "pte-direct-ok";
+    if (rule == kRuleMutPageInfo)
+        return "pageinfo-direct-ok";
     if (rule == kRuleLayerDag || rule == kRuleLayerTest)
         return "layer-ok";
     if (rule == kRuleChargePair)

@@ -38,6 +38,7 @@ inline constexpr const char *kRuleDetUnordered = "det-unordered";
 inline constexpr const char *kRuleDetUnorderedIter =
     "det-unordered-iter";
 inline constexpr const char *kRuleMutPte = "mut-pte";
+inline constexpr const char *kRuleMutPageInfo = "mut-pageinfo";
 inline constexpr const char *kRuleLayerDag = "layer-dag";
 inline constexpr const char *kRuleLayerTest = "layer-test";
 inline constexpr const char *kRuleChargePair = "charge-pair";

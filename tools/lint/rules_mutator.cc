@@ -23,6 +23,15 @@
  *
  * Untracked flags (Dirty, InIo, Slow, File) stay writable on the Pte
  * directly; setFlag/clearFlag on them is not flagged.
+ *
+ * mut-pageinfo guards the PageInfo side the same way: the SoA link
+ * lanes (prev, next, listId) thread every frame through exactly one
+ * FrameList, and FrameList is the only code allowed to write them —
+ * a stray write corrupts a generation list without touching the list
+ * it claims membership of. The rule flags any `x.prev =` / `x->next
+ * =` / `.listId =` assignment spelling (plain `=` only; `==`
+ * comparisons lex as two tokens and are skipped). frame_table.hh,
+ * which defines FrameList, is allowlisted.
  */
 
 #include "rules.hh"
@@ -69,6 +78,26 @@ runMutatorRules(const SourceFile &file, const RuleContext &,
         if (prev.kind != Token::Kind::Punct ||
             (prev.text != "." && prev.text != "->"))
             continue;
+
+        // mut-pageinfo: assignment to a PageInfo link lane. The
+        // lexer fuses no "==" digraph, so require a lone "=": the
+        // next token after it must not be another "=".
+        if ((t.text == "prev" || t.text == "next" ||
+             t.text == "listId") &&
+            toks[i + 1].kind == Token::Kind::Punct &&
+            toks[i + 1].text == "=" &&
+            (i + 2 >= toks.size() ||
+             toks[i + 2].kind != Token::Kind::Punct ||
+             toks[i + 2].text != "=")) {
+            out.push_back(Finding{
+                file.relPath, t.line, kRuleMutPageInfo,
+                "direct write to PageInfo link lane '" + t.text +
+                    "' outside FrameList: generation-list membership "
+                    "and the listId lane desync — use FrameList "
+                    "push/remove"});
+            continue;
+        }
+
         if (toks[i + 1].kind != Token::Kind::Punct ||
             toks[i + 1].text != "(")
             continue;
