@@ -37,6 +37,7 @@ target_link_libraries(micro_structures PRIVATE pagesim benchmark::benchmark)
 set_target_properties(micro_structures PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 pagesim_bench(ext_tpp_tiering)
+pagesim_bench(ext_memcg_colocation)
 
 # Core perf baseline: event-queue throughput vs the legacy heap queue,
 # aging-scan throughput vs the per-slot reference loop, and

@@ -25,6 +25,8 @@ auditSubsystemName(AuditSubsystem s)
         return "Zram";
       case AuditSubsystem::Waiters:
         return "Waiters";
+      case AuditSubsystem::Memcg:
+        return "Memcg";
     }
     return "?";
 }

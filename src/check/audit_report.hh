@@ -34,6 +34,7 @@ enum class AuditSubsystem
     Swap,      ///< swap-slot allocation / ownership
     Zram,      ///< compressed-pool contents and accounting
     Waiters,   ///< I/O waiter table vs. in-flight operations
+    Memcg,     ///< memcg charge accounting and protection
 };
 
 const char *auditSubsystemName(AuditSubsystem s);

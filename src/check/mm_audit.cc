@@ -109,10 +109,13 @@ MmAuditor::audit()
     AuditReport rep;
     rep.auditSeq = ++auditsRun_;
     WalkContext ctx;
+    ctx.presentFastByMemcg.assign(mm_.memcgCount(), 0);
+    ctx.chargedByMemcg.assign(mm_.memcgCount(), 0);
     checkPtes(rep, ctx);
     checkFastFrames(rep, ctx);
     checkSlowTier(rep, ctx);
     checkPolicy(rep, ctx);
+    checkMemcgs(rep, ctx);
     checkSwap(rep, ctx);
     checkWaiters(rep, ctx);
     violationsSeen_ += rep.violations.size();
@@ -170,6 +173,8 @@ MmAuditor::checkPtes(AuditReport &rep, WalkContext &ctx) const
                 rep.violations.push_back(std::move(v));
             rep.ptesWalked += o.ptesWalked;
             ctx.presentFastPtes += o.presentFast;
+            if (sp->memcg() < ctx.presentFastByMemcg.size())
+                ctx.presentFastByMemcg[sp->memcg()] += o.presentFast;
             ctx.presentSlowPtes += o.presentSlow;
             for (const auto &[slot, owner] : o.slotRefs)
                 ctx.slotRefs[slot].push_back(owner);
@@ -484,6 +489,15 @@ MmAuditor::checkFastFrames(AuditReport &rep, WalkContext &ctx) const
                              "free frame on no policy list",
                              "listId " + std::to_string(pi.listId));
             }
+            if (pi.memcg != kNoMemcg) {
+                addViolation(rep, AuditSubsystem::Memcg,
+                             "free-frame-charged",
+                             AuditViolation::kNoSpace,
+                             AuditViolation::kNoVpn, pfn,
+                             "free frame uncharged",
+                             "charged to memcg " +
+                                 std::to_string(pi.memcg));
+            }
             continue;
         }
 
@@ -497,6 +511,17 @@ MmAuditor::checkFastFrames(AuditReport &rep, WalkContext &ctx) const
                              "balloon frame on no policy list",
                              "listId " + std::to_string(pi.listId));
             }
+            // Balloon memory is kernel-internal: charging it to a
+            // tenant would shrink that tenant's budget for pages it
+            // never owned.
+            if (pi.memcg != kNoMemcg) {
+                addViolation(rep, AuditSubsystem::Memcg,
+                             "balloon-frame-charged",
+                             mm_.balloonSpace().id(), pi.vpn, pfn,
+                             "balloon frame uncharged",
+                             "charged to memcg " +
+                                 std::to_string(pi.memcg));
+            }
             continue;
         }
         if (!knownSpace(pi.space)) {
@@ -509,6 +534,28 @@ MmAuditor::checkFastFrames(AuditReport &rep, WalkContext &ctx) const
         }
 
         const AddressSpace &sp = *pi.space;
+        // Charge-lane coherence: every live workload frame is charged
+        // to exactly its space's memcg (kernel charge stickiness). The
+        // recount counts by LANE, so a usage/lane desync in either
+        // direction is caught by checkMemcgs.
+        if (pi.memcg != kNoMemcg &&
+            pi.memcg < ctx.chargedByMemcg.size())
+            ++ctx.chargedByMemcg[pi.memcg];
+        if (pi.memcg == kNoMemcg) {
+            addViolation(rep, AuditSubsystem::Memcg, "frame-uncharged",
+                         sp.id(), pi.vpn, pfn,
+                         "live workload frame charged to memcg " +
+                             std::to_string(sp.memcg()),
+                         "uncharged");
+        } else if (pi.memcg != sp.memcg()) {
+            addViolation(rep, AuditSubsystem::Memcg,
+                         "frame-memcg-mismatch", sp.id(), pi.vpn, pfn,
+                         "charged to memcg " +
+                             std::to_string(sp.memcg()) +
+                             " (owning space's group)",
+                         "charged to memcg " +
+                             std::to_string(pi.memcg));
+        }
         if (pi.vpn >= sp.table().span()) {
             addViolation(rep, AuditSubsystem::Frame,
                          "frame-vpn-out-of-table", sp.id(), pi.vpn,
@@ -667,9 +714,84 @@ void
 MmAuditor::checkPolicy(AuditReport &rep, WalkContext &ctx) const
 {
     const FrameTable &fast = mm_.frames();
-    const ReplacementPolicy &policy = mm_.policy();
 
+    // Every instance of a policy kind shares its listId tags, so the
+    // global fastListTagged counters are checked against SUMS across
+    // same-kind lruvecs; structural list checks and resident-vs-PTE
+    // counts run per lruvec (the per-memcg PTE populations from the
+    // walk). Single-memcg setups reduce to the pre-memcg checks.
+    std::uint64_t mgTagged = 0;
+    std::uint64_t clockActiveSum = 0;
+    std::uint64_t clockInactiveSum = 0;
+    bool anyMg = false;
+    bool anyClock = false;
+
+    for (MemcgId id = 0; id < mm_.memcgCount(); ++id) {
+        const ReplacementPolicy &policy = mm_.memcg(id).policy();
+        const std::uint64_t wantResident =
+            id < ctx.presentFastByMemcg.size()
+                ? ctx.presentFastByMemcg[id]
+                : 0;
+        checkLruvec(rep, policy, wantResident, fast, mgTagged,
+                    clockActiveSum, clockInactiveSum, anyMg, anyClock);
+    }
+
+    if (anyMg &&
+        ctx.fastListTagged[MgLruPolicy::kListId] != mgTagged) {
+        addViolation(rep, AuditSubsystem::Policy,
+                     "mglru-tagged-frames-mismatch",
+                     AuditViolation::kNoSpace, AuditViolation::kNoVpn,
+                     kInvalidPfn,
+                     std::to_string(mgTagged) +
+                         " frames tagged listId " +
+                         std::to_string(MgLruPolicy::kListId) +
+                         " (sum over MG-LRU lruvecs)",
+                     std::to_string(
+                         ctx.fastListTagged[MgLruPolicy::kListId]) +
+                         " tagged");
+    }
+    if (anyClock) {
+        if (ctx.fastListTagged[ClockLru::kActiveListId] !=
+            clockActiveSum) {
+            addViolation(
+                rep, AuditSubsystem::Policy,
+                "clock-active-tag-mismatch",
+                AuditViolation::kNoSpace, AuditViolation::kNoVpn,
+                kInvalidPfn,
+                std::to_string(clockActiveSum) +
+                    " frames tagged active (sum over Clock lruvecs)",
+                std::to_string(
+                    ctx.fastListTagged[ClockLru::kActiveListId]) +
+                    " tagged");
+        }
+        if (ctx.fastListTagged[ClockLru::kInactiveListId] !=
+            clockInactiveSum) {
+            addViolation(
+                rep, AuditSubsystem::Policy,
+                "clock-inactive-tag-mismatch",
+                AuditViolation::kNoSpace, AuditViolation::kNoVpn,
+                kInvalidPfn,
+                std::to_string(clockInactiveSum) +
+                    " frames tagged inactive (sum over Clock lruvecs)",
+                std::to_string(
+                    ctx.fastListTagged[ClockLru::kInactiveListId]) +
+                    " tagged");
+        }
+    }
+}
+
+void
+MmAuditor::checkLruvec(AuditReport &rep,
+                       const ReplacementPolicy &policy,
+                       std::uint64_t want_resident,
+                       const FrameTable &fast, std::uint64_t &mg_tagged,
+                       std::uint64_t &clock_active_sum,
+                       std::uint64_t &clock_inactive_sum, bool &any_mg,
+                       bool &any_clock) const
+{
     if (const auto *mg = dynamic_cast<const MgLruPolicy *>(&policy)) {
+        any_mg = true;
+        mg_tagged += mg->residentPages();
         std::uint64_t sum = 0;
         for (std::uint64_t seq = mg->minSeq(); seq <= mg->maxSeq();
              ++seq) {
@@ -716,74 +838,78 @@ MmAuditor::checkPolicy(AuditReport &rep, WalkContext &ctx) const
                              std::to_string(mg->residentPages()) + ")",
                          "lists sum to " + std::to_string(sum));
         }
-        if (mg->residentPages() != ctx.presentFastPtes) {
+        if (mg->residentPages() != want_resident) {
             addViolation(rep, AuditSubsystem::Policy,
                          "policy-resident-vs-ptes",
                          AuditViolation::kNoSpace,
                          AuditViolation::kNoVpn, kInvalidPfn,
-                         std::to_string(ctx.presentFastPtes) +
-                             " present fast-tier PTEs",
+                         std::to_string(want_resident) +
+                             " present fast-tier PTEs in this "
+                             "lruvec's memcg",
                          "policy tracks " +
                              std::to_string(mg->residentPages()));
         }
-        if (ctx.fastListTagged[MgLruPolicy::kListId] !=
-            mg->residentPages()) {
-            addViolation(rep, AuditSubsystem::Policy,
-                         "mglru-tagged-frames-mismatch",
-                         AuditViolation::kNoSpace,
-                         AuditViolation::kNoVpn, kInvalidPfn,
-                         std::to_string(mg->residentPages()) +
-                             " frames tagged listId " +
-                             std::to_string(MgLruPolicy::kListId),
-                         std::to_string(
-                             ctx.fastListTagged[MgLruPolicy::kListId]) +
-                             " tagged");
-        }
     } else if (const auto *clock =
                    dynamic_cast<const ClockLru *>(&policy)) {
+        any_clock = true;
+        clock_active_sum += clock->activeSize();
+        clock_inactive_sum += clock->inactiveSize();
         checkFrameList(rep, AuditSubsystem::Policy, "active",
                        clock->activeList());
         checkFrameList(rep, AuditSubsystem::Policy, "inactive",
                        clock->inactiveList());
         if (clock->activeSize() + clock->inactiveSize() !=
-            ctx.presentFastPtes) {
+            want_resident) {
             addViolation(rep, AuditSubsystem::Policy,
                          "policy-resident-vs-ptes",
                          AuditViolation::kNoSpace,
                          AuditViolation::kNoVpn, kInvalidPfn,
-                         std::to_string(ctx.presentFastPtes) +
-                             " present fast-tier PTEs",
+                         std::to_string(want_resident) +
+                             " present fast-tier PTEs in this "
+                             "lruvec's memcg",
                          "active " +
                              std::to_string(clock->activeSize()) +
                              " + inactive " +
                              std::to_string(clock->inactiveSize()));
         }
-        if (ctx.fastListTagged[ClockLru::kActiveListId] !=
-            clock->activeSize()) {
-            addViolation(
-                rep, AuditSubsystem::Policy,
-                "clock-active-tag-mismatch",
-                AuditViolation::kNoSpace, AuditViolation::kNoVpn,
-                kInvalidPfn,
-                std::to_string(clock->activeSize()) +
-                    " frames tagged active",
-                std::to_string(
-                    ctx.fastListTagged[ClockLru::kActiveListId]) +
-                    " tagged");
+    }
+}
+
+void
+MmAuditor::checkMemcgs(AuditReport &rep, WalkContext &ctx) const
+{
+    for (MemcgId id = 0; id < mm_.memcgCount(); ++id) {
+        const Memcg &m = mm_.memcg(id);
+        const std::uint64_t counted =
+            id < ctx.chargedByMemcg.size() ? ctx.chargedByMemcg[id]
+                                           : 0;
+        // usage() and the memcg lane only move together inside
+        // charge()/uncharge(); a divergence means a charge was
+        // skipped, duplicated, or mispaired somewhere in the MM.
+        if (m.usage() != counted) {
+            addViolation(rep, AuditSubsystem::Memcg,
+                         "memcg-usage-mismatch",
+                         AuditViolation::kNoSpace,
+                         AuditViolation::kNoVpn, kInvalidPfn,
+                         std::to_string(counted) +
+                             " frames charged to memcg " +
+                             std::to_string(id) + " (recount)",
+                         "usage() " + std::to_string(m.usage()));
         }
-        if (ctx.fastListTagged[ClockLru::kInactiveListId] !=
-            clock->inactiveSize()) {
-            addViolation(
-                rep, AuditSubsystem::Policy,
-                "clock-inactive-tag-mismatch",
-                AuditViolation::kNoSpace, AuditViolation::kNoVpn,
-                kInvalidPfn,
-                std::to_string(clock->inactiveSize()) +
-                    " frames tagged inactive",
-                std::to_string(
-                    ctx.fastListTagged[ClockLru::kInactiveListId]) +
-                    " tagged");
-        }
+    }
+    // memory.low must hold mid-run, not just at the end. A memcg may
+    // drop below low through natural unmapping, so the auditor checks
+    // the MM's own breach counter (bumped only when a global-reclaim
+    // share takes a protected group under its floor) rather than the
+    // instantaneous usage.
+    if (mm_.lowBreaches() != 0) {
+        addViolation(rep, AuditSubsystem::Memcg, "memcg-low-breached",
+                     AuditViolation::kNoSpace, AuditViolation::kNoVpn,
+                     kInvalidPfn,
+                     "no global-reclaim batch takes a protected memcg "
+                     "below memory.low outside overpressure",
+                     std::to_string(mm_.lowBreaches()) +
+                         " breaches recorded");
     }
 }
 

@@ -40,6 +40,16 @@
  *   - Clock: active_ + inactive_ equals the Present fast-tier PTE
  *     count and the per-frame list tags agree with membership.
  *
+ *  Memcg side:
+ *   - every memcg's usage() equals a recount of the fast-tier frames
+ *     charged to it; live workload frames carry exactly their space's
+ *     group in the memcg lane; free and balloon frames are uncharged;
+ *   - each lruvec's resident population equals its own group's
+ *     Present fast-tier PTE count, and the shared listId tag counters
+ *     equal the sum across same-kind lruvecs;
+ *   - memory.low protection is never breached by the proportional
+ *     fan-out (MemoryManager::lowBreaches() stays 0).
+ *
  *  Swap side:
  *   - the slot ledger balances (used == high-water - free), free
  *     slots are unique and unreferenced, and no allocated slot is
@@ -126,6 +136,10 @@ class MmAuditor
         std::uint64_t presentSlowPtes = 0;
         std::uint64_t slowResidentFrames = 0;
         std::uint64_t fastListTagged[256] = {};
+        /** Present fast-tier PTEs per memcg (from the PTE walk). */
+        std::vector<std::uint64_t> presentFastByMemcg;
+        /** Charged-frame recount per memcg (from the frame walk). */
+        std::vector<std::uint64_t> chargedByMemcg;
     };
 
     /**
@@ -166,6 +180,20 @@ class MmAuditor
     void checkFastFrames(AuditReport &rep, WalkContext &ctx) const;
     void checkSlowTier(AuditReport &rep, WalkContext &ctx) const;
     void checkPolicy(AuditReport &rep, WalkContext &ctx) const;
+    /**
+     * Audit one lruvec against its own memcg's PTE population
+     * (@p want_resident) and accumulate its shared listId tag totals;
+     * the tag lanes are checked as sums across same-kind lruvecs by
+     * checkPolicy since all Clock (resp. MG-LRU) instances stamp the
+     * same listId values.
+     */
+    void checkLruvec(AuditReport &rep, const ReplacementPolicy &policy,
+                     std::uint64_t want_resident, const FrameTable &fast,
+                     std::uint64_t &mg_tagged,
+                     std::uint64_t &clock_active_sum,
+                     std::uint64_t &clock_inactive_sum, bool &any_mg,
+                     bool &any_clock) const;
+    void checkMemcgs(AuditReport &rep, WalkContext &ctx) const;
     void checkSwap(AuditReport &rep, WalkContext &ctx) const;
     void checkWaiters(AuditReport &rep, WalkContext &ctx) const;
 

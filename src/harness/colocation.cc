@@ -1,0 +1,350 @@
+#include "harness/colocation.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "check/mm_audit.hh"
+#include "kernel/background_noise.hh"
+#include "kernel/kswapd.hh"
+#include "kernel/memory_manager.hh"
+#include "kernel/mm_metrics.hh"
+#include "kv/ycsb_workload.hh"
+#include "sim/parallel.hh"
+#include "sim/simulation.hh"
+#include "swap/ssd_device.hh"
+#include "swap/swap_manager.hh"
+#include "swap/zram_device.hh"
+#include "workload/work_thread.hh"
+
+namespace pagesim
+{
+
+std::string
+ColocationConfig::label() const
+{
+    std::string names;
+    for (const TenantSpec &t : tenants) {
+        if (!names.empty())
+            names += "+";
+        names += t.name;
+    }
+    return "colo[" + names + "]/" + policyKindName(policy) + "/" +
+           swapKindName(swap) + "/" +
+           std::to_string(static_cast<int>(capacityRatio * 100)) + "%";
+}
+
+std::uint64_t
+tenantFingerprint(const TenantResult &r)
+{
+    // FNV-1a over 64-bit words, same formulation as the TrialResult
+    // fingerprints in bit_identity_test.cpp.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto add = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    add(r.memcgStats.minorFaults);
+    add(r.memcgStats.majorFaults);
+    add(r.memcgStats.ioWaitFaults);
+    add(r.memcgStats.directReclaims);
+    add(r.memcgStats.evictions);
+    add(r.memcgStats.throttleEvents);
+    add(r.memcgStats.protectedSkips);
+    add(r.memcgStats.peakUsage);
+    add(r.policy.ptesScanned);
+    add(r.policy.regionsVisited);
+    add(r.policy.regionsSkipped);
+    add(r.policy.rmapWalks);
+    add(r.policy.promotions);
+    add(r.policy.demotions);
+    add(r.policy.agingPasses);
+    add(r.policy.evicted);
+    add(r.policy.refaults);
+    add(r.policy.secondChances);
+    add(r.finishNs);
+    for (SimTime t : r.threadFinishNs)
+        add(t);
+    for (std::uint64_t f : r.threadBlockedFaults)
+        add(f);
+    return h;
+}
+
+namespace
+{
+
+/** Watermark in frames from a footprint-relative ratio (0 = off). */
+std::uint32_t
+ratioFrames(double ratio, std::uint64_t footprint, std::uint32_t off)
+{
+    if (ratio <= 0.0)
+        return off;
+    return std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(static_cast<double>(footprint) *
+                                      ratio));
+}
+
+} // namespace
+
+ColocationTrialResult
+runColocationTrial(const ColocationConfig &config,
+                   std::uint64_t trial_seed)
+{
+    assert(!config.tenants.empty());
+
+    // --- Assemble one shared machine (= one boot). -----------------
+    Simulation sim(config.numCpus, trial_seed);
+
+    struct Tenant
+    {
+        std::unique_ptr<Workload> workload;
+        std::unique_ptr<AddressSpace> space;
+        std::unique_ptr<ReplacementPolicy> policy;
+        std::uint64_t footprint = 0;
+    };
+    std::vector<Tenant> tenants(config.tenants.size());
+
+    std::uint64_t total_footprint = 0;
+    for (std::size_t i = 0; i < config.tenants.size(); ++i) {
+        const TenantSpec &spec = config.tenants[i];
+        Tenant &t = tenants[i];
+        t.workload = makeWorkload(spec.workload, spec.scale);
+        t.footprint = t.workload->footprintPages();
+        total_footprint += t.footprint;
+        t.space =
+            std::make_unique<AddressSpace>(static_cast<uint32_t>(i));
+        t.space->setMemcg(static_cast<MemcgId>(i));
+        // Per-boot, per-tenant layout randomization. Mixing the tenant
+        // index in keeps every tenant's layout independent while the
+        // i == 0 stream is free to match the single-tenant harness.
+        t.space->enableAslr(splitmix64(trial_seed ^ 0xa51a51a5ull ^
+                                       (0x9e3779b97f4a7c15ull * i)));
+    }
+
+    MmConfig mm_config;
+    mm_config.totalFrames = static_cast<std::uint32_t>(
+        static_cast<double>(total_footprint) * config.capacityRatio);
+    mm_config.directReclaimBelow = std::max<std::uint32_t>(
+        mm_config.reclaimBatch, mm_config.totalFrames / 256);
+    mm_config.lowWatermark = mm_config.directReclaimBelow / 2;
+    mm_config.highWatermark = mm_config.directReclaimBelow;
+    mm_config.swapSlots =
+        static_cast<std::uint32_t>(total_footprint * 2 + 4096);
+    if (config.swap == SwapKind::Zram)
+        mm_config.readaheadPages = 1; // page-cluster=0 for zram
+
+    FrameTable frames(mm_config.totalFrames);
+
+    std::unique_ptr<SwapDevice> device;
+    if (config.swap == SwapKind::Ssd) {
+        device = std::make_unique<SsdSwapDevice>(sim.events(),
+                                                 sim.forkRng("ssd"));
+    } else {
+        device = std::make_unique<ZramSwapDevice>();
+    }
+    SwapManager swap(*device, mm_config.swapSlots);
+
+    // One lruvec per tenant: each policy instance sees only its own
+    // tenant's space, and its RNG stream forks off the tenant NAME so
+    // adding a tenant never perturbs another's stream.
+    const std::uint32_t frames_total = mm_config.totalFrames;
+    std::vector<MemcgSpec> specs;
+    for (std::size_t i = 0; i < config.tenants.size(); ++i) {
+        const TenantSpec &spec = config.tenants[i];
+        Tenant &t = tenants[i];
+        t.policy = makePolicy(
+            spec.policy.value_or(config.policy), frames,
+            {t.space.get()}, mm_config.costs,
+            sim.forkRng("policy-" + spec.name),
+            [frames_total, &config](MgLruConfig &mg) {
+                mg.agingLowPages =
+                    std::max<std::uint64_t>(frames_total / 8, 256);
+                mg.agingEvictGate =
+                    std::max<std::uint64_t>(frames_total / 16, 64);
+                if (config.mgTweak)
+                    config.mgTweak(mg);
+            },
+            &sim.events());
+
+        MemcgSpec ms;
+        ms.config.name = spec.name;
+        ms.config.low = ratioFrames(spec.lowRatio, t.footprint, 0);
+        ms.config.high = ratioFrames(spec.highRatio, t.footprint,
+                                     MemcgConfig::kNoLimit);
+        ms.config.max = ratioFrames(spec.maxRatio, t.footprint,
+                                    MemcgConfig::kNoLimit);
+        ms.policy = t.policy.get();
+        specs.push_back(std::move(ms));
+    }
+
+    // PAGESIM_AUDIT_EVERY: same knob and semantics as runTrial.
+    if (const auto every =
+            parseTrialsOverride(std::getenv("PAGESIM_AUDIT_EVERY")))
+        mm_config.auditEvery = *every;
+
+    MemoryManager mm(sim, frames, swap, specs, mm_config);
+
+    std::vector<const AddressSpace *> audit_spaces;
+    for (const Tenant &t : tenants)
+        audit_spaces.push_back(t.space.get());
+    std::unique_ptr<MmAuditor> auditor;
+    if (mm_config.auditEvery > 0) {
+        auditor = std::make_unique<MmAuditor>(mm, audit_spaces);
+        auditor->installPeriodic(/*hard_fail=*/true);
+    }
+
+    const MetricsConfig metrics_config = effectiveMetricsConfig(
+        [&config] {
+            ExperimentConfig e;
+            e.metrics = config.metrics;
+            return e;
+        }());
+    std::unique_ptr<MetricsCollector> collector;
+    if (metrics_config.enabled()) {
+        collector = std::make_unique<MetricsCollector>(metrics_config);
+        attachStandardMetrics(*collector, mm);
+    }
+
+    Kswapd kswapd(sim, mm);
+    mm.attachKswapd(&kswapd);
+    kswapd.start();
+
+    BackgroundNoise noise(sim, mm, sim.forkRng("noise"));
+    noise.start();
+
+    // Build every tenant and start its threads. Per-tenant env and
+    // jitter streams fork off the tenant name, for the same
+    // insulation as the policy streams.
+    struct TenantThreads
+    {
+        std::vector<std::unique_ptr<WorkThread>> threads;
+    };
+    std::vector<TenantThreads> running(tenants.size());
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        Tenant &t = tenants[i];
+        WorkloadContext ctx;
+        ctx.mm = &mm;
+        ctx.space = t.space.get();
+        ctx.envSeed = splitmix64(trial_seed ^ 0xecedeul ^
+                                 (0x9e3779b97f4a7c15ull * i));
+        t.workload->build(ctx);
+
+        Rng jitter =
+            sim.forkRng("thread-start-" + config.tenants[i].name);
+        for (unsigned tid = 0; tid < t.workload->numThreads(); ++tid) {
+            running[i].threads.push_back(std::make_unique<WorkThread>(
+                sim, mm, *t.workload, *t.space, tid));
+            running[i].threads.back()->start(
+                jitter.uniformInt(0, 20000));
+        }
+    }
+
+    // --- Run to completion. ----------------------------------------
+    constexpr std::uint64_t kMaxEvents = 2000000000ull;
+    if (!sim.runToCompletion(kMaxEvents)) {
+        std::fprintf(stderr,
+                     "pagesim: colocation %s seed %llu did not "
+                     "converge\n",
+                     config.label().c_str(),
+                     static_cast<unsigned long long>(trial_seed));
+        std::abort();
+    }
+
+    // --- Collect results. ------------------------------------------
+    ColocationTrialResult r;
+    r.kernel = mm.stats();
+    r.swap = device->stats();
+    r.kswapdCpuNs = kswapd.cpuWork();
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        TenantResult tr;
+        tr.name = config.tenants[i].name;
+        tr.memcgStats = mm.memcg(static_cast<MemcgId>(i)).stats();
+        tr.policy = tenants[i].policy->stats();
+        for (const auto &th : running[i].threads) {
+            tr.threadFinishNs.push_back(th->threadStats().finishTime);
+            tr.threadBlockedFaults.push_back(
+                th->threadStats().blockedFaults);
+            tr.finishNs = std::max(tr.finishNs,
+                                   th->threadStats().finishTime);
+        }
+        if (auto *ycsb = dynamic_cast<YcsbWorkload *>(
+                tenants[i].workload.get())) {
+            tr.readLatency = ycsb->readLatency();
+            tr.writeLatency = ycsb->writeLatency();
+            const std::uint64_t nreq =
+                tr.readLatency.count() + tr.writeLatency.count();
+            if (nreq > 0) {
+                tr.meanRequestNs =
+                    (tr.readLatency.mean() * tr.readLatency.count() +
+                     tr.writeLatency.mean() *
+                         tr.writeLatency.count()) /
+                    static_cast<double>(nreq);
+            }
+        }
+        r.runtimeNs = std::max(r.runtimeNs, tr.finishNs);
+        r.tenants.push_back(std::move(tr));
+    }
+    if (collector) {
+        collector->sampler().stop();
+        r.metrics = collector->snapshot(sim.now());
+        if (!metrics_config.artifactDir.empty()) {
+            // One machine-wide artifact set per trial; the label
+            // carries the full tenant list, and per-tenant timeseries
+            // live inside it as "memcg.<name>.*" columns.
+            writeTrialArtifacts(metrics_config.artifactDir,
+                                config.label(), trial_seed, r.metrics);
+        }
+    }
+    return r;
+}
+
+ColocationResult
+runColocation(const ColocationConfig &config)
+{
+    ColocationResult result;
+    result.config = config;
+
+    ExperimentConfig trials_probe;
+    trials_probe.trials = config.trials;
+    const unsigned trials = effectiveTrials(trials_probe);
+    result.trials.resize(trials);
+
+    unsigned workers = workerOverride();
+    if (workers == 0) {
+        const unsigned n = std::thread::hardware_concurrency();
+        workers = n == 0 ? 4u : n;
+    }
+    workers = std::min<std::size_t>(workers, trials);
+
+    // Same atomic-chase pool as runSweep: each trial writes only its
+    // own pre-sized slot, so results are independent of claim order
+    // and of the worker count.
+    std::atomic<unsigned> next{0};
+    auto drain = [&] {
+        while (true) {
+            const unsigned t = next.fetch_add(1);
+            if (t >= trials)
+                return;
+            // Same seed derivation as trialSeed() in sweep.cc.
+            result.trials[t] = runColocationTrial(
+                config, config.baseSeed + 1000003ull * t);
+        }
+    };
+    if (workers <= 1) {
+        drain();
+        return result;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(drain);
+    for (auto &t : pool)
+        t.join();
+    return result;
+}
+
+} // namespace pagesim

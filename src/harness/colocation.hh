@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Colocation scenarios: N workloads sharing one machine, one memcg
+ * each.
+ *
+ * The paper characterizes MG-LRU vs Clock one workload at a time; the
+ * place the policies diverge hardest in production is multi-tenant
+ * reclaim. A ColocationConfig describes one shared simulated machine:
+ * every tenant gets its own AddressSpace, its own policy instance
+ * (lruvec), and its own memcg with cgroup-v2-style watermarks sized as
+ * fractions of that tenant's footprint. Global reclaim fans out
+ * proportionally across the tenants (see MemoryManager::reclaimBatch),
+ * so noisy-neighbor pressure, memory.low protection, and memory.max
+ * limit-reclaim are all observable per tenant.
+ *
+ * Determinism: trials are bit-identical across host worker counts.
+ * Per-tenant RNG streams fork off the trial seed by tenant NAME
+ * ("policy-<name>", ASLR by tenant index), so adding a tenant never
+ * perturbs another tenant's streams, and the per-tenant results of a
+ * given (config, seed) pair are stable regardless of scheduling
+ * (tests/harness/colocation_test.cpp pins this across PAGESIM_WORKERS
+ * 1/2/4).
+ */
+
+#ifndef PAGESIM_HARNESS_COLOCATION_HH
+#define PAGESIM_HARNESS_COLOCATION_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "kernel/memcg.hh"
+
+namespace pagesim
+{
+
+/** One tenant: a workload in its own memcg. */
+struct TenantSpec
+{
+    /** Unique per scenario; names the memcg and metric artifacts. */
+    std::string name;
+    WorkloadKind workload = WorkloadKind::YcsbA;
+    ScalePreset scale = ScalePreset::Small;
+    /**
+     * Per-tenant policy override; defaults to the scenario-wide
+     * ColocationConfig::policy. Mixing kinds (a Clock tenant beside an
+     * MG-LRU tenant) is the per-tenant study the paper could not run.
+     */
+    std::optional<PolicyKind> policy;
+    /**
+     * Watermarks as fractions of THIS tenant's footprint; 0 disables
+     * the respective limit (the memcg default).
+     */
+    double lowRatio = 0.0;
+    double highRatio = 0.0;
+    double maxRatio = 0.0;
+};
+
+/** One colocation scenario: the shared machine plus its tenants. */
+struct ColocationConfig
+{
+    std::vector<TenantSpec> tenants;
+    /** Default policy for tenants without an override. */
+    PolicyKind policy = PolicyKind::MgLru;
+    SwapKind swap = SwapKind::Ssd;
+    /** Total machine memory as a fraction of the summed footprints. */
+    double capacityRatio = 0.5;
+    unsigned trials = 4;
+    std::uint64_t baseSeed = 1;
+    unsigned numCpus = 12;
+    /** Extra MG-LRU config hook, like ExperimentConfig::mgTweak. */
+    std::function<void(MgLruConfig &)> mgTweak;
+    /** Observability opt-in; same env overrides as ExperimentConfig. */
+    MetricsConfig metrics;
+
+    std::string label() const;
+};
+
+/** Everything one trial measured about one tenant. */
+struct TenantResult
+{
+    std::string name;
+    /** Per-memcg fault/reclaim/throttle counters. */
+    MemcgStats memcgStats;
+    /** This tenant's lruvec counters. */
+    PolicyStats policy;
+    /** Finish time of the tenant's slowest thread. */
+    SimTime finishNs = 0;
+    std::vector<SimTime> threadFinishNs;
+    std::vector<std::uint64_t> threadBlockedFaults;
+    /** Mean request latency (YCSB tenants; 0 otherwise). */
+    double meanRequestNs = 0.0;
+    /** YCSB latency histograms (empty otherwise). */
+    LatencyHistogram readLatency;
+    LatencyHistogram writeLatency;
+};
+
+/** One colocation trial: per-tenant breakdowns plus machine totals. */
+struct ColocationTrialResult
+{
+    std::vector<TenantResult> tenants;
+    /** Whole-machine kernel counters (all tenants + noise). */
+    FaultStats kernel;
+    SwapDeviceStats swap;
+    /** Finish time of the slowest tenant. */
+    SimTime runtimeNs = 0;
+    SimDuration kswapdCpuNs = 0;
+    MetricsSnapshot metrics;
+};
+
+/** All trials of one scenario. */
+struct ColocationResult
+{
+    ColocationConfig config;
+    std::vector<ColocationTrialResult> trials;
+};
+
+/**
+ * FNV-1a over every integral field of @p r — the per-tenant analogue
+ * of the TrialResult fingerprints in bit_identity_test.cpp; the
+ * determinism tests compare it across worker counts.
+ */
+std::uint64_t tenantFingerprint(const TenantResult &r);
+
+/**
+ * Run one colocation trial. Honors PAGESIM_AUDIT_EVERY (full
+ * cross-layer audit, including the memcg invariant family, every N
+ * reclaim batches) exactly like runTrial.
+ */
+ColocationTrialResult runColocationTrial(const ColocationConfig &config,
+                                         std::uint64_t trial_seed);
+
+/**
+ * Run all trials of a scenario in parallel across host threads
+ * (PAGESIM_WORKERS caps the pool; PAGESIM_TRIALS overrides trials).
+ * Trial seeds derive exactly like runExperiment's.
+ */
+ColocationResult runColocation(const ColocationConfig &config);
+
+} // namespace pagesim
+
+#endif // PAGESIM_HARNESS_COLOCATION_HH

@@ -237,9 +237,12 @@ effectiveMetricsConfig(const ExperimentConfig &config)
 std::string
 writeTrialArtifacts(const std::string &dir, const std::string &label,
                     std::uint64_t trial_seed,
-                    const MetricsSnapshot &snapshot)
+                    const MetricsSnapshot &snapshot,
+                    const std::string &tenant)
 {
     std::string base = label;
+    if (!tenant.empty())
+        base += "-" + tenant;
     for (char &c : base) {
         if (c == '/' || c == '%' || c == ' ')
             c = '_';
@@ -321,7 +324,29 @@ runTrial(const ExperimentConfig &config, std::uint64_t trial_seed)
     if (const auto every = auditEveryOverride())
         mm_config.auditEvery = *every;
 
-    MemoryManager mm(sim, frames, swap, *policy, mm_config);
+    // One memcg holds the whole workload. With no limit ratios this is
+    // the unlimited root group — the exact construction the legacy
+    // single-policy ctor delegates to, so the pinned bit-identity
+    // fingerprints cover it. Ratios translate to frame watermarks on
+    // that lone group (limit-reclaim / throttling studies).
+    MemcgSpec root_spec;
+    root_spec.policy = policy.get();
+    if (config.memcgLimitsConfigured()) {
+        root_spec.config.name = "workload";
+        const auto frames_of = [footprint](double ratio) {
+            return std::max<std::uint32_t>(
+                1, static_cast<std::uint32_t>(
+                       static_cast<double>(footprint) * ratio));
+        };
+        if (config.memcgLowRatio > 0.0)
+            root_spec.config.low = frames_of(config.memcgLowRatio);
+        if (config.memcgHighRatio > 0.0)
+            root_spec.config.high = frames_of(config.memcgHighRatio);
+        if (config.memcgMaxRatio > 0.0)
+            root_spec.config.max = frames_of(config.memcgMaxRatio);
+    }
+    MemoryManager mm(sim, frames, swap,
+                     std::vector<MemcgSpec>{root_spec}, mm_config);
 
     std::unique_ptr<MmAuditor> auditor;
     if (mm_config.auditEvery > 0) {

@@ -118,6 +118,28 @@ struct ExperimentConfig
      */
     MetricsConfig metrics;
 
+    /**
+     * Optional cgroup-v2 watermarks on the (single) workload memcg,
+     * as fractions of the footprint; 0 disables the respective limit.
+     * All-zero (the default) constructs the manager through the
+     * legacy single-tenant path and is bit-identical to the pre-memcg
+     * harness. Multi-tenant scenarios live in colocation.hh; these
+     * knobs study limit-reclaim and throttling on a lone workload.
+     * Note: with a single memcg, memory.low does not shield it from
+     * global reclaim (protection is relative to siblings, as in the
+     * kernel); only high/max change behavior here.
+     */
+    double memcgLowRatio = 0.0;
+    double memcgHighRatio = 0.0;
+    double memcgMaxRatio = 0.0;
+
+    bool
+    memcgLimitsConfigured() const
+    {
+        return memcgLowRatio > 0.0 || memcgHighRatio > 0.0 ||
+               memcgMaxRatio > 0.0;
+    }
+
     std::string label() const;
 };
 
@@ -211,14 +233,21 @@ MetricsConfig effectiveMetricsConfig(const ExperimentConfig &config);
 
 /**
  * Write the per-trial artifact files for @p snapshot under @p dir
- * (created if needed): <label>-seed<N>.trace.json, .timeseries.csv,
- * and .metrics.jsonl, with '/', '%' and spaces in @p label mapped to
- * '_'. Returns the artifact basename (without extension).
+ * (created if needed): <label>[-<tenant>]-seed<N>.trace.json,
+ * .timeseries.csv, and .metrics.jsonl, with '/', '%' and spaces in
+ * @p label and @p tenant mapped to '_'. Returns the artifact basename
+ * (without extension).
+ *
+ * @p tenant disambiguates colocated multi-tenant trials that share one
+ * PAGESIM_METRICS_DIR: without it, two tenants of the same scenario
+ * (same label, same trial seed) would silently overwrite each other's
+ * files. Single-tenant callers pass "" and keep the historical names.
  */
 std::string writeTrialArtifacts(const std::string &dir,
                                 const std::string &label,
                                 std::uint64_t trial_seed,
-                                const MetricsSnapshot &snapshot);
+                                const MetricsSnapshot &snapshot,
+                                const std::string &tenant = "");
 
 namespace detail
 {

@@ -89,11 +89,25 @@ runSweep(const std::vector<ExperimentConfig> &cells,
 std::string
 ResultCache::key(const ExperimentConfig &config)
 {
+    // Every config field that can change a TrialResult must appear
+    // here, else two different cells alias one cache slot and a bench
+    // silently plots the wrong data. label() covers workload/policy/
+    // swap/capacity; ratios are keyed at full precision (the old
+    // int-percent truncation aliased fine-grained tier sweeps), and
+    // the memcg watermarks and metrics mode joined with the memcg
+    // refactor (metrics mode never perturbs the simulation, but it
+    // does decide whether TrialResult.metrics is populated). mgTweak
+    // remains unkeyable — see the class comment.
     return config.label() + "/" + std::to_string(config.trials) + "/" +
            std::to_string(config.baseSeed) + "/" +
            std::to_string(static_cast<int>(config.scale)) + "/" +
-           std::to_string(static_cast<int>(config.slowTierRatio * 100)) +
-           "/" + std::to_string(config.numCpus);
+           std::to_string(config.capacityRatio) + "/" +
+           std::to_string(config.slowTierRatio) + "/" +
+           std::to_string(config.numCpus) + "/" +
+           std::to_string(config.memcgLowRatio) + "/" +
+           std::to_string(config.memcgHighRatio) + "/" +
+           std::to_string(config.memcgMaxRatio) + "/" +
+           std::to_string(static_cast<int>(config.metrics.mode));
 }
 
 const ExperimentResult &

@@ -35,18 +35,41 @@ AgingDaemon::step()
         return;
     }
 
-    auto *mg = dynamic_cast<MgLruPolicy *>(&mm_.policy());
-    if (mg == nullptr) {
-        // Policies without a page-table walker don't need this thread.
+    // One walker thread serves every memcg's lruvec, like the
+    // kernel's single kthread stepping through memcgs. Scan from the
+    // rotate cursor so a mid-walk lruvec is resumed first and no
+    // group's aging starves behind a hungrier neighbor. (The pre-memcg
+    // daemon asked mm_.policy() only — the root lruvec — which left
+    // every other tenant's MG-LRU waiting on direct aging forever.)
+    const std::size_t n = mm_.memcgCount();
+    MgLruPolicy *mg = nullptr;
+    bool anyWalker = false;
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t i = (cursor_ + k) % n;
+        auto *cand = dynamic_cast<MgLruPolicy *>(
+            &mm_.memcg(static_cast<MemcgId>(i)).policy());
+        if (cand == nullptr)
+            continue;
+        anyWalker = true;
+        if (cand->agingInProgress() || cand->wantsAging()) {
+            mg = cand;
+            cursor_ = i; // resume here until the pass completes
+            break;
+        }
+    }
+    if (!anyWalker) {
+        // No policy with a page-table walker needs this thread.
         block();
         return;
     }
 
-    if (mg->agingInProgress() || mg->wantsAging()) {
+    if (mg != nullptr) {
         CostSink sink;
         const bool done = mg->ageStep(sink, cfg.agingSliceRegions);
-        if (done)
+        if (done) {
             ++passes_;
+            cursor_ = (cursor_ + 1) % n;
+        }
         // Charge the slice's CPU, then sleep: the inter-slice gap when
         // mid-walk, the poll interval after a completed pass.
         pendingSleepNs_ =

@@ -40,6 +40,8 @@ class AgingDaemon : public SimActor
     MemoryManager &mm_;
     Rng rng_;
     std::uint64_t passes_ = 0;
+    /** Round-robin memcg cursor (resume point for multi-slice walks). */
+    std::size_t cursor_ = 0;
     /** Sleep to take on the next step (after charging slice CPU). */
     SimDuration pendingSleepNs_ = 0;
 };

@@ -15,9 +15,10 @@ Kswapd::Kswapd(Simulation &sim, MemoryManager &mm)
 void
 Kswapd::step()
 {
-    if (!mm_.belowHighWatermark()) {
-        // Balanced: sleep until the allocator wakes us below the low
-        // watermark.
+    if (!mm_.belowHighWatermark() && !mm_.memcgOverHigh()) {
+        // Balanced — globally AND per-memcg: sleep until the
+        // allocator wakes us (low watermark, or a memcg pushed over
+        // its memory.high).
         block();
         return;
     }

@@ -1,0 +1,54 @@
+#include "kernel/memcg.hh"
+
+namespace pagesim
+{
+
+std::vector<std::uint32_t>
+distributeProportional(const std::vector<std::uint64_t> &weights,
+                       std::uint32_t batch, std::size_t cursor)
+{
+    const std::size_t n = weights.size();
+    std::vector<std::uint32_t> shares(n, 0);
+    if (n == 0 || batch == 0)
+        return shares;
+
+    std::uint64_t sum = 0;
+    for (std::uint64_t w : weights)
+        sum += w;
+    if (sum == 0)
+        return shares;
+
+    if (sum <= batch) {
+        // Demand fits in the batch: everyone gets their full weight.
+        for (std::size_t i = 0; i < n; ++i)
+            shares[i] = static_cast<std::uint32_t>(weights[i]);
+        return shares;
+    }
+
+    // Floor shares. batch < sum here, so floor(batch*w/sum) <= w and
+    // the 64x64 product cannot overflow for any realistic frame count
+    // (batch <= 2^32, w <= sum).
+    std::uint32_t given = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        shares[i] = static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(batch) * weights[i] / sum);
+        given += shares[i];
+    }
+
+    // Hand the rounding remainder out one frame at a time, starting
+    // at the rotating cursor so the favor moves between tenants. Each
+    // weighted memcg can absorb at most (weight - floor share) extra;
+    // a full lap with no progress is impossible while given < batch
+    // because sum(weights) > batch >= given.
+    std::size_t at = n ? cursor % n : 0;
+    while (given < batch) {
+        if (shares[at] < weights[at]) {
+            ++shares[at];
+            ++given;
+        }
+        at = (at + 1) % n;
+    }
+    return shares;
+}
+
+} // namespace pagesim

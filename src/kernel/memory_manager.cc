@@ -15,11 +15,30 @@ MemoryManager::MemoryManager(Simulation &sim, FrameTable &frames,
                              SwapManager &swap,
                              ReplacementPolicy &policy,
                              const MmConfig &config)
-    : sim_(sim), frames_(frames), swap_(swap), policy_(policy),
-      config_(config), slowFrames_(config.tier.slowFrames),
-      slowList_(slowFrames_, 1)
+    : MemoryManager(sim, frames, swap,
+                    std::vector<MemcgSpec>{{MemcgConfig{}, &policy}},
+                    config)
 {
+}
+
+MemoryManager::MemoryManager(Simulation &sim, FrameTable &frames,
+                             SwapManager &swap,
+                             const std::vector<MemcgSpec> &specs,
+                             const MmConfig &config)
+    : sim_(sim), frames_(frames), swap_(swap), config_(config),
+      slowFrames_(config.tier.slowFrames), slowList_(slowFrames_, 1)
+{
+    assert(!specs.empty());
+    memcgs_.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        assert(specs[i].policy != nullptr);
+        memcgs_.push_back(std::make_unique<Memcg>(
+            static_cast<MemcgId>(i), specs[i].config,
+            *specs[i].policy));
+    }
     victimScratch_.reserve(config_.reclaimBatch);
+    weightScratch_.reserve(specs.size());
+    shareScratch_.reserve(specs.size());
 }
 
 MemoryManager::AccessOutcome
@@ -67,7 +86,7 @@ MemoryManager::accessImpl(SimActor &actor, AddressSpace &space, Vpn vpn,
         if (fd_access) {
             // Buffered I/O: no PTE accessed bit; the policy tracks use
             // counts / tiers instead.
-            policy_.onFdAccess(pte.pfn());
+            policyFor(space).onFdAccess(pte.pfn());
         } else {
             space.table().setAccessed(vpn);
         }
@@ -81,6 +100,7 @@ MemoryManager::accessImpl(SimActor &actor, AddressSpace &space, Vpn vpn,
         // Swap-in or writeback already in flight for this page; wait
         // for it rather than issuing duplicate I/O.
         ++stats_.ioWaitFaults;
+        ++memcgOf(space).stats().ioWaitFaults;
         traceEmit(TraceEvent::IoWaitFault, vpn);
         if (metrics_) {
             metrics_->spans().openIoWait(
@@ -97,13 +117,14 @@ MemoryManager::accessImpl(SimActor &actor, AddressSpace &space, Vpn vpn,
             return AccessOutcome::Blocked;
         sink.charge(config_.costs.faultFixed);
         ++stats_.minorFaults;
+        ++memcgOf(space).stats().minorFaults;
         traceEmit(TraceEvent::MinorFault, vpn);
         space.table().mapFrame(vpn, pfn);
-        policy_.onPageResident(pfn, ResidencyKind::NewAnon, 0);
+        policyFor(space).onPageResident(pfn, ResidencyKind::NewAnon, 0);
         if (fd_access) {
             // Buffered I/O leaves no PTE accessed bit behind; the
             // policy's use-count path is the only signal.
-            policy_.onFdAccess(pfn);
+            policyFor(space).onFdAccess(pfn);
         } else {
             space.table().setAccessed(vpn);
         }
@@ -124,6 +145,7 @@ MemoryManager::accessImpl(SimActor &actor, AddressSpace &space, Vpn vpn,
         metrics_ ? sink.total() - sinkBefore : 0;
     sink.charge(config_.costs.faultFixed);
     ++stats_.majorFaults;
+    ++memcgOf(space).stats().majorFaults;
     traceEmit(TraceEvent::MajorFault, vpn);
     const SwapSlot slot = pte.swapSlot();
     const std::uint32_t shadow = pte.shadow();
@@ -181,9 +203,26 @@ Pfn
 MemoryManager::allocFrame(SimActor &actor, AddressSpace &space, Vpn vpn,
                           bool file, CostSink &sink)
 {
-    if (frames_.freeFrames() <= config_.directReclaimBelow) {
-        // At the cgroup limit: the allocating task reclaims inline.
+    Memcg &mcg = memcgOf(space);
+    if (mcg.atMax()) {
+        // memory.max: the allocating task reclaims its OWN lruvec
+        // inline before the charge may proceed — limit-reclaim
+        // latency lands on this tenant's faults and nobody else's.
+        // The charge below goes through even if every victim is
+        // stuck under writeback (usage uncharges when the frame
+        // frees), so a brief overshoot stands in for the OOM path
+        // pagesim does not model.
         ++stats_.directReclaims;
+        ++mcg.stats().directReclaims;
+        traceEmit(TraceEvent::DirectReclaim);
+        reclaimFromLruvec(mcg, config_.reclaimBatch, sink, true);
+        finishReclaimBatch();
+    }
+    if (frames_.freeFrames() <= config_.directReclaimBelow) {
+        // Global watermark pressure: the allocating task reclaims
+        // inline (fanning out across memcgs when there are several).
+        ++stats_.directReclaims;
+        ++mcg.stats().directReclaims;
         traceEmit(TraceEvent::DirectReclaim);
         reclaimBatch(sink, true);
     }
@@ -192,6 +231,7 @@ MemoryManager::allocFrame(SimActor &actor, AddressSpace &space, Vpn vpn,
         // Out of frames even after the inline batch (all victims
         // under writeback): one more attempt, then stall.
         ++stats_.directReclaims;
+        ++mcg.stats().directReclaims;
         reclaimBatch(sink, true);
         pfn = frames_.allocate(&space, vpn, file);
         if (pfn == kInvalidPfn) {
@@ -231,6 +271,15 @@ MemoryManager::allocFrame(SimActor &actor, AddressSpace &space, Vpn vpn,
             }
             return kInvalidPfn;
         }
+    }
+    mcg.charge(frames_.info(pfn));
+    if (mcg.overHigh()) {
+        // memory.high: the charge succeeds, but the allocator is
+        // throttled and background reclaim is pointed at the excess.
+        ++mcg.stats().throttleEvents;
+        sink.charge(config_.memcgHighThrottle);
+        if (kswapd_)
+            kswapd_->wake();
     }
     maybeWakeKswapd();
     return pfn;
@@ -274,46 +323,111 @@ MemoryManager::maybeWakeKswapd()
 }
 
 std::uint32_t
-MemoryManager::reclaimBatch(CostSink &sink, bool direct)
+MemoryManager::reclaimFromLruvec(Memcg &mcg, std::uint32_t max,
+                                 CostSink &sink, bool direct)
 {
+    ReplacementPolicy &policy = mcg.policy();
     victimScratch_.clear();
-    if (direct && policy_.wantsAging()) {
+    if (direct && policy.wantsAging()) {
         // Aging runs in reclaim contexts (try_to_inc_max_seq); under
         // a cgroup limit that reclaim context is the faulting task,
         // which therefore pays the page-table walk — the largest
         // latency quantum MG-LRU injects into fault paths.
         ++stats_.directAging;
         traceEmit(TraceEvent::AgingPass);
-        policy_.age(sink);
+        policy.age(sink);
     }
-    std::size_t n = policy_.selectVictims(victimScratch_,
-                                          config_.reclaimBatch, sink);
-    if (n == 0 && policy_.wantsAging()) {
+    std::size_t n = policy.selectVictims(victimScratch_, max, sink);
+    if (n == 0 && policy.wantsAging()) {
         // Starved for victims: reclaim context runs aging inline
         // (shrink_*/try_to_inc_max_seq behavior), and the background
         // walker is poked for the next round.
         ++stats_.directAging;
         if (!direct && aging_)
             aging_->wake();
-        policy_.age(sink);
-        n = policy_.selectVictims(victimScratch_,
-                                  config_.reclaimBatch, sink);
+        policy.age(sink);
+        n = policy.selectVictims(victimScratch_, max, sink);
     }
+    mcg.stats().evictions += victimScratch_.size();
     for (const Pfn pfn : victimScratch_)
         evictPage(pfn, sink);
+    return static_cast<std::uint32_t>(n);
+}
+
+void
+MemoryManager::finishReclaimBatch()
+{
     ++reclaimBatches_;
     if (auditHook_ && config_.auditEvery != 0 &&
         reclaimBatches_ % config_.auditEvery == 0) {
         auditHook_();
     }
-    return static_cast<std::uint32_t>(n);
+}
+
+std::uint32_t
+MemoryManager::reclaimBatch(CostSink &sink, bool direct)
+{
+    std::uint32_t freed = 0;
+    if (memcgs_.size() == 1) {
+        // Single root group: straight lruvec reclaim, byte-identical
+        // to the singleton manager.
+        freed = reclaimFromLruvec(*memcgs_[0], config_.reclaimBatch,
+                                  sink, direct);
+        finishReclaimBatch();
+        return freed;
+    }
+
+    // Proportional fan-out (see the header comment). Pick weights:
+    // targeted memory.high excess first, else reclaimable size
+    // (usage - memory.low), else — overpressure — raw usage with
+    // protection waived.
+    const std::size_t n = memcgs_.size();
+    weightScratch_.assign(n, 0);
+    bool anyHigh = false;
+    for (std::size_t i = 0; i < n; ++i)
+        anyHigh = anyHigh || memcgs_[i]->overHigh();
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        weightScratch_[i] = anyHigh ? memcgs_[i]->excessHigh()
+                                    : memcgs_[i]->reclaimable();
+        sum += weightScratch_[i];
+    }
+    bool overpressure = false;
+    if (sum == 0) {
+        overpressure = true;
+        for (std::size_t i = 0; i < n; ++i)
+            weightScratch_[i] = memcgs_[i]->usage();
+    }
+
+    shareScratch_ = distributeProportional(
+        weightScratch_, config_.reclaimBatch, rrCursor_);
+    rrCursor_ = (rrCursor_ + 1) % n;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        Memcg &m = *memcgs_[i];
+        if (shareScratch_[i] == 0) {
+            // Usage entirely behind memory.low (and no high excess):
+            // this round deliberately left the group alone.
+            if (!overpressure && !anyHigh && m.usage() > 0 &&
+                m.reclaimable() == 0)
+                ++m.stats().protectedSkips;
+            continue;
+        }
+        freed += reclaimFromLruvec(m, shareScratch_[i], sink, direct);
+        if (!overpressure && m.config().hasLow() &&
+            m.usage() < m.config().low)
+            ++lowBreaches_;
+    }
+    finishReclaimBatch();
+    return freed;
 }
 
 void
 MemoryManager::evictPage(Pfn pfn, CostSink &sink)
 {
     assert(!frames_.info(pfn).free());
-    const std::uint32_t shadow = policy_.onPageRemoved(pfn);
+    const std::uint32_t shadow =
+        memcgOfFrame(pfn).policy().onPageRemoved(pfn);
     if (config_.tier.enabled() && tryDemote(pfn, sink))
         return;
     swapOutPage(frames_, pfn, shadow, sink);
@@ -345,6 +459,9 @@ MemoryManager::tryDemote(Pfn pfn, CostSink &sink)
     pte.setFlag(Pte::Slow);
     slowList_.pushFront(spfn);
     fast.backing = kInvalidSlot;
+    // Demoted pages leave the fast tier's accounting; slow-tier
+    // occupancy is tracked by tierStats, not memcg usage.
+    memcg(fast.memcg).uncharge(fast);
     frames_.release(pfn);
     wakeFrameWaiters();
     ++tierStats_.demotions;
@@ -377,12 +494,13 @@ MemoryManager::tryPromote(Pfn slow_pfn, CostSink &sink)
         return;
     }
     sink.charge(config_.tier.migrateCost);
+    memcgOf(space).charge(frames_.info(fast));
     frames_.info(fast).backing = slow.backing;
     space.table().mapFrame(vpn, fast); // clears the Slow flag
     space.table().setAccessed(vpn);
     slowList_.remove(slow_pfn);
     slowFrames_.release(slow_pfn);
-    policy_.onPageResident(fast, ResidencyKind::SwapInDemand, 0);
+    policyFor(space).onPageResident(fast, ResidencyKind::SwapInDemand, 0);
     ++tierStats_.promotions;
     traceEmit(TraceEvent::Promotion, vpn);
     maybeWakeKswapd();
@@ -420,6 +538,7 @@ MemoryManager::swapOutPage(FrameTable &table, Pfn pfn,
         // Clean page whose swap copy is still valid: drop without I/O.
         ++stats_.cleanDrops;
         pi.backing = kInvalidSlot;
+        unchargeIfFast(table, pi);
         table.release(pfn);
         wakeFrameWaiters();
         return;
@@ -437,6 +556,7 @@ MemoryManager::swapOutPage(FrameTable &table, Pfn pfn,
         sink.charge(dev.cpuCost(slot, true));
         dev.noteSyncOp(slot, true);
         pi.backing = kInvalidSlot;
+        unchargeIfFast(table, pi);
         table.release(pfn);
         wakeFrameWaiters();
         return;
@@ -463,13 +583,13 @@ MemoryManager::finishSwapIn(AddressSpace &space, Vpn vpn, SwapSlot slot,
     const auto pi = frames_.info(pfn);
     // Keep the swap copy: if the page stays clean, eviction is free.
     pi.backing = slot;
-    policy_.onPageResident(pfn, kind, shadow);
+    policyFor(space).onPageResident(pfn, kind, shadow);
     if (kind == ResidencyKind::SwapInDemand) {
         if (fd_access) {
             // Buffered I/O leaves no PTE accessed bit behind; the
             // policy's use-count path is the only signal (the rule
             // MG-LRU's tier machinery depends on).
-            policy_.onFdAccess(pfn);
+            policyFor(space).onFdAccess(pfn);
         } else {
             space.table().setAccessed(vpn);
         }
@@ -523,6 +643,7 @@ MemoryManager::completeWriteback(FrameTable &table, AddressSpace &space,
 
     const auto pi = table.info(pfn);
     pi.backing = kInvalidSlot;
+    unchargeIfFast(table, pi);
     table.release(pfn);
     wakeFrameWaiters();
 }
@@ -532,6 +653,9 @@ MemoryManager::issueReadahead(AddressSpace &space, Vpn vpn)
 {
     if (config_.readaheadPages <= 1)
         return;
+    Memcg &mcg = memcgOf(space);
+    if (mcg.atMax())
+        return; // no speculative charges against a hard limit
     SwapDevice &dev = swap_.device();
     assert(!dev.synchronous());
     // Adaptive window: scale the cluster by the observed hit rate so
@@ -558,6 +682,7 @@ MemoryManager::issueReadahead(AddressSpace &space, Vpn vpn)
         const Pfn f2 = frames_.allocate(&space, v2, p2.file());
         if (f2 == kInvalidPfn)
             break;
+        mcg.charge(frames_.info(f2));
         const SwapSlot s2 = p2.swapSlot();
         const std::uint32_t shadow2 = p2.shadow();
         p2.setFlag(Pte::InIo);
@@ -566,10 +691,10 @@ MemoryManager::issueReadahead(AddressSpace &space, Vpn vpn)
         // Every issue decays the hit-rate estimate; demand hits on
         // speculative pages push it back up.
         raHitRate_ -= config_.readaheadEma * raHitRate_;
-        // lint:charge-ok(speculative readahead burns no thread CPU by
-        // design: the device models its own service time, and demand
-        // faults that land on this in-flight slot charge their wait in
-        // handleFault when they block on the shared I/O)
+        // Speculative readahead burns no thread CPU by design: the
+        // device models its own service time, and demand faults that
+        // land on this in-flight slot charge their wait in handleFault
+        // when they block on the shared I/O.
         dev.submit(s2, false, [this, &space, v2, s2, f2, shadow2] {
             --swapInsInFlight_;
             finishSwapIn(space, v2, s2, f2,

@@ -20,9 +20,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "kernel/fault_stats.hh"
+#include "kernel/memcg.hh"
 #include "kernel/mm_config.hh"
 #include "mem/address_space.hh"
 #include "metrics/fault_spans.hh"
@@ -40,6 +42,17 @@ class Kswapd;
 class AgingDaemon;
 class MetricsCollector;
 
+/**
+ * One memcg the MemoryManager should create: its watermarks plus the
+ * policy instance (lruvec) scoped to it. The caller keeps ownership of
+ * the policy, exactly as with the single-policy constructor.
+ */
+struct MemcgSpec
+{
+    MemcgConfig config;
+    ReplacementPolicy *policy;
+};
+
 /** The simulated kernel memory manager. */
 class MemoryManager
 {
@@ -53,8 +66,22 @@ class MemoryManager
         Blocked,    ///< actor must block(); retry the access after wake
     };
 
+    /**
+     * Single-tenant construction: one unlimited root memcg owning
+     * @p policy. Behaviorally identical to the pre-memcg manager —
+     * the pinned bit-identity fingerprints run through this ctor.
+     */
     MemoryManager(Simulation &sim, FrameTable &frames, SwapManager &swap,
                   ReplacementPolicy &policy, const MmConfig &config);
+
+    /**
+     * Multi-tenant construction: one memcg per spec, ids assigned in
+     * order (spec i becomes memcg id i). Address spaces select their
+     * group via AddressSpace::setMemcg before their first fault.
+     */
+    MemoryManager(Simulation &sim, FrameTable &frames, SwapManager &swap,
+                  const std::vector<MemcgSpec> &specs,
+                  const MmConfig &config);
 
     MemoryManager(const MemoryManager &) = delete;
     MemoryManager &operator=(const MemoryManager &) = delete;
@@ -99,6 +126,16 @@ class MemoryManager
      * Reclaim one batch of pages (kswapd or direct context).
      * @return pages evicted. Clean pages free their frames
      *         immediately; dirty ones free when writeback completes.
+     *
+     * With one memcg this reclaims straight from its lruvec. With
+     * several, the batch fans out proportionally (DESIGN.md Sec. 4g):
+     * memcgs over memory.high absorb the whole batch in proportion to
+     * their excess; otherwise shares follow reclaimable size
+     * (usage - memory.low), so protected frames are untouched; if
+     * every group hides under its protection while the machine is
+     * still short (overpressure), protection is waived and shares
+     * follow raw usage — the kernel's best-effort memory.low
+     * semantics. The rounding remainder rotates round-robin.
      */
     std::uint32_t reclaimBatch(CostSink &sink, bool direct);
 
@@ -128,6 +165,21 @@ class MemoryManager
         return frames_.freeFrames() < config_.lowWatermark;
     }
 
+    /**
+     * Is any memcg over its memory.high watermark? Kswapd keeps
+     * reclaiming while true, so targeted high-limit pressure is
+     * relieved in the background even when global free memory is
+     * fine. Constant false with no high limits configured.
+     */
+    bool
+    memcgOverHigh() const
+    {
+        for (const auto &m : memcgs_)
+            if (m->overHigh())
+                return true;
+        return false;
+    }
+
     void attachKswapd(Kswapd *kswapd) { kswapd_ = kswapd; }
     void attachAgingDaemon(AgingDaemon *aging) { aging_ = aging; }
     /** Attach a flight recorder (nullptr detaches; off by default). */
@@ -144,9 +196,42 @@ class MemoryManager
     Simulation &sim() { return sim_; }
     FrameTable &frames() { return frames_; }
     SwapManager &swap() { return swap_; }
-    ReplacementPolicy &policy() { return policy_; }
+    /** The root memcg's policy (the single policy in legacy setups). */
+    ReplacementPolicy &policy() { return memcgs_.front()->policy(); }
     const MmConfig &config() const { return config_; }
     const FaultStats &stats() const { return stats_; }
+
+    // ---- Memory control groups --------------------------------------
+
+    std::size_t memcgCount() const { return memcgs_.size(); }
+
+    Memcg &
+    memcg(MemcgId id)
+    {
+        assert(id < memcgs_.size());
+        return *memcgs_[id];
+    }
+
+    const Memcg &
+    memcg(MemcgId id) const
+    {
+        assert(id < memcgs_.size());
+        return *memcgs_[id];
+    }
+
+    /** The memcg charged for @p space's pages. */
+    Memcg &memcgOf(const AddressSpace &space)
+    {
+        return memcg(space.memcg());
+    }
+
+    /**
+     * Global-reclaim rounds that pushed a memcg below its memory.low
+     * protection outside of overpressure (every group protected but
+     * the machine still needs memory). Must stay 0 — proportional
+     * shares are capped at `usage - low` — and MmAuditor enforces it.
+     */
+    std::uint64_t lowBreaches() const { return lowBreaches_; }
 
     /** In-flight dirty writebacks (diagnostic). */
     std::uint32_t writebacksInFlight() const { return writebacksInFlight_; }
@@ -241,6 +326,45 @@ class MemoryManager
                              Vpn vpn, bool is_write, bool fd_access,
                              CostSink &sink);
 
+    /** The lruvec (policy) owning @p space's pages. */
+    ReplacementPolicy &
+    policyFor(const AddressSpace &space)
+    {
+        return memcgOf(space).policy();
+    }
+
+    /** The memcg a charged fast-tier frame belongs to. */
+    Memcg &
+    memcgOfFrame(Pfn pfn)
+    {
+        const MemcgId id = frames_.info(pfn).memcg;
+        assert(id != kNoMemcg && "policy-visible frame not charged");
+        return memcg(id);
+    }
+
+    /**
+     * Run one reclaim batch of up to @p max victims against a single
+     * memcg's lruvec. This is the pre-memcg reclaimBatch body: direct
+     * contexts age inline, victim starvation triggers an inline aging
+     * pass (poking the background walker from kswapd context), then
+     * victims are evicted. Does NOT advance the batch counter — the
+     * caller does, once per global batch, so the audit cadence is
+     * unchanged from the singleton manager.
+     */
+    std::uint32_t reclaimFromLruvec(Memcg &mcg, std::uint32_t max,
+                                    CostSink &sink, bool direct);
+
+    /** Advance the batch counter and fire the periodic audit hook. */
+    void finishReclaimBatch();
+
+    /** Release @p pi's memcg charge if @p table is the fast tier. */
+    void
+    unchargeIfFast(FrameTable &table, PageInfoRef pi)
+    {
+        if (&table == &frames_)
+            memcg(pi.memcg).uncharge(pi);
+    }
+
     /**
      * Allocate a frame, direct-reclaiming if necessary. Returns
      * kInvalidPfn after registering @p actor as a frame waiter when no
@@ -300,9 +424,19 @@ class MemoryManager
     Simulation &sim_;
     FrameTable &frames_;
     SwapManager &swap_;
-    ReplacementPolicy &policy_;
+    /** Memory control groups, indexed by MemcgId (front is root). */
+    std::vector<std::unique_ptr<Memcg>> memcgs_;
     MmConfig config_;
     FaultStats stats_;
+
+    /**
+     * Round-robin start index for the proportional fan-out's rounding
+     * remainder; advances once per global batch so no tenant is
+     * persistently favored, deterministically.
+     */
+    std::size_t rrCursor_ = 0;
+    /** See lowBreaches(). */
+    std::uint64_t lowBreaches_ = 0;
 
     Kswapd *kswapd_ = nullptr;
     AgingDaemon *aging_ = nullptr;
@@ -333,6 +467,9 @@ class MemoryManager
     /** EMA of readahead usefulness, drives the adaptive window. */
     double raHitRate_ = 0.5;
     std::vector<Pfn> victimScratch_;
+    /** Fan-out scratch (weights/shares per memcg), reused per batch. */
+    std::vector<std::uint64_t> weightScratch_;
+    std::vector<std::uint32_t> shareScratch_;
     std::uint32_t writebacksInFlight_ = 0;
     std::uint32_t swapInsInFlight_ = 0;
 

@@ -95,6 +95,14 @@ struct MmConfig
      */
     std::uint32_t auditEvery = 0;
 
+    /**
+     * CPU penalty charged to an allocating task whose memcg is over
+     * its memory.high watermark — the allocator-throttling slowdown
+     * of the kernel's high-limit reclaim. Only reachable when a memcg
+     * configures memory.high (never in single-root setups).
+     */
+    SimDuration memcgHighThrottle = usecs(20);
+
     /** kswapd retry sleep when it can't make progress. */
     SimDuration kswapdRetrySleep = usecs(200);
     /** Retry interval for threads stalled waiting on a free frame. */

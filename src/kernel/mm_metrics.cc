@@ -49,8 +49,25 @@ attachStandardMetrics(MetricsCollector &collector, MemoryManager &mm)
         });
     }
 
-    // Policy internals (MG-LRU generations/tiers, Clock lists, ...).
-    mm.policy().registerProbes(sampler);
+    // Policy internals (MG-LRU generations/tiers, Clock lists, ...),
+    // one lruvec at a time. A single root memcg keeps the historical
+    // unprefixed probe names; multi-tenant setups scope each group's
+    // probes as "memcg.<name>.*" and add a usage gauge per group.
+    // (The pre-memcg version registered mm.policy() only — the root
+    // lruvec — leaving every other tenant's policy unsampled.)
+    if (mm.memcgCount() == 1) {
+        mm.policy().registerProbes(sampler);
+    } else {
+        for (MemcgId id = 0; id < mm.memcgCount(); ++id) {
+            Memcg &m = mm.memcg(id);
+            sampler.setPrefix("memcg." + m.name() + ".");
+            sampler.probe("usage", [&m] {
+                return static_cast<double>(m.usage());
+            });
+            m.policy().registerProbes(sampler);
+        }
+        sampler.setPrefix("");
+    }
 
     sampler.start(mm.sim().events(), collector.config().sampleEvery,
                   collector.config().maxSamples);

@@ -48,6 +48,15 @@ class AddressSpace
     std::uint32_t id() const { return id_; }
 
     /**
+     * Memory control group this space's pages are charged to (index
+     * into the MemoryManager's memcg table). Every space belongs to
+     * group 0 — the root memcg — unless a multi-tenant harness
+     * assigns it elsewhere before the first fault.
+     */
+    MemcgId memcg() const { return memcg_; }
+    void setMemcg(MemcgId id) { memcg_ = id; }
+
+    /**
      * Enable per-boot address-space layout randomization: each VMA's
      * start gets an extra random page offset, so data lands at a
      * different phase within page-table regions every boot. Region-
@@ -123,6 +132,7 @@ class AddressSpace
 
   private:
     std::uint32_t id_;
+    MemcgId memcg_ = 0;
     PageTable table_;
     std::vector<Vma> vmas_;
     Vpn nextVpn_ = 0;

@@ -73,6 +73,13 @@ struct PageInfoRef
     SwapSlot &backing;
     /** Accesses observed since residency (drives MG-LRU tiers). */
     std::uint32_t &refs;
+    /**
+     * Memory control group this frame is charged to; kNoMemcg while
+     * free or kernel-private (balloon). Written only by Memcg
+     * charge/uncharge (pagesim-lint mut-memcg) so the lane and the
+     * group's usage counter cannot diverge.
+     */
+    MemcgId &memcg;
 
     bool free() const { return space == nullptr; }
 };
@@ -91,6 +98,7 @@ struct PageInfoView
     const std::uint8_t &fromReadahead;
     const SwapSlot &backing;
     const std::uint32_t &refs;
+    const MemcgId &memcg;
 
     bool free() const { return space == nullptr; }
 };
@@ -110,7 +118,8 @@ class FrameTable
           prev_(nframes, kInvalidPfn), next_(nframes, kInvalidPfn),
           listId_(nframes, 0), gen_(nframes, 0), tier_(nframes, 0),
           file_(nframes, 0), fromReadahead_(nframes, 0),
-          backing_(nframes, kInvalidSlot), refs_(nframes, 0)
+          backing_(nframes, kInvalidSlot), refs_(nframes, 0),
+          memcg_(nframes, kNoMemcg)
     {
         freeList_.reserve(nframes);
         // Allocate ascending: push in reverse so pop_back yields pfn 0
@@ -153,6 +162,7 @@ class FrameTable
     {
         assert(space_[pfn] != nullptr);
         assert(listId_[pfn] == 0 && "frame still on a policy list");
+        assert(memcg_[pfn] == kNoMemcg && "frame still charged");
         space_[pfn] = nullptr;
         freeList_.push_back(pfn);
     }
@@ -165,7 +175,7 @@ class FrameTable
                            next_[pfn],    listId_[pfn], gen_[pfn],
                            tier_[pfn],    file_[pfn],
                            fromReadahead_[pfn], backing_[pfn],
-                           refs_[pfn]};
+                           refs_[pfn],    memcg_[pfn]};
     }
 
     PageInfoView
@@ -176,7 +186,7 @@ class FrameTable
                             next_[pfn],    listId_[pfn], gen_[pfn],
                             tier_[pfn],    file_[pfn],
                             fromReadahead_[pfn], backing_[pfn],
-                            refs_[pfn]};
+                            refs_[pfn],    memcg_[pfn]};
     }
 
     /**
@@ -211,6 +221,10 @@ class FrameTable
         fromReadahead_[pfn] = 0;
         backing_[pfn] = kInvalidSlot;
         refs_[pfn] = 0;
+        // release() asserts the lane was uncharged, so this is only a
+        // reset-contract formality (the lane name memcg_ is the raw
+        // storage, not the PageInfo member mut-memcg guards).
+        memcg_[pfn] = kNoMemcg;
     }
 
     /** Per-frame metadata lanes (structure-of-arrays, PFN-indexed). */
@@ -225,6 +239,7 @@ class FrameTable
     std::vector<std::uint8_t> fromReadahead_;
     std::vector<SwapSlot> backing_;
     std::vector<std::uint32_t> refs_;
+    std::vector<MemcgId> memcg_;
     std::vector<Pfn> freeList_;
 };
 

@@ -24,6 +24,17 @@ using SwapSlot = std::uint32_t;
 constexpr Pfn kInvalidPfn = std::numeric_limits<Pfn>::max();
 constexpr SwapSlot kInvalidSlot = std::numeric_limits<SwapSlot>::max();
 
+/**
+ * Memory control group id: dense index of a Memcg within its
+ * MemoryManager (kernel/memcg.hh). Lives here because the FrameTable
+ * keeps a per-frame memcg lane and AddressSpace carries its owning
+ * group, both below the kernel layer.
+ */
+using MemcgId = std::uint32_t;
+
+/** Lane value of a frame charged to no memcg (free/balloon/kernel). */
+constexpr MemcgId kNoMemcg = std::numeric_limits<MemcgId>::max();
+
 /** Simulated page size in bytes (x86-64 base pages). */
 constexpr std::uint64_t kPageSize = 4096;
 

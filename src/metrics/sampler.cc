@@ -8,7 +8,8 @@ namespace pagesim
 void
 PeriodicSampler::probe(std::string name, Probe fn)
 {
-    series_.names.push_back(std::move(name));
+    series_.names.push_back(prefix_.empty() ? std::move(name)
+                                            : prefix_ + name);
     series_.columns.emplace_back();
     probes_.push_back(std::move(fn));
 }

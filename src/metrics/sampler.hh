@@ -55,6 +55,14 @@ class PeriodicSampler
     /** Register a probe; must happen before start(). */
     void probe(std::string name, Probe fn);
 
+    /**
+     * Prefix prepended to every probe name registered after this call
+     * (pass "" to clear). Lets per-memcg probe families register
+     * through the same registerProbes() hook without name collisions:
+     * the collector scopes each lruvec's probes as "memcg.<name>.*".
+     */
+    void setPrefix(std::string prefix) { prefix_ = std::move(prefix); }
+
     /** Number of registered probes. */
     std::size_t probeCount() const { return probes_.size(); }
 
@@ -89,6 +97,7 @@ class PeriodicSampler
     void tick();
 
     std::vector<Probe> probes_;
+    std::string prefix_;
     SampleSeries series_;
     EventQueue *queue_ = nullptr;
     SimDuration every_ = 0;

@@ -451,6 +451,94 @@ TEST(MmAudit, PeriodicHookFiresEveryBatchAndStaysClean)
     EXPECT_EQ(h.auditor->violationsSeen(), 0u);
 }
 
+/** Two-tenant machine with both tenants' pages resident. */
+struct TwoTenantFixture
+{
+    MultiKernelHarness h;
+
+    TwoTenantFixture()
+        : h([] {
+              MultiKernelHarness::TenantSetup a;
+              a.config.name = "a";
+              MultiKernelHarness::TenantSetup b;
+              b.config.name = "b";
+              return std::vector<MultiKernelHarness::TenantSetup>{a, b};
+          }(),
+            /*nframes=*/256)
+    {
+        for (std::size_t t = 0; t < 2; ++t) {
+            Vpn next = h.base(t);
+            ProbeActor probe(h.sim, [&](ProbeActor &self) {
+                CostSink sink;
+                while (next < h.base(t) + 32) {
+                    const Outcome o = h.mm->access(
+                        self, *h.spaces[t], next, true, sink);
+                    if (o == Outcome::Blocked) {
+                        self.block();
+                        return;
+                    }
+                    ++next;
+                }
+                self.finish();
+            });
+            probe.start();
+            EXPECT_TRUE(h.sim.runToCompletion(50000000));
+        }
+    }
+
+    /** A resident fast-tier frame belonging to tenant @p t. */
+    Pfn
+    residentFrame(std::size_t t) const
+    {
+        for (Vpn v = h.base(t); v < h.base(t) + 32; ++v) {
+            const PteView p = h.spaces[t]->table().at(v);
+            if (p.present() && !p.slow())
+                return p.pfn();
+        }
+        return kInvalidPfn;
+    }
+};
+
+TEST(MmAudit, DetectsFrameChargedToWrongMemcg)
+{
+    TwoTenantFixture f;
+    const Pfn pfn = f.residentFrame(0);
+    ASSERT_NE(pfn, kInvalidPfn);
+    // Repoint tenant a's frame at tenant b's group: the lane no longer
+    // matches the owning space, and both groups' usage counters now
+    // disagree with the lane recount.
+    f.h.frames.info(pfn).memcg = 1;
+
+    const AuditReport rep = f.h.auditor->audit();
+    ASSERT_FALSE(rep.clean());
+    EXPECT_TRUE(rep.hasInvariant("frame-memcg-mismatch"))
+        << rep.toString();
+    EXPECT_TRUE(rep.hasInvariant("memcg-usage-mismatch"))
+        << rep.toString();
+    EXPECT_GE(rep.countFor(AuditSubsystem::Memcg), 3u)
+        << "mismatched frame plus one usage recount per group";
+
+    f.h.frames.info(pfn).memcg = 0; // heal for teardown
+}
+
+TEST(MmAudit, DetectsAsymmetricCharge)
+{
+    TwoTenantFixture f;
+    const Pfn pfn = f.residentFrame(1);
+    ASSERT_NE(pfn, kInvalidPfn);
+    // Clear the lane without moving usage() — the half of a charge a
+    // buggy free path would leave behind.
+    f.h.frames.info(pfn).memcg = kNoMemcg;
+
+    const AuditReport rep = f.h.auditor->audit();
+    ASSERT_FALSE(rep.clean());
+    EXPECT_TRUE(rep.hasInvariant("frame-uncharged")) << rep.toString();
+    EXPECT_TRUE(rep.hasInvariant("memcg-usage-mismatch"))
+        << rep.toString();
+
+    f.h.frames.info(pfn).memcg = 1; // heal for teardown
+}
+
 TEST(MmAudit, ViolationRenderingIsStructured)
 {
     AuditViolation v;

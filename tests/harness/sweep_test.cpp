@@ -114,6 +114,51 @@ TEST(Sweep, ResultCacheHitsAndMisses)
     expectSameResults({cache.get(cells[0])}, {runExperiment(cells[0])});
 }
 
+TEST(Sweep, ResultCacheKeyCoversResultChangingConfig)
+{
+    // Regression: every config field that can change a TrialResult
+    // must be part of the cache key, or two different cells alias to
+    // one stale entry. The memcg watermark ratios and the metrics
+    // mode are the recent additions; capacity is the historical
+    // near-miss (two ratios that round to the same percent label).
+    ResultCache cache;
+    ExperimentConfig base;
+    base.scale = ScalePreset::Small;
+    base.trials = 1;
+    base.workload = WorkloadKind::Tpch;
+    cache.get(base);
+    EXPECT_EQ(cache.misses(), 1u);
+    cache.get(base);
+    EXPECT_EQ(cache.hits(), 1u) << "identical config hits";
+
+    ExperimentConfig capped = base;
+    capped.memcgMaxRatio = 0.6;
+    cache.get(capped);
+    EXPECT_EQ(cache.misses(), 2u) << "memory.max changes reclaim";
+
+    ExperimentConfig high = base;
+    high.memcgHighRatio = 0.7;
+    cache.get(high);
+    EXPECT_EQ(cache.misses(), 3u) << "memory.high throttles allocs";
+
+    ExperimentConfig low = base;
+    low.memcgLowRatio = 0.2;
+    cache.get(low);
+    EXPECT_EQ(cache.misses(), 4u) << "memory.low shapes fan-out";
+
+    ExperimentConfig sampled = base;
+    sampled.metrics.mode = MetricsMode::Counters;
+    cache.get(sampled);
+    EXPECT_EQ(cache.misses(), 5u)
+        << "metrics mode changes what a result carries";
+
+    ExperimentConfig close = base;
+    close.capacityRatio = base.capacityRatio + 0.001;
+    cache.get(close);
+    EXPECT_EQ(cache.misses(), 6u)
+        << "full-precision capacity, not the rounded label";
+}
+
 TEST(Sweep, WorkersOverrideParsing)
 {
     // The PAGESIM_WORKERS plumbing shared by runSweep, the sharded

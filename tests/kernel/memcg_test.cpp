@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Memcg unit tests (charge accounting, watermark predicates,
+ * proportional fan-out math) plus multi-tenant behavior tests: the
+ * memory.max / memory.high / memory.low mechanisms, the aging daemon
+ * serving every memcg's lruvec, per-memcg metrics registration, and
+ * balloon frames staying uncharged. The daemon and metrics cases are
+ * regressions for pre-memcg singleton assumptions (both consulted
+ * mm.policy() — the root lruvec — only).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "kernel/mm_metrics.hh"
+#include "kernel_test_util.hh"
+#include "metrics/collector.hh"
+#include "sim/rng.hh"
+
+namespace pagesim
+{
+namespace
+{
+
+using Outcome = MemoryManager::AccessOutcome;
+
+// ---- distributeProportional --------------------------------------------
+
+TEST(DistributeProportional, SmallSumTakesEveryWeightFully)
+{
+    const std::vector<std::uint64_t> weights{10, 20, 5};
+    const auto shares = distributeProportional(weights, 100, 0);
+    ASSERT_EQ(shares.size(), 3u);
+    EXPECT_EQ(shares[0], 10u);
+    EXPECT_EQ(shares[1], 20u);
+    EXPECT_EQ(shares[2], 5u);
+}
+
+TEST(DistributeProportional, RemainderRotatesWithCursor)
+{
+    // Equal weights, batch 10: floor shares 3/3/3 and one remainder
+    // frame that must land on the cursor's memcg.
+    const std::vector<std::uint64_t> weights{10, 10, 10};
+    const std::vector<std::vector<std::uint32_t>> expect{
+        {4, 3, 3}, {3, 4, 3}, {3, 3, 4}};
+    for (std::size_t cursor = 0; cursor < 3; ++cursor) {
+        const auto shares = distributeProportional(weights, 10, cursor);
+        EXPECT_EQ(shares, expect[cursor]) << "cursor " << cursor;
+    }
+}
+
+TEST(DistributeProportional, ZeroBatchAndZeroWeights)
+{
+    const std::vector<std::uint64_t> weights{5, 7};
+    for (const std::uint32_t s :
+         distributeProportional(weights, 0, 0)) {
+        EXPECT_EQ(s, 0u);
+    }
+    const std::vector<std::uint64_t> none{0, 0, 0};
+    for (const std::uint32_t s :
+         distributeProportional(none, 32, 1)) {
+        EXPECT_EQ(s, 0u);
+    }
+}
+
+TEST(DistributeProportional, PostconditionsHoldOnRandomInputs)
+{
+    Rng rng(0xfa0u);
+    for (int iter = 0; iter < 500; ++iter) {
+        const std::size_t n = 1 + rng.nextU64() % 6;
+        std::vector<std::uint64_t> weights(n);
+        for (auto &w : weights)
+            w = rng.nextU64() % 50;
+        const auto batch =
+            static_cast<std::uint32_t>(rng.nextU64() % 100);
+        const std::size_t cursor = rng.nextU64() % n;
+        const auto shares =
+            distributeProportional(weights, batch, cursor);
+        ASSERT_EQ(shares.size(), n);
+        std::uint64_t sum_w = 0, sum_s = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_LE(shares[i], weights[i]) << "share over weight";
+            sum_w += weights[i];
+            sum_s += shares[i];
+        }
+        EXPECT_EQ(sum_s, std::min<std::uint64_t>(batch, sum_w));
+    }
+}
+
+// ---- Memcg charge accounting -------------------------------------------
+
+TEST(Memcg, ChargeMovesLaneAndUsageTogether)
+{
+    KernelHarness h(8);
+    MemcgConfig cfg;
+    cfg.name = "unit";
+    Memcg m(3, cfg, *h.policy);
+
+    std::vector<Pfn> pfns;
+    for (int i = 0; i < 3; ++i)
+        pfns.push_back(h.frames.allocate(&h.space, h.base() + i, false));
+    for (const Pfn p : pfns) {
+        ASSERT_NE(p, kInvalidPfn);
+        EXPECT_EQ(h.frames.info(p).memcg, kNoMemcg);
+        m.charge(h.frames.info(p));
+        EXPECT_EQ(h.frames.info(p).memcg, MemcgId{3});
+    }
+    EXPECT_EQ(m.usage(), 3u);
+    EXPECT_EQ(m.stats().peakUsage, 3u);
+
+    m.uncharge(h.frames.info(pfns[1]));
+    EXPECT_EQ(m.usage(), 2u);
+    EXPECT_EQ(h.frames.info(pfns[1]).memcg, kNoMemcg);
+    // Peak is a high-water mark: uncharging never lowers it.
+    EXPECT_EQ(m.stats().peakUsage, 3u);
+}
+
+TEST(Memcg, NoLimitDefaultsDegenerateToUnlimited)
+{
+    KernelHarness h(8);
+    Memcg m(0, MemcgConfig{}, *h.policy);
+    const Pfn p = h.frames.allocate(&h.space, h.base(), false);
+    m.charge(h.frames.info(p));
+
+    EXPECT_FALSE(m.config().hasLow());
+    EXPECT_FALSE(m.config().hasHigh());
+    EXPECT_FALSE(m.config().hasMax());
+    EXPECT_FALSE(m.atMax());
+    EXPECT_FALSE(m.overHigh());
+    EXPECT_EQ(m.excessHigh(), 0u);
+    // With no protection, everything charged is reclaimable — this is
+    // the proportional fan-out weight.
+    EXPECT_EQ(m.reclaimable(), m.usage());
+}
+
+TEST(Memcg, WatermarkPredicates)
+{
+    KernelHarness h(16);
+    MemcgConfig cfg;
+    cfg.low = 2;
+    cfg.high = 3;
+    cfg.max = 5;
+    Memcg m(0, cfg, *h.policy);
+
+    std::vector<Pfn> pfns;
+    for (int i = 0; i < 5; ++i) {
+        pfns.push_back(h.frames.allocate(&h.space, h.base() + i, false));
+        m.charge(h.frames.info(pfns.back()));
+    }
+    EXPECT_EQ(m.usage(), 5u);
+    EXPECT_TRUE(m.atMax());
+    EXPECT_TRUE(m.overHigh());
+    EXPECT_EQ(m.excessHigh(), 2u);
+    EXPECT_EQ(m.reclaimable(), 3u) << "usage minus memory.low";
+
+    while (m.usage() > 2)
+        m.uncharge(h.frames.info(pfns[m.usage() - 1]));
+    EXPECT_FALSE(m.atMax());
+    EXPECT_FALSE(m.overHigh());
+    EXPECT_EQ(m.reclaimable(), 0u) << "fully under protection";
+}
+
+// ---- Multi-tenant behavior ---------------------------------------------
+
+/** Actor sweeping one tenant's pages, reclaim_test-style. */
+class TenantSweep : public ProbeActor
+{
+  public:
+    TenantSweep(MultiKernelHarness &h, std::size_t tenant,
+                std::uint64_t pages, int rounds)
+        : ProbeActor(h.sim,
+                     [this](ProbeActor &self) { this->run(self); }),
+          h_(h), tenant_(tenant), pages_(pages), rounds_(rounds)
+    {
+    }
+
+    std::uint64_t touches = 0;
+
+  private:
+    void
+    run(ProbeActor &self)
+    {
+        while (round_ < rounds_) {
+            while (i_ < pages_) {
+                CostSink sink;
+                const Outcome o =
+                    h_.mm->access(self, *h_.spaces[tenant_],
+                                  h_.base(tenant_) + i_, true, sink);
+                if (o == Outcome::Blocked) {
+                    self.block();
+                    return;
+                }
+                ++touches;
+                ++i_;
+                if (touches % 32 == 0) {
+                    self.yieldAfter(sink.total() + 1000);
+                    return;
+                }
+            }
+            i_ = 0;
+            ++round_;
+        }
+        self.finish();
+    }
+
+    MultiKernelHarness &h_;
+    std::size_t tenant_;
+    std::uint64_t pages_;
+    int rounds_;
+    std::uint64_t i_ = 0;
+    int round_ = 0;
+};
+
+TEST(MemcgBehavior, MemoryMaxReclaimsInlineAndSparesNeighbors)
+{
+    // Plenty of global memory (no watermark pressure), but tenant 0 is
+    // capped at 40 frames against a 100-page working set. Its own
+    // faults must run limit-reclaim inline; tenant 1 (which fits) must
+    // see none of it.
+    // Clock tenants: eviction is always possible, so the test pins
+    // limit mechanics rather than MG-LRU's aging-gap tail (the sweep
+    // spans less sim time than minAgingGap, which would starve an
+    // MG-LRU lruvec of victims and let usage overshoot to the whole
+    // working set by design).
+    MultiKernelHarness::TenantSetup capped;
+    capped.config.name = "capped";
+    capped.config.max = 40;
+    capped.kind = PolicyKind::Clock;
+    MultiKernelHarness::TenantSetup roomy;
+    roomy.config.name = "roomy";
+    MultiKernelHarness h({capped, roomy}, /*nframes=*/256);
+
+    TenantSweep s0(h, 0, 100, 2);
+    TenantSweep s1(h, 1, 100, 2);
+    s0.start();
+    s1.start();
+    ASSERT_TRUE(h.sim.runToCompletion(500000000));
+
+    const MemcgStats &st0 = h.mm->memcg(0).stats();
+    const MemcgStats &st1 = h.mm->memcg(1).stats();
+    EXPECT_GT(st0.directReclaims, 0u) << "limit-reclaim ran inline";
+    EXPECT_GT(st0.evictions, 0u);
+    EXPECT_GT(st0.majorFaults, 0u) << "second round refaults";
+    // Overshoot is allowed while victims sit under writeback (the
+    // charge drops only when the frame frees), so peak usage is not
+    // bounded by the limit; the steady state after writebacks drain
+    // must be.
+    h.sim.events().runUntil(h.sim.now() + secs(1));
+    EXPECT_EQ(h.mm->writebacksInFlight(), 0u);
+    EXPECT_LE(h.mm->memcg(0).usage(), 40u);
+    EXPECT_EQ(st1.directReclaims, 0u) << "neighbor untouched";
+    EXPECT_EQ(st1.evictions, 0u);
+    EXPECT_EQ(st1.majorFaults, 0u);
+    EXPECT_EQ(h.mm->lowBreaches(), 0u);
+}
+
+TEST(MemcgBehavior, MemoryHighThrottlesAndKswapdPullsBack)
+{
+    MultiKernelHarness::TenantSetup hot;
+    hot.config.name = "hot";
+    hot.config.high = 40;
+    hot.kind = PolicyKind::Clock; // see MemoryMax test on why Clock
+    MultiKernelHarness h({hot}, /*nframes=*/256);
+    Kswapd kswapd(h.sim, *h.mm);
+    h.mm->attachKswapd(&kswapd);
+    kswapd.start();
+
+    TenantSweep s0(h, 0, 100, 2);
+    s0.start();
+    ASSERT_TRUE(h.sim.runToCompletion(500000000));
+
+    const MemcgStats &st = h.mm->memcg(0).stats();
+    EXPECT_GT(st.throttleEvents, 0u) << "allocations over high paid";
+    EXPECT_GT(st.peakUsage, 40u) << "the charge itself succeeds";
+    // Targeted background reclaim keeps pulling the group back under
+    // even though global free memory is fine.
+    EXPECT_GT(st.evictions, 0u);
+    h.sim.events().runUntil(h.sim.now() + secs(1));
+    EXPECT_LE(h.mm->memcg(0).usage(), 40u);
+}
+
+TEST(MemcgBehavior, MemoryLowShieldsProtectedTenant)
+{
+    // Oversubscribed machine: two 100-page working sets on 96 frames.
+    // Tenant 0's memory.low covers a 48-frame core; global reclaim
+    // must take everything from tenant 1 once tenant 0 hides under
+    // its protection. The auditor (every batch, hard-fail) enforces
+    // that no round breaches the protection.
+    MultiKernelHarness::TenantSetup shielded;
+    shielded.config.name = "shielded";
+    shielded.config.low = 48;
+    MultiKernelHarness::TenantSetup victim;
+    victim.config.name = "victim";
+    MultiKernelHarness h({shielded, victim}, /*nframes=*/96);
+    Kswapd kswapd(h.sim, *h.mm);
+    h.mm->attachKswapd(&kswapd);
+    kswapd.start();
+
+    TenantSweep s0(h, 0, 100, 3);
+    TenantSweep s1(h, 1, 100, 3);
+    s0.start();
+    s1.start();
+    ASSERT_TRUE(h.sim.runToCompletion(500000000));
+
+    const MemcgStats &shielded_st = h.mm->memcg(0).stats();
+    const MemcgStats &victim_st = h.mm->memcg(1).stats();
+    EXPECT_EQ(h.mm->lowBreaches(), 0u);
+    EXPECT_GT(shielded_st.protectedSkips, 0u)
+        << "reclaim rounds deliberately left the protected group alone";
+    EXPECT_GT(victim_st.evictions, shielded_st.evictions)
+        << "pressure lands on the unprotected tenant";
+}
+
+TEST(MemcgBehavior, AgingDaemonServesEveryMemcgsLruvec)
+{
+    // Regression: the pre-memcg daemon asked mm.policy() — the root
+    // lruvec — so in a multi-memcg machine every other tenant's MG-LRU
+    // never got a background aging pass. No memory pressure here (256
+    // frames, 64-page working sets), so the daemon is the ONLY ager:
+    // direct aging runs in reclaim contexts and there is no reclaim.
+    MultiKernelHarness::TenantSetup a;
+    a.config.name = "a";
+    MultiKernelHarness::TenantSetup b;
+    b.config.name = "b";
+    MultiKernelHarness h({a, b}, /*nframes=*/256);
+    AgingDaemon aging(h.sim, *h.mm, h.sim.forkRng("aging"));
+    h.mm->attachAgingDaemon(&aging);
+    aging.start();
+
+    TenantSweep s0(h, 0, 64, 2);
+    TenantSweep s1(h, 1, 64, 2);
+    s0.start();
+    s1.start();
+    ASSERT_TRUE(h.sim.runToCompletion(500000000));
+    EXPECT_EQ(h.mm->stats().evictions, 0u) << "no reclaim-path aging";
+    // A fresh lruvec wants aging (fewer than two generations); give
+    // the daemon simulated time to reach both tenants.
+    h.sim.events().runUntil(h.sim.now() + secs(1));
+
+    EXPECT_GT(h.policies[0]->stats().agingPasses, 0u);
+    EXPECT_GT(h.policies[1]->stats().agingPasses, 0u)
+        << "the daemon must walk every memcg's lruvec, not just root";
+}
+
+TEST(MemcgBehavior, StandardMetricsCoverEveryMemcg)
+{
+    // Regression: pre-memcg attachStandardMetrics registered
+    // mm.policy() probes only, leaving other tenants' lruvecs
+    // unsampled. Multi-memcg setups must scope each group's probes as
+    // "memcg.<name>.*" and add a usage gauge per group.
+    MultiKernelHarness::TenantSetup a;
+    a.config.name = "a";
+    MultiKernelHarness::TenantSetup b;
+    b.config.name = "b";
+    b.kind = PolicyKind::Clock;
+    MultiKernelHarness h({a, b}, /*nframes=*/256);
+
+    MetricsConfig cfg;
+    cfg.mode = MetricsMode::Full;
+    MetricsCollector collector(cfg);
+    attachStandardMetrics(collector, *h.mm);
+    collector.sampler().sampleOnce(h.sim.now());
+
+    const auto &names = collector.sampler().series().names;
+    const auto has = [&names](const std::string &n) {
+        return std::find(names.begin(), names.end(), n) != names.end();
+    };
+    EXPECT_TRUE(has("memcg.a.usage"));
+    EXPECT_TRUE(has("memcg.b.usage"));
+    EXPECT_TRUE(has("memcg.a.mglru.min_seq"))
+        << "tenant a's MG-LRU internals sampled under its prefix";
+    EXPECT_TRUE(has("memcg.b.clock.active_pages") ||
+                has("memcg.b.clock.inactive_pages"))
+        << "tenant b's Clock internals sampled under its prefix";
+    // Machine-wide probes keep their unprefixed names.
+    EXPECT_TRUE(has("mm.free_frames"));
+}
+
+TEST(MemcgBehavior, SingleMemcgKeepsUnprefixedProbeNames)
+{
+    MultiKernelHarness::TenantSetup only;
+    only.config.name = "only";
+    MultiKernelHarness h({only}, /*nframes=*/64);
+
+    MetricsConfig cfg;
+    cfg.mode = MetricsMode::Full;
+    MetricsCollector collector(cfg);
+    attachStandardMetrics(collector, *h.mm);
+
+    const auto &names = collector.sampler().series().names;
+    const auto has = [&names](const std::string &n) {
+        return std::find(names.begin(), names.end(), n) != names.end();
+    };
+    EXPECT_TRUE(has("mglru.min_seq"))
+        << "historical names preserved for single-group setups";
+}
+
+TEST(MemcgBehavior, BalloonFramesStayUncharged)
+{
+    // background_noise's balloon allocations are housekeeping frames:
+    // never policy-visible, never charged. Force the balloon to
+    // reclaim (oversubscribed machine) so the multi-memcg fan-out and
+    // the every-batch auditor both run with balloon frames live.
+    MultiKernelHarness::TenantSetup a;
+    a.config.name = "a";
+    MultiKernelHarness::TenantSetup b;
+    b.config.name = "b";
+    MultiKernelHarness h({a, b}, /*nframes=*/96);
+
+    TenantSweep s0(h, 0, 60, 2);
+    TenantSweep s1(h, 1, 60, 2);
+    s0.start();
+    s1.start();
+    ASSERT_TRUE(h.sim.runToCompletion(500000000));
+
+    const std::uint32_t charged_before =
+        h.mm->memcg(0).usage() + h.mm->memcg(1).usage();
+    std::vector<Pfn> balloon;
+    CostSink sink;
+    h.mm->balloonAllocate(16, balloon, sink);
+    ASSERT_FALSE(balloon.empty());
+    for (const Pfn p : balloon)
+        EXPECT_EQ(h.frames.info(p).memcg, kNoMemcg)
+            << "balloon frame charged to a tenant";
+    // Reclaim run by the balloon evicts tenant pages (uncharging
+    // them); it must never ADD charges.
+    EXPECT_LE(h.mm->memcg(0).usage() + h.mm->memcg(1).usage(),
+              charged_before);
+    h.mm->balloonRelease(balloon);
+    EXPECT_EQ(h.auditor->audit().violations.size(), 0u);
+}
+
+} // namespace
+} // namespace pagesim

@@ -4,7 +4,9 @@
 // testAndClearAccessed/0); the table calls and the untracked Dirty
 // write stay clean. Plus exactly three mut-pageinfo findings (the
 // prev/next/listId assignments in relink); the reads, comparisons,
-// and untracked-lane writes stay clean.
+// and untracked-lane writes stay clean. Plus exactly two mut-memcg
+// findings (the charge-lane assignments in recharge); the comparison,
+// read, and accessor calls stay clean.
 #include "mem/page_table.hh"
 
 namespace fixture
@@ -37,6 +39,19 @@ relink(PageInfoRef pi, FrameList &list, Pfn pfn)
     if (pi.next == pfn)     // comparison: clean
         pi.gen = 0;         // untracked lane: clean
     (void)p;
+}
+
+void
+recharge(PageInfoRef pi, AddressSpace &space)
+{
+    pi.memcg = 0;            // flagged: charge lane write
+    pi->memcg = kNoMemcg;    // flagged: arrow spelling too
+
+    space.setMemcg(1);       // different mutator name: clean
+    const MemcgId g = pi.memcg; // read: clean
+    if (pi.memcg == kNoMemcg)   // comparison: clean
+        (void)space.memcg();    // accessor call: clean
+    (void)g;
 }
 
 } // namespace fixture

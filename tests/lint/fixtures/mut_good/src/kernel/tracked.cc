@@ -1,6 +1,6 @@
 // Fixture: tracked mutations through PageTable plus one waived direct
-// write per rule. Expected: exactly one mut-pte finding and one
-// mut-pageinfo finding, both waived.
+// write per rule. Expected: exactly one mut-pte finding, one
+// mut-pageinfo finding, and one mut-memcg finding, all waived.
 #include "mem/page_table.hh"
 
 namespace fixture
@@ -20,6 +20,13 @@ relink(PageInfoRef pi, Pfn pfn)
 {
     // lint:pageinfo-direct-ok(fixture demonstrates the waiver path; list membership reconciled by the caller)
     pi.next = pfn;
+}
+
+void
+recharge(PageInfoRef pi)
+{
+    // lint:memcg-direct-ok(fixture demonstrates the waiver path; usage counter reconciled by the caller)
+    pi.memcg = kNoMemcg;
 }
 
 } // namespace fixture

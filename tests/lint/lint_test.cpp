@@ -113,7 +113,10 @@ TEST(LintMutator, FlagsEveryDirectPteSpelling)
     // prev/next/listId assignments in relink — and nothing for the
     // FrameList call, lane reads, comparisons, or untracked lanes.
     EXPECT_EQ(countUnwaived(r, "mut-pageinfo"), 3);
-    EXPECT_EQ(static_cast<int>(r.findings.size()), 8);
+    // memcg lane assignments in recharge — and nothing for the
+    // setMemcg/memcg() accessors, lane reads, or comparisons.
+    EXPECT_EQ(countUnwaived(r, "mut-memcg"), 2);
+    EXPECT_EQ(static_cast<int>(r.findings.size()), 10);
 }
 
 TEST(LintMutator, TrackedMutatorsAndWaiversPass)
@@ -122,6 +125,7 @@ TEST(LintMutator, TrackedMutatorsAndWaiversPass)
     EXPECT_FALSE(hasFatalFindings(r));
     EXPECT_EQ(countRule(r, "mut-pte"), 1);      // reported, waived
     EXPECT_EQ(countRule(r, "mut-pageinfo"), 1); // reported, waived
+    EXPECT_EQ(countRule(r, "mut-memcg"), 1);    // reported, waived
 }
 
 TEST(LintLayering, FlagsBackEdgesAndTestIncludes)

@@ -149,6 +149,8 @@ waiverNameFor(const std::string &rule)
         return "pte-direct-ok";
     if (rule == kRuleMutPageInfo)
         return "pageinfo-direct-ok";
+    if (rule == kRuleMutMemcg)
+        return "memcg-direct-ok";
     if (rule == kRuleLayerDag || rule == kRuleLayerTest)
         return "layer-ok";
     if (rule == kRuleChargePair)

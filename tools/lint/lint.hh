@@ -39,6 +39,7 @@ inline constexpr const char *kRuleDetUnorderedIter =
     "det-unordered-iter";
 inline constexpr const char *kRuleMutPte = "mut-pte";
 inline constexpr const char *kRuleMutPageInfo = "mut-pageinfo";
+inline constexpr const char *kRuleMutMemcg = "mut-memcg";
 inline constexpr const char *kRuleLayerDag = "layer-dag";
 inline constexpr const char *kRuleLayerTest = "layer-test";
 inline constexpr const char *kRuleChargePair = "charge-pair";

@@ -32,7 +32,12 @@ LayerConfig::layerOf(const std::string &relPath) const
 {
     const Layer *best = nullptr;
     for (const Layer &l : layers) {
-        if (startsWith(relPath, l.prefix + "/") &&
+        // A prefix names a directory ("src/mem") or a file stem
+        // ("src/kernel/memcg" covering memcg.hh/.cc). Matching only
+        // at a '/' or '.' boundary keeps "src/mem" from swallowing
+        // src/metrics/.
+        if ((startsWith(relPath, l.prefix + "/") ||
+             startsWith(relPath, l.prefix + ".")) &&
             (best == nullptr || l.prefix.size() > best->prefix.size()))
             best = &l;
     }

@@ -24,6 +24,13 @@
  * Untracked flags (Dirty, InIo, Slow, File) stay writable on the Pte
  * directly; setFlag/clearFlag on them is not flagged.
  *
+ * mut-memcg guards the memcg charge lane: a frame's PageInfo memcg
+ * field and the owning Memcg's usage counter move only together,
+ * inside Memcg::charge/uncharge — a stray `.memcg =` write makes
+ * usage() and the auditor's recount diverge. Any `x.memcg =` /
+ * `x->memcg =` assignment spelling is flagged (memcg.hh, which
+ * implements charge/uncharge, is allowlisted).
+ *
  * mut-pageinfo guards the PageInfo side the same way: the SoA link
  * lanes (prev, next, listId) thread every frame through exactly one
  * FrameList, and FrameList is the only code allowed to write them —
@@ -95,6 +102,23 @@ runMutatorRules(const SourceFile &file, const RuleContext &,
                     "' outside FrameList: generation-list membership "
                     "and the listId lane desync — use FrameList "
                     "push/remove"});
+            continue;
+        }
+
+        // mut-memcg: assignment to the PageInfo memcg charge lane.
+        // Same lone-"=" shape as mut-pageinfo; `x.memcg(` calls
+        // (AddressSpace accessor) fall through to the "(" check.
+        if (t.text == "memcg" &&
+            toks[i + 1].kind == Token::Kind::Punct &&
+            toks[i + 1].text == "=" &&
+            (i + 2 >= toks.size() ||
+             toks[i + 2].kind != Token::Kind::Punct ||
+             toks[i + 2].text != "=")) {
+            out.push_back(Finding{
+                file.relPath, t.line, kRuleMutMemcg,
+                "direct write to the PageInfo memcg lane outside "
+                    "Memcg::charge/uncharge: the lane and the group's "
+                    "usage counter desync — charge through the Memcg"});
             continue;
         }
 
