@@ -17,6 +17,7 @@
 #include "policy/mglru/bloom_filter.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+#include "sim/serialize.hh"
 #include "stats/histogram.hh"
 
 namespace
@@ -248,6 +249,94 @@ BM_RngNextU64(benchmark::State &state)
     benchmark::DoNotOptimize(acc);
 }
 BENCHMARK(BM_RngNextU64);
+
+// --- Checkpoint serializer throughput -------------------------------
+// The fast-forward path's cost model: a checkpoint is dominated by
+// streaming the page-table and frame-table SoA lanes through
+// Sink/Source. These pin the round-trip rate (bytes/second) at the
+// Small end and at the Big64M design point, so a regression in the
+// raw serializers shows up here before it shows up as a slow sweep.
+
+void
+BM_AddressSpaceSaveState(benchmark::State &state)
+{
+    AddressSpace space(0);
+    space.map("lanes", static_cast<std::uint64_t>(state.range(0)));
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        Sink sink;
+        space.saveState(sink);
+        bytes = sink.size();
+        benchmark::DoNotOptimize(sink.data().data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * bytes));
+}
+BENCHMARK(BM_AddressSpaceSaveState)->Arg(1 << 20)->Arg(1 << 26);
+
+void
+BM_AddressSpaceRestoreState(benchmark::State &state)
+{
+    const std::uint64_t pages =
+        static_cast<std::uint64_t>(state.range(0));
+    AddressSpace space(0);
+    space.map("lanes", pages);
+    Sink sink;
+    space.saveState(sink);
+    // Restore requires an identically replayed layout (the nextVpn_
+    // check the checkpoint machinery leans on).
+    AddressSpace target(0);
+    target.map("lanes", pages);
+    for (auto _ : state) {
+        Source src(sink.data().data(), sink.size());
+        const bool ok = target.restoreState(src);
+        benchmark::DoNotOptimize(ok);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * sink.size()));
+}
+BENCHMARK(BM_AddressSpaceRestoreState)->Arg(1 << 20)->Arg(1 << 26);
+
+void
+BM_FrameTableSaveState(benchmark::State &state)
+{
+    FrameTable frames(static_cast<std::uint64_t>(state.range(0)));
+    const auto space_id = [](const AddressSpace &) {
+        return std::uint32_t{0};
+    };
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        Sink sink;
+        frames.saveState(sink, space_id);
+        bytes = sink.size();
+        benchmark::DoNotOptimize(sink.data().data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * bytes));
+}
+BENCHMARK(BM_FrameTableSaveState)->Arg(1 << 20)->Arg(1 << 25);
+
+void
+BM_FrameTableRestoreState(benchmark::State &state)
+{
+    const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+    FrameTable frames(n);
+    Sink sink;
+    frames.saveState(sink,
+                     [](const AddressSpace &) { return std::uint32_t{0}; });
+    FrameTable target(n);
+    const auto space_at = [](std::uint32_t) -> AddressSpace * {
+        return nullptr;
+    };
+    for (auto _ : state) {
+        Source src(sink.data().data(), sink.size());
+        target.restoreState(src, space_at);
+        benchmark::DoNotOptimize(&target);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * sink.size()));
+}
+BENCHMARK(BM_FrameTableRestoreState)->Arg(1 << 20)->Arg(1 << 25);
 
 } // namespace
 

@@ -29,6 +29,11 @@
  *     for itself the sweep layer degrades to the serial path; the
  *     degraded_to_serial field records that so the tracked speedup is
  *     honest rather than a thread-spawn-overhead artifact.
+ *  5. Fast-forward execution: a fig06-style capacity grid swept cold
+ *     (simulating every warmup prefix) vs warm (restoring each trial
+ *     from the checkpoint cache), with a bit-identity check between
+ *     the two; plus time-to-first-measurement on the Big64M machine
+ *     with full-detail vs functional-only warmup.
  *
  * Usage: perf_core [output.json]   (default: BENCH_core.json in cwd)
  */
@@ -44,8 +49,10 @@
 #include <thread>
 #include <vector>
 
+#include "harness/checkpoint.hh"
 #include "harness/experiment.hh"
 #include "harness/sweep.hh"
+#include "harness/trial_rig.hh"
 #include "mem/address_space.hh"
 #include "mem/frame_table.hh"
 #include "policy/mglru/mglru_policy.hh"
@@ -561,7 +568,26 @@ main(int argc, char **argv)
         const bool identity = big1mFingerprintIdentity();
         std::printf("  serial/sharded fingerprint identity: %s\n",
                     identity ? "yes" : "NO");
-        return identity ? 0 : 2;
+
+        // Checkpoint round-trip at Big1M: a mid-trial snapshot must
+        // restore bit-identically at machine scale, not just on the
+        // Small cells the unit tests cover. (The serial/sharded pin
+        // above uses mgTweak, which is uncacheable by design, so this
+        // runs the plain Big1M cell.)
+        ExperimentConfig ck_cfg = bigCell(ScalePreset::Big1M);
+        const TrialResult ck_straight = runTrial(ck_cfg, ck_cfg.baseSeed);
+        const std::uint64_t ck_want = trialFingerprint(ck_straight);
+        ck_cfg.checkpointAt = ck_straight.totalTouches / 2;
+        CheckpointCache::instance().clear();
+        const std::uint64_t ck_cold =
+            trialFingerprint(runTrial(ck_cfg, ck_cfg.baseSeed));
+        const std::uint64_t ck_warm =
+            trialFingerprint(runTrial(ck_cfg, ck_cfg.baseSeed));
+        const bool ck_ok = ck_cold == ck_want && ck_warm == ck_want &&
+                           CheckpointCache::instance().hits() > 0;
+        std::printf("  Big1M checkpoint round-trip identity: %s\n",
+                    ck_ok ? "yes" : "NO");
+        return (identity && ck_ok) ? 0 : 2;
     }
 
     // --- 1. Event-queue dispatch throughput. -----------------------
@@ -782,6 +808,107 @@ main(int argc, char **argv)
     std::printf("  serial/sharded fingerprint identity (Big1M): %s\n\n",
                 big_identity ? "yes" : "NO");
 
+    // --- 6. Fast-forward: checkpointed sweep, functional warmup. ---
+    // A fig06-style capacity grid where every trial shares a long
+    // warmup prefix: the cold pass simulates each prefix and captures
+    // it; the warm pass (a re-sweep, or the same sweep re-run after a
+    // parameter tweak past the boundary) restores instead. Boundary at
+    // 80% of the trial models the warmup-dominated sweeps the cache
+    // exists for. Serial workers isolate the restore win from pool
+    // effects; the identity check keeps the speedup honest.
+    ExperimentConfig ckpt_probe;
+    ckpt_probe.workload = WorkloadKind::YcsbA;
+    ckpt_probe.policy = PolicyKind::MgLru;
+    ckpt_probe.swap = SwapKind::Ssd;
+    ckpt_probe.scale = ScalePreset::Small;
+    const std::uint64_t ckpt_touches =
+        runTrial(ckpt_probe, trialSeed(ckpt_probe, 0)).totalTouches;
+    const std::uint64_t ckpt_boundary = ckpt_touches * 4 / 5;
+    std::vector<ExperimentConfig> ckpt_cells;
+    for (double capacity : {0.4, 0.5, 0.6, 0.7}) {
+        ExperimentConfig cell = ckpt_probe;
+        cell.capacityRatio = capacity;
+        cell.trials = 3;
+        cell.checkpointAt = ckpt_boundary;
+        ckpt_cells.push_back(cell);
+    }
+    std::printf("checkpoint sweep: %zu cells x %u trials, boundary at "
+                "%llu refs, min of 3 rounds...\n",
+                ckpt_cells.size(), effectiveTrials(ckpt_cells.front()),
+                static_cast<unsigned long long>(ckpt_boundary));
+    SweepOptions ckpt_workers;
+    ckpt_workers.workers = 1;
+    double ckpt_cold_secs = 1e30;
+    double ckpt_warm_secs = 1e30;
+    bool ckpt_identical = true;
+    for (int round = 0; round < 3; ++round) {
+        CheckpointCache::instance().clear();
+        const auto cold_start = Clock::now();
+        const std::vector<ExperimentResult> cold =
+            runSweep(ckpt_cells, ckpt_workers);
+        ckpt_cold_secs =
+            std::min(ckpt_cold_secs, secondsSince(cold_start));
+
+        const auto warm_start = Clock::now();
+        const std::vector<ExperimentResult> warm =
+            runSweep(ckpt_cells, ckpt_workers);
+        ckpt_warm_secs =
+            std::min(ckpt_warm_secs, secondsSince(warm_start));
+
+        ckpt_identical = ckpt_identical && sameResults(cold, warm);
+    }
+    const double ckpt_speedup = ckpt_cold_secs / ckpt_warm_secs;
+    std::printf("  cold sweep: %.3f s\n", ckpt_cold_secs);
+    std::printf("  warm sweep: %.3f s\n", ckpt_warm_secs);
+    std::printf("  speedup:    %.2fx (identical results: %s)\n",
+                ckpt_speedup, ckpt_identical ? "yes" : "NO");
+    CheckpointCache::instance().clear();
+
+    // Time-to-first-measurement on the big machine: how long until a
+    // Big64M trial is parked at its measurement boundary, with the
+    // warmup prefix simulated at full device detail vs functionally
+    // (faults resolve instantly, no queueing/writeback detail). The
+    // boundary sits at 4/5 of the trial so the warmup prefix spans
+    // fill AND steady-state faulting — a half-trial boundary ends
+    // inside the fill phase, where no device IO exists to elide and
+    // functional warmup measures ~1x by construction.
+    const std::uint64_t big_boundary = big_trial.totalTouches * 4 / 5;
+    std::printf("big64m first measurement: boundary at %llu refs...\n",
+                static_cast<unsigned long long>(big_boundary));
+    double ff_full_secs = 0.0;
+    double ff_functional_secs = 0.0;
+    {
+        TrialRigOptions opts;
+        opts.deferObservers = true;
+        const auto start = Clock::now();
+        TrialRig rig(big_cfg, big_cfg.baseSeed, opts);
+        std::uint64_t used = 0;
+        const bool ok =
+            rig.runToBoundary(big_boundary, 2000000000ull, used);
+        ff_full_secs = secondsSince(start);
+        std::printf("  full detail: %.1f s%s\n", ff_full_secs,
+                    ok ? "" : " (boundary not reached!)");
+    }
+    {
+        TrialRigOptions opts;
+        opts.deferObservers = true;
+        opts.functional = true;
+        const auto start = Clock::now();
+        TrialRig rig(big_cfg, big_cfg.baseSeed, opts);
+        std::uint64_t used = 0;
+        const bool ok =
+            rig.runToBoundary(big_boundary, 2000000000ull, used);
+        rig.mm->setFunctionalMode(false);
+        ff_functional_secs = secondsSince(start);
+        std::printf("  functional warmup: %.1f s%s\n",
+                    ff_functional_secs,
+                    ok ? "" : " (boundary not reached!)");
+    }
+    const double ff_speedup = ff_functional_secs > 0.0
+                                  ? ff_full_secs / ff_functional_secs
+                                  : 0.0;
+    std::printf("  speedup: %.2fx\n\n", ff_speedup);
+
     // --- Emit the JSON baseline. -----------------------------------
     const unsigned cores = std::thread::hardware_concurrency();
     FILE *out = std::fopen(out_path.c_str(), "w");
@@ -880,17 +1007,40 @@ main(int argc, char **argv)
                  "    \"pooled_sweep_seconds\": %.4f,\n"
                  "    \"speedup\": %.3f,\n"
                  "    \"degraded_to_serial\": %s,\n"
-                 "    \"identical_results\": %s\n  }\n",
+                 "    \"identical_results\": %s\n  },\n",
                  cells.size(), effectiveTrials(cells.front()),
                  serial_secs, pooled_secs, sweep_speedup,
                  degraded_to_serial ? "true" : "false",
                  identical ? "true" : "false");
+    std::fprintf(out,
+                 "  \"checkpoint\": {\n"
+                 "    \"sweep\": {\n"
+                 "      \"cells\": %zu,\n"
+                 "      \"trials_per_cell\": %u,\n"
+                 "      \"boundary_refs\": %llu,\n"
+                 "      \"estimator\": \"min of 3 rounds\",\n"
+                 "      \"cold_seconds\": %.4f,\n"
+                 "      \"warm_seconds\": %.4f,\n"
+                 "      \"speedup\": %.3f,\n"
+                 "      \"identical_results\": %s\n    },\n"
+                 "    \"big64m_first_measurement\": {\n"
+                 "      \"boundary_refs\": %llu,\n"
+                 "      \"full_detail_seconds\": %.2f,\n"
+                 "      \"functional_seconds\": %.2f,\n"
+                 "      \"speedup\": %.3f\n    }\n  }\n",
+                 ckpt_cells.size(),
+                 effectiveTrials(ckpt_cells.front()),
+                 static_cast<unsigned long long>(ckpt_boundary),
+                 ckpt_cold_secs, ckpt_warm_secs, ckpt_speedup,
+                 ckpt_identical ? "true" : "false",
+                 static_cast<unsigned long long>(big_boundary),
+                 ff_full_secs, ff_functional_secs, ff_speedup);
     std::fprintf(out, "}\n");
     std::fclose(out);
     std::printf("wrote %s\n", out_path.c_str());
 
-    // Non-zero exit if the parallel sweep or the sharded scan ever
-    // diverges from the serial path — a cheap determinism canary in
-    // CI.
-    return (identical && big_identity) ? 0 : 2;
+    // Non-zero exit if the parallel sweep, the sharded scan, or a
+    // checkpoint restore ever diverges from the straight-through
+    // path — a cheap determinism canary in CI.
+    return (identical && big_identity && ckpt_identical) ? 0 : 2;
 }

@@ -98,6 +98,14 @@ class PageRankWorkload : public Workload
     std::unique_ptr<OpStream> stream(unsigned tid) override;
     SimBarrier *barrier(std::uint32_t id) override;
 
+    void
+    forEachBarrier(
+        const std::function<void(SimBarrier &)> &fn) override
+    {
+        if (barrier_)
+            fn(*barrier_);
+    }
+
   private:
     std::shared_ptr<const PrDataset> data_;
     std::string name_ = "PageRank";

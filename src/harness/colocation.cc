@@ -6,6 +6,9 @@
 #include <cstdlib>
 #include <thread>
 
+#include "harness/checkpoint.hh"
+#include "harness/trial_rig.hh"
+
 #include "check/mm_audit.hh"
 #include "kernel/background_noise.hh"
 #include "kernel/kswapd.hh"
@@ -77,15 +80,61 @@ tenantFingerprint(const TenantResult &r)
 namespace
 {
 
-/** Watermark in frames from a footprint-relative ratio (0 = off). */
-std::uint32_t
-ratioFrames(double ratio, std::uint64_t footprint, std::uint32_t off)
+/**
+ * Colocation twin of experiment.cc's buildRigAtBoundary: restore a
+ * cached snapshot into a forRestore rig, or simulate to the boundary
+ * (functionally inside the warmupRefs window) and capture one.
+ */
+std::unique_ptr<ColocationRig>
+buildColocationRigAtBoundary(const ColocationConfig &config,
+                             std::uint64_t trial_seed,
+                             std::uint64_t boundary,
+                             std::uint64_t max_events,
+                             std::uint64_t &events_used)
 {
-    if (ratio <= 0.0)
-        return off;
-    return std::max<std::uint32_t>(
-        1, static_cast<std::uint32_t>(static_cast<double>(footprint) *
-                                      ratio));
+    const bool cacheable = config.checkpointAt > 0 && !config.mgTweak;
+    const std::uint64_t hash = colocationPrefixHash(config);
+    if (cacheable) {
+        if (auto ckpt = CheckpointCache::instance().find(
+                hash, trial_seed, boundary)) {
+            TrialRigOptions opts;
+            opts.forRestore = true;
+            opts.deferObservers = true;
+            auto rig = std::make_unique<ColocationRig>(
+                config, trial_seed, opts);
+            const CheckpointError err = restoreCheckpoint(
+                rig->view(), hash, trial_seed, *ckpt);
+            if (err.ok()) {
+                rig->installObservers();
+                return rig;
+            }
+            std::fprintf(stderr,
+                         "pagesim: checkpoint restore failed (%s: %s); "
+                         "re-simulating\n",
+                         checkpointErrorKindName(err.kind),
+                         err.message.c_str());
+        }
+    }
+
+    TrialRigOptions opts;
+    opts.deferObservers = true;
+    opts.functional = config.warmupRefs > 0;
+    auto rig =
+        std::make_unique<ColocationRig>(config, trial_seed, opts);
+    const bool reached =
+        rig->runToBoundary(boundary, max_events, events_used);
+    if (rig->mm->functionalMode())
+        rig->mm->setFunctionalMode(false);
+    if (reached && cacheable) {
+        auto ckpt = std::make_shared<Checkpoint>();
+        if (captureCheckpoint(rig->view(), hash, trial_seed, boundary,
+                              *ckpt)
+                .ok()) {
+            CheckpointCache::instance().insert(std::move(ckpt));
+        }
+    }
+    rig->installObservers();
+    return rig;
 }
 
 } // namespace
@@ -96,156 +145,22 @@ runColocationTrial(const ColocationConfig &config,
 {
     assert(!config.tenants.empty());
 
-    // --- Assemble one shared machine (= one boot). -----------------
-    Simulation sim(config.numCpus, trial_seed);
+    constexpr std::uint64_t kMaxEvents = 2000000000ull;
+    const std::uint64_t boundary =
+        std::max(config.warmupRefs, config.checkpointAt);
+    std::uint64_t events_used = 0;
 
-    struct Tenant
-    {
-        std::unique_ptr<Workload> workload;
-        std::unique_ptr<AddressSpace> space;
-        std::unique_ptr<ReplacementPolicy> policy;
-        std::uint64_t footprint = 0;
-    };
-    std::vector<Tenant> tenants(config.tenants.size());
-
-    std::uint64_t total_footprint = 0;
-    for (std::size_t i = 0; i < config.tenants.size(); ++i) {
-        const TenantSpec &spec = config.tenants[i];
-        Tenant &t = tenants[i];
-        t.workload = makeWorkload(spec.workload, spec.scale);
-        t.footprint = t.workload->footprintPages();
-        total_footprint += t.footprint;
-        t.space =
-            std::make_unique<AddressSpace>(static_cast<uint32_t>(i));
-        t.space->setMemcg(static_cast<MemcgId>(i));
-        // Per-boot, per-tenant layout randomization. Mixing the tenant
-        // index in keeps every tenant's layout independent while the
-        // i == 0 stream is free to match the single-tenant harness.
-        t.space->enableAslr(splitmix64(trial_seed ^ 0xa51a51a5ull ^
-                                       (0x9e3779b97f4a7c15ull * i)));
-    }
-
-    MmConfig mm_config;
-    mm_config.totalFrames = static_cast<std::uint32_t>(
-        static_cast<double>(total_footprint) * config.capacityRatio);
-    mm_config.directReclaimBelow = std::max<std::uint32_t>(
-        mm_config.reclaimBatch, mm_config.totalFrames / 256);
-    mm_config.lowWatermark = mm_config.directReclaimBelow / 2;
-    mm_config.highWatermark = mm_config.directReclaimBelow;
-    mm_config.swapSlots =
-        static_cast<std::uint32_t>(total_footprint * 2 + 4096);
-    if (config.swap == SwapKind::Zram)
-        mm_config.readaheadPages = 1; // page-cluster=0 for zram
-
-    FrameTable frames(mm_config.totalFrames);
-
-    std::unique_ptr<SwapDevice> device;
-    if (config.swap == SwapKind::Ssd) {
-        device = std::make_unique<SsdSwapDevice>(sim.events(),
-                                                 sim.forkRng("ssd"));
+    std::unique_ptr<ColocationRig> rig;
+    if (boundary == 0) {
+        rig = std::make_unique<ColocationRig>(config, trial_seed,
+                                              TrialRigOptions{});
     } else {
-        device = std::make_unique<ZramSwapDevice>();
-    }
-    SwapManager swap(*device, mm_config.swapSlots);
-
-    // One lruvec per tenant: each policy instance sees only its own
-    // tenant's space, and its RNG stream forks off the tenant NAME so
-    // adding a tenant never perturbs another's stream.
-    const std::uint32_t frames_total = mm_config.totalFrames;
-    std::vector<MemcgSpec> specs;
-    for (std::size_t i = 0; i < config.tenants.size(); ++i) {
-        const TenantSpec &spec = config.tenants[i];
-        Tenant &t = tenants[i];
-        t.policy = makePolicy(
-            spec.policy.value_or(config.policy), frames,
-            {t.space.get()}, mm_config.costs,
-            sim.forkRng("policy-" + spec.name),
-            [frames_total, &config](MgLruConfig &mg) {
-                mg.agingLowPages =
-                    std::max<std::uint64_t>(frames_total / 8, 256);
-                mg.agingEvictGate =
-                    std::max<std::uint64_t>(frames_total / 16, 64);
-                if (config.mgTweak)
-                    config.mgTweak(mg);
-            },
-            &sim.events());
-
-        MemcgSpec ms;
-        ms.config.name = spec.name;
-        ms.config.low = ratioFrames(spec.lowRatio, t.footprint, 0);
-        ms.config.high = ratioFrames(spec.highRatio, t.footprint,
-                                     MemcgConfig::kNoLimit);
-        ms.config.max = ratioFrames(spec.maxRatio, t.footprint,
-                                    MemcgConfig::kNoLimit);
-        ms.policy = t.policy.get();
-        specs.push_back(std::move(ms));
-    }
-
-    // PAGESIM_AUDIT_EVERY: same knob and semantics as runTrial.
-    if (const auto every =
-            parseTrialsOverride(std::getenv("PAGESIM_AUDIT_EVERY")))
-        mm_config.auditEvery = *every;
-
-    MemoryManager mm(sim, frames, swap, specs, mm_config);
-
-    std::vector<const AddressSpace *> audit_spaces;
-    for (const Tenant &t : tenants)
-        audit_spaces.push_back(t.space.get());
-    std::unique_ptr<MmAuditor> auditor;
-    if (mm_config.auditEvery > 0) {
-        auditor = std::make_unique<MmAuditor>(mm, audit_spaces);
-        auditor->installPeriodic(/*hard_fail=*/true);
-    }
-
-    const MetricsConfig metrics_config = effectiveMetricsConfig(
-        [&config] {
-            ExperimentConfig e;
-            e.metrics = config.metrics;
-            return e;
-        }());
-    std::unique_ptr<MetricsCollector> collector;
-    if (metrics_config.enabled()) {
-        collector = std::make_unique<MetricsCollector>(metrics_config);
-        attachStandardMetrics(*collector, mm);
-    }
-
-    Kswapd kswapd(sim, mm);
-    mm.attachKswapd(&kswapd);
-    kswapd.start();
-
-    BackgroundNoise noise(sim, mm, sim.forkRng("noise"));
-    noise.start();
-
-    // Build every tenant and start its threads. Per-tenant env and
-    // jitter streams fork off the tenant name, for the same
-    // insulation as the policy streams.
-    struct TenantThreads
-    {
-        std::vector<std::unique_ptr<WorkThread>> threads;
-    };
-    std::vector<TenantThreads> running(tenants.size());
-    for (std::size_t i = 0; i < tenants.size(); ++i) {
-        Tenant &t = tenants[i];
-        WorkloadContext ctx;
-        ctx.mm = &mm;
-        ctx.space = t.space.get();
-        ctx.envSeed = splitmix64(trial_seed ^ 0xecedeul ^
-                                 (0x9e3779b97f4a7c15ull * i));
-        t.workload->build(ctx);
-
-        Rng jitter =
-            sim.forkRng("thread-start-" + config.tenants[i].name);
-        for (unsigned tid = 0; tid < t.workload->numThreads(); ++tid) {
-            running[i].threads.push_back(std::make_unique<WorkThread>(
-                sim, mm, *t.workload, *t.space, tid));
-            running[i].threads.back()->start(
-                jitter.uniformInt(0, 20000));
-        }
+        rig = buildColocationRigAtBoundary(config, trial_seed, boundary,
+                                           kMaxEvents, events_used);
     }
 
     // --- Run to completion. ----------------------------------------
-    constexpr std::uint64_t kMaxEvents = 2000000000ull;
-    if (!sim.runToCompletion(kMaxEvents)) {
+    if (!rig->sim.runToCompletion(kMaxEvents - events_used)) {
         std::fprintf(stderr,
                      "pagesim: colocation %s seed %llu did not "
                      "converge\n",
@@ -255,16 +170,19 @@ runColocationTrial(const ColocationConfig &config,
     }
 
     // --- Collect results. ------------------------------------------
+    Simulation &sim = rig->sim;
+    MemoryManager &mm = *rig->mm;
     ColocationTrialResult r;
     r.kernel = mm.stats();
-    r.swap = device->stats();
-    r.kswapdCpuNs = kswapd.cpuWork();
-    for (std::size_t i = 0; i < tenants.size(); ++i) {
+    r.swap = rig->device->stats();
+    r.kswapdCpuNs = rig->kswapd->cpuWork();
+    r.totalTouches = rig->totalRefs();
+    for (std::size_t i = 0; i < rig->tenants.size(); ++i) {
         TenantResult tr;
         tr.name = config.tenants[i].name;
         tr.memcgStats = mm.memcg(static_cast<MemcgId>(i)).stats();
-        tr.policy = tenants[i].policy->stats();
-        for (const auto &th : running[i].threads) {
+        tr.policy = rig->tenants[i].policy->stats();
+        for (const auto &th : rig->threads[i]) {
             tr.threadFinishNs.push_back(th->threadStats().finishTime);
             tr.threadBlockedFaults.push_back(
                 th->threadStats().blockedFaults);
@@ -272,7 +190,7 @@ runColocationTrial(const ColocationConfig &config,
                                    th->threadStats().finishTime);
         }
         if (auto *ycsb = dynamic_cast<YcsbWorkload *>(
-                tenants[i].workload.get())) {
+                rig->tenants[i].workload.get())) {
             tr.readLatency = ycsb->readLatency();
             tr.writeLatency = ycsb->writeLatency();
             const std::uint64_t nreq =
@@ -288,14 +206,14 @@ runColocationTrial(const ColocationConfig &config,
         r.runtimeNs = std::max(r.runtimeNs, tr.finishNs);
         r.tenants.push_back(std::move(tr));
     }
-    if (collector) {
-        collector->sampler().stop();
-        r.metrics = collector->snapshot(sim.now());
-        if (!metrics_config.artifactDir.empty()) {
+    if (rig->collector) {
+        rig->collector->sampler().stop();
+        r.metrics = rig->collector->snapshot(sim.now());
+        if (!rig->metricsConfig.artifactDir.empty()) {
             // One machine-wide artifact set per trial; the label
             // carries the full tenant list, and per-tenant timeseries
             // live inside it as "memcg.<name>.*" columns.
-            writeTrialArtifacts(metrics_config.artifactDir,
+            writeTrialArtifacts(rig->metricsConfig.artifactDir,
                                 config.label(), trial_seed, r.metrics);
         }
     }

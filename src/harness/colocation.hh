@@ -74,6 +74,10 @@ struct ColocationConfig
     std::function<void(MgLruConfig &)> mgTweak;
     /** Observability opt-in; same env overrides as ExperimentConfig. */
     MetricsConfig metrics;
+    /** Functional-only warmup; see ExperimentConfig::warmupRefs. */
+    std::uint64_t warmupRefs = 0;
+    /** Checkpoint boundary; see ExperimentConfig::checkpointAt. */
+    std::uint64_t checkpointAt = 0;
 
     std::string label() const;
 };
@@ -107,6 +111,8 @@ struct ColocationTrialResult
     /** Finish time of the slowest tenant. */
     SimTime runtimeNs = 0;
     SimDuration kswapdCpuNs = 0;
+    /** Workload touches issued across all tenants (boundary sizing). */
+    std::uint64_t totalTouches = 0;
     MetricsSnapshot metrics;
 };
 

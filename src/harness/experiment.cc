@@ -7,7 +7,9 @@
 #include <fstream>
 #include <mutex>
 
+#include "harness/checkpoint.hh"
 #include "harness/sweep.hh"
+#include "harness/trial_rig.hh"
 
 #include "check/mm_audit.hh"
 #include "graph/pagerank_workload.hh"
@@ -179,12 +181,14 @@ namespace
  * PAGESIM_AUDIT_EVERY=N forces a full cross-layer invariant audit
  * every N reclaim batches in every trial, aborting on the first
  * violation (the CI sanitizer job sets N=1). Unset or invalid leaves
- * the MmConfig default (off) — audits are not free.
+ * the MmConfig default (off) — audits are not free. Cached once per
+ * process like the other launch-time knobs; tests that mutate the
+ * environment call detail::refreshAuditEveryOverrideCacheForTests().
  */
-std::optional<unsigned>
-auditEveryOverride()
+std::optional<unsigned> &
+auditEveryOverrideCache()
 {
-    static const std::optional<unsigned> cache =
+    static std::optional<unsigned> cache =
         parseTrialsOverride(std::getenv("PAGESIM_AUDIT_EVERY"));
     return cache;
 }
@@ -218,6 +222,19 @@ metricsDirOverride()
 }
 
 } // namespace
+
+unsigned
+effectiveAuditEvery()
+{
+    return auditEveryOverrideCache().value_or(0);
+}
+
+void
+detail::refreshAuditEveryOverrideCacheForTests()
+{
+    auditEveryOverrideCache() =
+        parseTrialsOverride(std::getenv("PAGESIM_AUDIT_EVERY"));
+}
 
 MetricsConfig
 effectiveMetricsConfig(const ExperimentConfig &config)
@@ -259,144 +276,97 @@ writeTrialArtifacts(const std::string &dir, const std::string &label,
     return base;
 }
 
+namespace
+{
+
+/**
+ * Build a rig parked at the fast-forward boundary (max of warmupRefs
+ * and checkpointAt, > 0). With a cacheable checkpointAt, a cached
+ * snapshot short-circuits the warmup entirely: a forRestore rig is
+ * rebuilt (construction only — empty event queue) and the snapshot
+ * applied. Otherwise the machine is simulated to the boundary — in
+ * functional-only mode while inside the warmupRefs window — and, if
+ * cacheable, captured for the next caller. Observers attach only
+ * after the boundary, so the warmup runs without metrics or audits
+ * and capture/restore always sees a quiescent machine.
+ */
+std::unique_ptr<TrialRig>
+buildRigAtBoundary(const ExperimentConfig &config,
+                   std::uint64_t trial_seed, std::uint64_t boundary,
+                   std::uint64_t max_events, std::uint64_t &events_used)
+{
+    // An mgTweak hook changes the simulated machine in ways no key can
+    // capture, so such configs never touch the cache (same rule as the
+    // sweep-level ResultCache).
+    const bool cacheable = config.checkpointAt > 0 && !config.mgTweak;
+    const std::uint64_t hash = configPrefixHash(config);
+    if (cacheable) {
+        if (auto ckpt = CheckpointCache::instance().find(
+                hash, trial_seed, boundary)) {
+            TrialRigOptions opts;
+            opts.forRestore = true;
+            opts.deferObservers = true;
+            auto rig = std::make_unique<TrialRig>(config, trial_seed,
+                                                  opts);
+            const CheckpointError err = restoreCheckpoint(
+                rig->view(), hash, trial_seed, *ckpt);
+            if (err.ok()) {
+                rig->installObservers();
+                return rig;
+            }
+            // A failed apply can leave partial state behind; the rig
+            // is discarded wholesale and the trial re-simulated cold.
+            std::fprintf(stderr,
+                         "pagesim: checkpoint restore failed (%s: %s); "
+                         "re-simulating\n",
+                         checkpointErrorKindName(err.kind),
+                         err.message.c_str());
+        }
+    }
+
+    TrialRigOptions opts;
+    opts.deferObservers = true;
+    opts.functional = config.warmupRefs > 0;
+    auto rig = std::make_unique<TrialRig>(config, trial_seed, opts);
+    const bool reached =
+        rig->runToBoundary(boundary, max_events, events_used);
+    // Full detail from here on — before the capture, so cold and
+    // restored continuations run the identical machine.
+    if (rig->mm->functionalMode())
+        rig->mm->setFunctionalMode(false);
+    if (reached && cacheable) {
+        auto ckpt = std::make_shared<Checkpoint>();
+        if (captureCheckpoint(rig->view(), hash, trial_seed, boundary,
+                              *ckpt)
+                .ok()) {
+            CheckpointCache::instance().insert(std::move(ckpt));
+        }
+    }
+    rig->installObservers();
+    return rig;
+}
+
+} // namespace
+
 TrialResult
 runTrial(const ExperimentConfig &config, std::uint64_t trial_seed)
 {
-    // --- Assemble one simulated machine (= one boot). -------------
-    Simulation sim(config.numCpus, trial_seed);
+    constexpr std::uint64_t kMaxEvents = 2000000000ull;
+    const std::uint64_t boundary =
+        std::max(config.warmupRefs, config.checkpointAt);
+    std::uint64_t events_used = 0;
 
-    std::unique_ptr<Workload> workload =
-        makeWorkload(config.workload, config.scale);
-    const std::uint64_t footprint = workload->footprintPages();
-
-    MmConfig mm_config;
-    mm_config.totalFrames = static_cast<std::uint32_t>(
-        static_cast<double>(footprint) * config.capacityRatio);
-    // Cgroup-style capacity enforcement (the paper caps per-workload
-    // memory): at the limit, reclaim happens in the faulting task;
-    // the global kswapd only steps in as an emergency backstop, below
-    // the direct-reclaim threshold (global memory isn't under
-    // pressure when a cgroup hits its own limit).
-    mm_config.directReclaimBelow = std::max<std::uint32_t>(
-        mm_config.reclaimBatch, mm_config.totalFrames / 256);
-    mm_config.lowWatermark = mm_config.directReclaimBelow / 2;
-    mm_config.highWatermark = mm_config.directReclaimBelow;
-    mm_config.swapSlots =
-        static_cast<std::uint32_t>(footprint * 2 + 4096);
-    if (config.swap == SwapKind::Zram)
-        mm_config.readaheadPages = 1; // page-cluster=0 for zram
-    if (config.slowTierRatio > 0.0) {
-        mm_config.tier.slowFrames = static_cast<std::uint32_t>(
-            static_cast<double>(footprint) * config.slowTierRatio);
-    }
-
-    FrameTable frames(mm_config.totalFrames);
-    AddressSpace space(0);
-    // Per-boot layout randomization (the paper reboots per trial).
-    space.enableAslr(splitmix64(trial_seed ^ 0xa51a51a5ull));
-
-    std::unique_ptr<SwapDevice> device;
-    if (config.swap == SwapKind::Ssd) {
-        device = std::make_unique<SsdSwapDevice>(
-            sim.events(), sim.forkRng("ssd"));
+    std::unique_ptr<TrialRig> rig;
+    if (boundary == 0) {
+        rig = std::make_unique<TrialRig>(config, trial_seed,
+                                         TrialRigOptions{});
     } else {
-        device = std::make_unique<ZramSwapDevice>();
-    }
-    SwapManager swap(*device, mm_config.swapSlots);
-
-    const std::uint32_t frames_total = mm_config.totalFrames;
-    auto policy = makePolicy(
-        config.policy, frames, {&space}, mm_config.costs,
-        sim.forkRng("policy"),
-        [frames_total, &config](MgLruConfig &mg) {
-            // Aging urgency scales with capacity: keep at least 1/8 of
-            // memory outside the youngest generation, and make each
-            // generation represent ~1/16 of memory's worth of reclaim.
-            mg.agingLowPages = std::max<std::uint64_t>(
-                frames_total / 8, 256);
-            mg.agingEvictGate = std::max<std::uint64_t>(
-                frames_total / 16, 64);
-            if (config.mgTweak)
-                config.mgTweak(mg);
-        },
-        &sim.events());
-
-    if (const auto every = auditEveryOverride())
-        mm_config.auditEvery = *every;
-
-    // One memcg holds the whole workload. With no limit ratios this is
-    // the unlimited root group — the exact construction the legacy
-    // single-policy ctor delegates to, so the pinned bit-identity
-    // fingerprints cover it. Ratios translate to frame watermarks on
-    // that lone group (limit-reclaim / throttling studies).
-    MemcgSpec root_spec;
-    root_spec.policy = policy.get();
-    if (config.memcgLimitsConfigured()) {
-        root_spec.config.name = "workload";
-        const auto frames_of = [footprint](double ratio) {
-            return std::max<std::uint32_t>(
-                1, static_cast<std::uint32_t>(
-                       static_cast<double>(footprint) * ratio));
-        };
-        if (config.memcgLowRatio > 0.0)
-            root_spec.config.low = frames_of(config.memcgLowRatio);
-        if (config.memcgHighRatio > 0.0)
-            root_spec.config.high = frames_of(config.memcgHighRatio);
-        if (config.memcgMaxRatio > 0.0)
-            root_spec.config.max = frames_of(config.memcgMaxRatio);
-    }
-    MemoryManager mm(sim, frames, swap,
-                     std::vector<MemcgSpec>{root_spec}, mm_config);
-
-    std::unique_ptr<MmAuditor> auditor;
-    if (mm_config.auditEvery > 0) {
-        auditor = std::make_unique<MmAuditor>(
-            mm, std::vector<const AddressSpace *>{&space});
-        auditor->installPeriodic(/*hard_fail=*/true);
-    }
-
-    // Observability: attach before any fault can happen so spans and
-    // the t=0 sample cover the whole trial.
-    const MetricsConfig metrics_config = effectiveMetricsConfig(config);
-    std::unique_ptr<MetricsCollector> collector;
-    if (metrics_config.enabled()) {
-        collector = std::make_unique<MetricsCollector>(metrics_config);
-        attachStandardMetrics(*collector, mm);
-    }
-
-    Kswapd kswapd(sim, mm);
-    mm.attachKswapd(&kswapd);
-    kswapd.start();
-
-    // MG-LRU aging runs in reclaim contexts (try_to_inc_max_seq has
-    // no kthread of its own); under the cgroup-style limit those
-    // contexts are the faulting tasks. The AgingDaemon class remains
-    // available for configurations that want a dedicated walker
-    // (see examples/tuning_walks).
-    std::unique_ptr<AgingDaemon> aging;
-
-    // The rest of the OS: per-boot background memory/CPU bursts.
-    BackgroundNoise noise(sim, mm, sim.forkRng("noise"));
-    noise.start();
-
-    WorkloadContext ctx;
-    ctx.mm = &mm;
-    ctx.space = &space;
-    ctx.envSeed = splitmix64(trial_seed ^ 0xecedeul);
-    workload->build(ctx);
-
-    std::vector<std::unique_ptr<WorkThread>> threads;
-    Rng start_jitter = sim.forkRng("thread-start");
-    for (unsigned tid = 0; tid < workload->numThreads(); ++tid) {
-        threads.push_back(std::make_unique<WorkThread>(
-            sim, mm, *workload, space, tid));
-        // Per-boot scheduling jitter in thread start order.
-        threads.back()->start(start_jitter.uniformInt(0, 20000));
+        rig = buildRigAtBoundary(config, trial_seed, boundary,
+                                 kMaxEvents, events_used);
     }
 
     // --- Run to completion. ----------------------------------------
-    constexpr std::uint64_t kMaxEvents = 2000000000ull;
-    const bool done = sim.runToCompletion(kMaxEvents);
+    const bool done = rig->sim.runToCompletion(kMaxEvents - events_used);
     if (!done) {
         std::fprintf(stderr,
                      "pagesim: trial %s seed %llu did not converge\n",
@@ -407,24 +377,28 @@ runTrial(const ExperimentConfig &config, std::uint64_t trial_seed)
 
     // --- Collect results. -------------------------------------------
     TrialResult r;
+    Simulation &sim = rig->sim;
+    MemoryManager &mm = *rig->mm;
     r.kernel = mm.stats();
-    r.policy = policy->stats();
-    r.swap = device->stats();
+    r.policy = rig->policy->stats();
+    r.swap = rig->device->stats();
     r.tier = mm.tierStats();
-    if (auto *mg = dynamic_cast<MgLruPolicy *>(policy.get()))
+    if (auto *mg = dynamic_cast<MgLruPolicy *>(rig->policy.get()))
         r.mglru = mg->mgStats();
-    r.kswapdCpuNs = kswapd.cpuWork();
-    if (aging) {
-        r.agingCpuNs = aging->cpuWork();
-        r.agingPasses = aging->passes();
+    r.kswapdCpuNs = rig->kswapd->cpuWork();
+    if (rig->aging) {
+        r.agingCpuNs = rig->aging->cpuWork();
+        r.agingPasses = rig->aging->passes();
     }
-    for (const auto &t : threads) {
+    for (const auto &t : rig->threads) {
         r.threadFinishNs.push_back(t->threadStats().finishTime);
         r.threadBlockedFaults.push_back(
             t->threadStats().blockedFaults);
     }
+    r.totalTouches = rig->totalRefs();
 
-    if (auto *ycsb = dynamic_cast<YcsbWorkload *>(workload.get())) {
+    if (auto *ycsb =
+            dynamic_cast<YcsbWorkload *>(rig->workload.get())) {
         r.runtimeNs = sim.now() - ycsb->measureStart();
         r.majorFaults =
             mm.stats().majorFaults - ycsb->faultsAtMeasureStart();
@@ -442,11 +416,11 @@ runTrial(const ExperimentConfig &config, std::uint64_t trial_seed)
         r.runtimeNs = sim.now();
         r.majorFaults = mm.stats().majorFaults;
     }
-    if (collector) {
-        collector->sampler().stop();
-        r.metrics = collector->snapshot(sim.now());
-        if (!metrics_config.artifactDir.empty()) {
-            writeTrialArtifacts(metrics_config.artifactDir,
+    if (rig->collector) {
+        rig->collector->sampler().stop();
+        r.metrics = rig->collector->snapshot(sim.now());
+        if (!rig->metricsConfig.artifactDir.empty()) {
+            writeTrialArtifacts(rig->metricsConfig.artifactDir,
                                 config.label(), trial_seed, r.metrics);
         }
     }

@@ -133,6 +133,33 @@ struct ExperimentConfig
     double memcgHighRatio = 0.0;
     double memcgMaxRatio = 0.0;
 
+    /**
+     * Fast-forward: run the first warmupRefs workload touches in
+     * functional-only mode — faults are serviced with zero simulated
+     * device detail, metrics and the auditor stay detached — then
+     * switch to full-detail simulation at the next quiescent point.
+     * Page placement, swap contents, and policy state still evolve
+     * normally, so the measured remainder starts from a warm machine;
+     * only the warmup's timing detail is skipped. 0 disables. YCSB
+     * runs discard the warmup phase from measurement anyway (the
+     * barrier/phase marker), so warmupRefs below the load-phase size
+     * composes with it cleanly.
+     */
+    std::uint64_t warmupRefs = 0;
+
+    /**
+     * Checkpoint boundary: capture a snapshot of the whole simulated
+     * machine at the first quiescent point at or after this many
+     * workload touches, keyed in the process-global CheckpointCache by
+     * (configPrefixHash, trial seed, boundary). Later trials with the
+     * same key — other sweep cells sharing a warmup prefix, or
+     * repeated sweeps — restore the snapshot instead of re-simulating
+     * the prefix, bit-identically. With PAGESIM_CHECKPOINT_DIR set,
+     * snapshots persist across processes. 0 disables. Configs with an
+     * mgTweak hook are never cached (the hook cannot be keyed).
+     */
+    std::uint64_t checkpointAt = 0;
+
     bool
     memcgLimitsConfigured() const
     {
@@ -179,6 +206,14 @@ struct TrialResult
 
     /** Mean request latency (YCSB; 0 otherwise). */
     double meanRequestNs = 0.0;
+
+    /**
+     * Total workload touches across all threads at trial end. Not part
+     * of the result fingerprint (it is an input-side count, identical
+     * by construction); benches use it to place checkpoint boundaries
+     * as a fraction of a cell's reference stream.
+     */
+    std::uint64_t totalTouches = 0;
 
     /** Observability snapshot (empty unless metrics were enabled). */
     MetricsSnapshot metrics;
@@ -249,10 +284,20 @@ std::string writeTrialArtifacts(const std::string &dir,
                                 const MetricsSnapshot &snapshot,
                                 const std::string &tenant = "");
 
+/**
+ * The MmConfig::auditEvery value trials actually run with: the
+ * PAGESIM_AUDIT_EVERY env override if set (cached once per process),
+ * else 0. Exposed so sweep-level result caching can key on it.
+ */
+unsigned effectiveAuditEvery();
+
 namespace detail
 {
 /** Re-read PAGESIM_TRIALS; only tests mutate the environment. */
 void refreshTrialsOverrideCacheForTests();
+
+/** Re-read PAGESIM_AUDIT_EVERY; only tests mutate the environment. */
+void refreshAuditEveryOverrideCacheForTests();
 } // namespace detail
 
 } // namespace pagesim

@@ -96,8 +96,14 @@ ResultCache::key(const ExperimentConfig &config)
     // int-percent truncation aliased fine-grained tier sweeps), and
     // the memcg watermarks and metrics mode joined with the memcg
     // refactor (metrics mode never perturbs the simulation, but it
-    // does decide whether TrialResult.metrics is populated). mgTweak
-    // remains unkeyable — see the class comment.
+    // does decide whether TrialResult.metrics is populated). The
+    // effective audit cadence is keyed too: an audit-heavy run has the
+    // same counters only by luck, and a cached result must not leak
+    // across a PAGESIM_AUDIT_EVERY change. warmupRefs/checkpointAt
+    // joined with fast-forward execution (warmup changes the simulated
+    // timing detail; checkpointAt does not, but keying it keeps
+    // cached-vs-cold comparisons honest). mgTweak remains unkeyable —
+    // see the class comment.
     return config.label() + "/" + std::to_string(config.trials) + "/" +
            std::to_string(config.baseSeed) + "/" +
            std::to_string(static_cast<int>(config.scale)) + "/" +
@@ -107,7 +113,10 @@ ResultCache::key(const ExperimentConfig &config)
            std::to_string(config.memcgLowRatio) + "/" +
            std::to_string(config.memcgHighRatio) + "/" +
            std::to_string(config.memcgMaxRatio) + "/" +
-           std::to_string(static_cast<int>(config.metrics.mode));
+           std::to_string(static_cast<int>(config.metrics.mode)) + "/" +
+           std::to_string(effectiveAuditEvery()) + "/" +
+           std::to_string(config.warmupRefs) + "/" +
+           std::to_string(config.checkpointAt);
 }
 
 const ExperimentResult &

@@ -1,0 +1,420 @@
+#include "harness/trial_rig.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "kernel/mm_metrics.hh"
+#include "swap/ssd_device.hh"
+#include "swap/zram_device.hh"
+
+namespace pagesim
+{
+
+namespace
+{
+
+/** Watermark in frames from a footprint-relative ratio (0 = off). */
+std::uint32_t
+ratioFrames(double ratio, std::uint64_t footprint, std::uint32_t off)
+{
+    if (ratio <= 0.0)
+        return off;
+    return std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(static_cast<double>(footprint) *
+                                      ratio));
+}
+
+} // namespace
+
+TrialRig::TrialRig(const ExperimentConfig &config,
+                   std::uint64_t trial_seed, const TrialRigOptions &opts)
+    : config(config), trialSeed(trial_seed),
+      sim(config.numCpus, trial_seed)
+{
+    // --- Assemble one simulated machine (= one boot). ---------------
+    // The sequence below is runTrial's original build, verbatim: a
+    // restore rig replays it with the same seed, so every RNG fork and
+    // derived parameter lands identically.
+    workload = makeWorkload(config.workload, config.scale);
+    footprint = workload->footprintPages();
+
+    mmConfig.totalFrames = static_cast<std::uint32_t>(
+        static_cast<double>(footprint) * config.capacityRatio);
+    // Cgroup-style capacity enforcement (the paper caps per-workload
+    // memory): at the limit, reclaim happens in the faulting task;
+    // the global kswapd only steps in as an emergency backstop, below
+    // the direct-reclaim threshold (global memory isn't under
+    // pressure when a cgroup hits its own limit).
+    mmConfig.directReclaimBelow = std::max<std::uint32_t>(
+        mmConfig.reclaimBatch, mmConfig.totalFrames / 256);
+    mmConfig.lowWatermark = mmConfig.directReclaimBelow / 2;
+    mmConfig.highWatermark = mmConfig.directReclaimBelow;
+    mmConfig.swapSlots =
+        static_cast<std::uint32_t>(footprint * 2 + 4096);
+    if (config.swap == SwapKind::Zram)
+        mmConfig.readaheadPages = 1; // page-cluster=0 for zram
+    if (config.slowTierRatio > 0.0) {
+        mmConfig.tier.slowFrames = static_cast<std::uint32_t>(
+            static_cast<double>(footprint) * config.slowTierRatio);
+    }
+
+    frames = std::make_unique<FrameTable>(mmConfig.totalFrames);
+    space = std::make_unique<AddressSpace>(0);
+    // Per-boot layout randomization (the paper reboots per trial).
+    space->enableAslr(splitmix64(trial_seed ^ 0xa51a51a5ull));
+
+    if (config.swap == SwapKind::Ssd) {
+        device = std::make_unique<SsdSwapDevice>(sim.events(),
+                                                 sim.forkRng("ssd"));
+    } else {
+        device = std::make_unique<ZramSwapDevice>();
+    }
+    swap = std::make_unique<SwapManager>(*device, mmConfig.swapSlots);
+
+    const std::uint32_t frames_total = mmConfig.totalFrames;
+    policy = makePolicy(
+        config.policy, *frames, {space.get()}, mmConfig.costs,
+        sim.forkRng("policy"),
+        [frames_total, &config](MgLruConfig &mg) {
+            // Aging urgency scales with capacity: keep at least 1/8 of
+            // memory outside the youngest generation, and make each
+            // generation represent ~1/16 of memory's worth of reclaim.
+            mg.agingLowPages =
+                std::max<std::uint64_t>(frames_total / 8, 256);
+            mg.agingEvictGate =
+                std::max<std::uint64_t>(frames_total / 16, 64);
+            if (config.mgTweak)
+                config.mgTweak(mg);
+        },
+        &sim.events());
+
+    if (const unsigned every = effectiveAuditEvery())
+        mmConfig.auditEvery = every;
+
+    // One memcg holds the whole workload. With no limit ratios this is
+    // the unlimited root group — the exact construction the legacy
+    // single-policy ctor delegates to, so the pinned bit-identity
+    // fingerprints cover it. Ratios translate to frame watermarks on
+    // that lone group (limit-reclaim / throttling studies).
+    MemcgSpec root_spec;
+    root_spec.policy = policy.get();
+    if (config.memcgLimitsConfigured()) {
+        root_spec.config.name = "workload";
+        const std::uint64_t fp = footprint;
+        const auto frames_of = [fp](double ratio) {
+            return std::max<std::uint32_t>(
+                1, static_cast<std::uint32_t>(
+                       static_cast<double>(fp) * ratio));
+        };
+        if (config.memcgLowRatio > 0.0)
+            root_spec.config.low = frames_of(config.memcgLowRatio);
+        if (config.memcgHighRatio > 0.0)
+            root_spec.config.high = frames_of(config.memcgHighRatio);
+        if (config.memcgMaxRatio > 0.0)
+            root_spec.config.max = frames_of(config.memcgMaxRatio);
+    }
+    mm = std::make_unique<MemoryManager>(
+        sim, *frames, *swap, std::vector<MemcgSpec>{root_spec},
+        mmConfig);
+    if (opts.functional)
+        mm->setFunctionalMode(true);
+
+    // Observability: the plain path attaches before any fault can
+    // happen so spans and the t=0 sample cover the whole trial (and so
+    // its event sequence stays byte-identical to the historical
+    // harness). Deferred paths attach at the checkpoint boundary.
+    metricsConfig = effectiveMetricsConfig(config);
+    if (!opts.deferObservers)
+        installObservers();
+
+    kswapd = std::make_unique<Kswapd>(sim, *mm);
+    mm->attachKswapd(kswapd.get());
+    if (!opts.forRestore)
+        kswapd->start();
+
+    // MG-LRU aging runs in reclaim contexts (try_to_inc_max_seq has
+    // no kthread of its own); under the cgroup-style limit those
+    // contexts are the faulting tasks. The AgingDaemon class remains
+    // available for configurations that want a dedicated walker
+    // (see examples/tuning_walks).
+
+    // The rest of the OS: per-boot background memory/CPU bursts.
+    noise = std::make_unique<BackgroundNoise>(sim, *mm,
+                                              sim.forkRng("noise"));
+    if (!opts.forRestore)
+        noise->start();
+
+    WorkloadContext ctx;
+    ctx.mm = mm.get();
+    ctx.space = space.get();
+    ctx.envSeed = splitmix64(trial_seed ^ 0xecedeul);
+    workload->build(ctx);
+
+    Rng start_jitter = sim.forkRng("thread-start");
+    for (unsigned tid = 0; tid < workload->numThreads(); ++tid) {
+        threads.push_back(std::make_unique<WorkThread>(
+            sim, *mm, *workload, *space, tid));
+        // Per-boot scheduling jitter in thread start order. The jitter
+        // stream is drawn even on a restore build (where no thread
+        // starts) to keep the construction-time RNG usage identical.
+        const SimDuration jitter = start_jitter.uniformInt(0, 20000);
+        if (!opts.forRestore)
+            threads.back()->start(jitter);
+    }
+}
+
+std::uint64_t
+TrialRig::totalRefs() const
+{
+    std::uint64_t refs = 0;
+    for (const auto &t : threads)
+        refs += t->threadStats().touches;
+    return refs;
+}
+
+void
+TrialRig::installObservers()
+{
+    if (observersInstalled_)
+        return;
+    observersInstalled_ = true;
+    if (mmConfig.auditEvery > 0) {
+        auditor = std::make_unique<MmAuditor>(
+            *mm, std::vector<const AddressSpace *>{space.get()});
+        auditor->installPeriodic(/*hard_fail=*/true);
+    }
+    if (metricsConfig.enabled()) {
+        collector = std::make_unique<MetricsCollector>(metricsConfig);
+        attachStandardMetrics(*collector, *mm);
+    }
+}
+
+RigView
+TrialRig::view()
+{
+    RigView v;
+    v.sim = &sim;
+    v.mm = mm.get();
+    v.frames = frames.get();
+    v.swap = swap.get();
+    v.spaces = {space.get()};
+    v.workloads = {workload.get()};
+    v.actors.push_back(kswapd.get());
+    v.actors.push_back(noise.get());
+    for (const auto &t : threads)
+        v.actors.push_back(t.get());
+    return v;
+}
+
+bool
+TrialRig::runToBoundary(std::uint64_t target_refs,
+                        std::uint64_t max_events,
+                        std::uint64_t &events_used)
+{
+    while (sim.foregroundRunning() > 0 && events_used < max_events) {
+        if (totalRefs() >= target_refs && mm->quiescentForCheckpoint())
+            return true;
+        if (!sim.events().runOne())
+            return false;
+        ++events_used;
+    }
+    return false;
+}
+
+ColocationRig::ColocationRig(const ColocationConfig &config,
+                             std::uint64_t trial_seed,
+                             const TrialRigOptions &opts)
+    : config(config), trialSeed(trial_seed),
+      sim(config.numCpus, trial_seed), tenants(config.tenants.size())
+{
+    assert(!config.tenants.empty());
+
+    // --- Assemble one shared machine (= one boot); the sequence is
+    // runColocationTrial's original build, verbatim. -----------------
+    for (std::size_t i = 0; i < config.tenants.size(); ++i) {
+        const TenantSpec &spec = config.tenants[i];
+        Tenant &t = tenants[i];
+        t.workload = makeWorkload(spec.workload, spec.scale);
+        t.footprint = t.workload->footprintPages();
+        totalFootprint += t.footprint;
+        t.space =
+            std::make_unique<AddressSpace>(static_cast<uint32_t>(i));
+        t.space->setMemcg(static_cast<MemcgId>(i));
+        // Per-boot, per-tenant layout randomization. Mixing the tenant
+        // index in keeps every tenant's layout independent while the
+        // i == 0 stream is free to match the single-tenant harness.
+        t.space->enableAslr(splitmix64(trial_seed ^ 0xa51a51a5ull ^
+                                       (0x9e3779b97f4a7c15ull * i)));
+    }
+
+    mmConfig.totalFrames = static_cast<std::uint32_t>(
+        static_cast<double>(totalFootprint) * config.capacityRatio);
+    mmConfig.directReclaimBelow = std::max<std::uint32_t>(
+        mmConfig.reclaimBatch, mmConfig.totalFrames / 256);
+    mmConfig.lowWatermark = mmConfig.directReclaimBelow / 2;
+    mmConfig.highWatermark = mmConfig.directReclaimBelow;
+    mmConfig.swapSlots =
+        static_cast<std::uint32_t>(totalFootprint * 2 + 4096);
+    if (config.swap == SwapKind::Zram)
+        mmConfig.readaheadPages = 1; // page-cluster=0 for zram
+
+    frames = std::make_unique<FrameTable>(mmConfig.totalFrames);
+
+    if (config.swap == SwapKind::Ssd) {
+        device = std::make_unique<SsdSwapDevice>(sim.events(),
+                                                 sim.forkRng("ssd"));
+    } else {
+        device = std::make_unique<ZramSwapDevice>();
+    }
+    swap = std::make_unique<SwapManager>(*device, mmConfig.swapSlots);
+
+    // One lruvec per tenant: each policy instance sees only its own
+    // tenant's space, and its RNG stream forks off the tenant NAME so
+    // adding a tenant never perturbs another's stream.
+    const std::uint32_t frames_total = mmConfig.totalFrames;
+    std::vector<MemcgSpec> specs;
+    for (std::size_t i = 0; i < config.tenants.size(); ++i) {
+        const TenantSpec &spec = config.tenants[i];
+        Tenant &t = tenants[i];
+        t.policy = makePolicy(
+            spec.policy.value_or(config.policy), *frames,
+            {t.space.get()}, mmConfig.costs,
+            sim.forkRng("policy-" + spec.name),
+            [frames_total, &config](MgLruConfig &mg) {
+                mg.agingLowPages =
+                    std::max<std::uint64_t>(frames_total / 8, 256);
+                mg.agingEvictGate =
+                    std::max<std::uint64_t>(frames_total / 16, 64);
+                if (config.mgTweak)
+                    config.mgTweak(mg);
+            },
+            &sim.events());
+
+        MemcgSpec ms;
+        ms.config.name = spec.name;
+        ms.config.low = ratioFrames(spec.lowRatio, t.footprint, 0);
+        ms.config.high = ratioFrames(spec.highRatio, t.footprint,
+                                     MemcgConfig::kNoLimit);
+        ms.config.max = ratioFrames(spec.maxRatio, t.footprint,
+                                    MemcgConfig::kNoLimit);
+        ms.policy = t.policy.get();
+        specs.push_back(std::move(ms));
+    }
+
+    // PAGESIM_AUDIT_EVERY: same knob and semantics as runTrial.
+    if (const unsigned every = effectiveAuditEvery())
+        mmConfig.auditEvery = every;
+
+    mm = std::make_unique<MemoryManager>(sim, *frames, *swap, specs,
+                                         mmConfig);
+    if (opts.functional)
+        mm->setFunctionalMode(true);
+
+    metricsConfig = effectiveMetricsConfig([&config] {
+        ExperimentConfig e;
+        e.metrics = config.metrics;
+        return e;
+    }());
+    if (!opts.deferObservers)
+        installObservers();
+
+    kswapd = std::make_unique<Kswapd>(sim, *mm);
+    mm->attachKswapd(kswapd.get());
+    if (!opts.forRestore)
+        kswapd->start();
+
+    noise = std::make_unique<BackgroundNoise>(sim, *mm,
+                                              sim.forkRng("noise"));
+    if (!opts.forRestore)
+        noise->start();
+
+    // Build every tenant and start its threads. Per-tenant env and
+    // jitter streams fork off the tenant name, for the same
+    // insulation as the policy streams.
+    threads.resize(tenants.size());
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        Tenant &t = tenants[i];
+        WorkloadContext ctx;
+        ctx.mm = mm.get();
+        ctx.space = t.space.get();
+        ctx.envSeed = splitmix64(trial_seed ^ 0xecedeul ^
+                                 (0x9e3779b97f4a7c15ull * i));
+        t.workload->build(ctx);
+
+        Rng jitter =
+            sim.forkRng("thread-start-" + config.tenants[i].name);
+        for (unsigned tid = 0; tid < t.workload->numThreads(); ++tid) {
+            threads[i].push_back(std::make_unique<WorkThread>(
+                sim, *mm, *t.workload, *t.space, tid));
+            const SimDuration delay = jitter.uniformInt(0, 20000);
+            if (!opts.forRestore)
+                threads[i].back()->start(delay);
+        }
+    }
+}
+
+std::uint64_t
+ColocationRig::totalRefs() const
+{
+    std::uint64_t refs = 0;
+    for (const auto &tenant : threads)
+        for (const auto &t : tenant)
+            refs += t->threadStats().touches;
+    return refs;
+}
+
+void
+ColocationRig::installObservers()
+{
+    if (observersInstalled_)
+        return;
+    observersInstalled_ = true;
+    if (mmConfig.auditEvery > 0) {
+        std::vector<const AddressSpace *> audit_spaces;
+        for (const Tenant &t : tenants)
+            audit_spaces.push_back(t.space.get());
+        auditor = std::make_unique<MmAuditor>(*mm, audit_spaces);
+        auditor->installPeriodic(/*hard_fail=*/true);
+    }
+    if (metricsConfig.enabled()) {
+        collector = std::make_unique<MetricsCollector>(metricsConfig);
+        attachStandardMetrics(*collector, *mm);
+    }
+}
+
+RigView
+ColocationRig::view()
+{
+    RigView v;
+    v.sim = &sim;
+    v.mm = mm.get();
+    v.frames = frames.get();
+    v.swap = swap.get();
+    for (Tenant &t : tenants) {
+        v.spaces.push_back(t.space.get());
+        v.workloads.push_back(t.workload.get());
+    }
+    v.actors.push_back(kswapd.get());
+    v.actors.push_back(noise.get());
+    for (const auto &tenant : threads)
+        for (const auto &t : tenant)
+            v.actors.push_back(t.get());
+    return v;
+}
+
+bool
+ColocationRig::runToBoundary(std::uint64_t target_refs,
+                             std::uint64_t max_events,
+                             std::uint64_t &events_used)
+{
+    while (sim.foregroundRunning() > 0 && events_used < max_events) {
+        if (totalRefs() >= target_refs && mm->quiescentForCheckpoint())
+            return true;
+        if (!sim.events().runOne())
+            return false;
+        ++events_used;
+    }
+    return false;
+}
+
+} // namespace pagesim

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * TrialRig / ColocationRig: one assembled simulated machine as an
+ * object.
+ *
+ * runTrial and runColocationTrial used to build the machine inline and
+ * tear it down at scope exit, which made mid-trial surgery impossible.
+ * The rigs lift that assembly into structs whose members are declared
+ * in construction order (so destruction order matches the old scopes
+ * exactly), reproducing the original build byte for byte: same
+ * component construction sequence, same RNG forks, same actor start
+ * order. On top of that they add the three degrees of freedom
+ * fast-forward simulation needs:
+ *
+ *  - forRestore: build the machine but start NO actors, leaving the
+ *    event queue empty for restoreCheckpoint() to repopulate;
+ *  - deferObservers: skip the auditor/metrics attach at build time
+ *    (both must be detached across a checkpoint boundary; the plain
+ *    path still attaches inline, preserving its exact event sequence);
+ *  - functional: start the MemoryManager in functional-only mode, so
+ *    the warmup prefix runs with zero simulated device detail.
+ *
+ * The rigs also expose the RigView the checkpoint machinery consumes
+ * and the one-event-at-a-time boundary loop that parks the machine at
+ * the first quiescent point past a reference-count target.
+ */
+
+#ifndef PAGESIM_HARNESS_TRIAL_RIG_HH
+#define PAGESIM_HARNESS_TRIAL_RIG_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "check/mm_audit.hh"
+#include "harness/checkpoint.hh"
+#include "harness/colocation.hh"
+#include "harness/experiment.hh"
+#include "kernel/aging_daemon.hh"
+#include "kernel/background_noise.hh"
+#include "kernel/kswapd.hh"
+#include "kernel/memory_manager.hh"
+#include "mem/address_space.hh"
+#include "mem/frame_table.hh"
+#include "sim/simulation.hh"
+#include "swap/swap_manager.hh"
+#include "workload/work_thread.hh"
+
+namespace pagesim
+{
+
+/** How to assemble a rig; see the file comment. */
+struct TrialRigOptions
+{
+    /** Build everything but start no actors (restore target). */
+    bool forRestore = false;
+    /** Leave auditor + metrics detached; installObservers() attaches. */
+    bool deferObservers = false;
+    /** Begin in functional-only warmup mode. */
+    bool functional = false;
+};
+
+/** One single-tenant simulated machine (runTrial's build, lifted). */
+class TrialRig
+{
+  public:
+    TrialRig(const ExperimentConfig &config, std::uint64_t trial_seed,
+             const TrialRigOptions &opts);
+
+    TrialRig(const TrialRig &) = delete;
+    TrialRig &operator=(const TrialRig &) = delete;
+
+    /** Total workload touches so far, across all threads. */
+    std::uint64_t totalRefs() const;
+
+    /**
+     * Attach the auditor and metrics collector (no-op if already
+     * attached, or if the config enables neither). The plain path
+     * attaches at build; deferred paths call this at the boundary —
+     * after a capture or restore, never before (a live collector
+     * vetoes quiescence).
+     */
+    void installObservers();
+
+    /** The checkpoint machinery's view of this machine. */
+    RigView view();
+
+    /**
+     * Run one event at a time until the machine sits at a quiescent
+     * point with totalRefs() >= @p target_refs. @p events_used
+     * accumulates the events spent (the caller deducts them from the
+     * trial's event budget). Returns false when the workload finished
+     * or the budget ran out before the boundary was reached.
+     */
+    bool runToBoundary(std::uint64_t target_refs,
+                       std::uint64_t max_events,
+                       std::uint64_t &events_used);
+
+    // Members in construction order; destruction (reverse) matches the
+    // old runTrial scope exactly.
+    ExperimentConfig config;
+    std::uint64_t trialSeed;
+    std::uint64_t footprint = 0;
+    MmConfig mmConfig;
+    MetricsConfig metricsConfig;
+    Simulation sim;
+    std::unique_ptr<Workload> workload;
+    std::unique_ptr<FrameTable> frames;
+    std::unique_ptr<AddressSpace> space;
+    std::unique_ptr<SwapDevice> device;
+    std::unique_ptr<SwapManager> swap;
+    std::unique_ptr<ReplacementPolicy> policy;
+    std::unique_ptr<MemoryManager> mm;
+    std::unique_ptr<MmAuditor> auditor;
+    std::unique_ptr<MetricsCollector> collector;
+    std::unique_ptr<Kswapd> kswapd;
+    /** Dedicated aging walker; unused by the harness (stays null). */
+    std::unique_ptr<AgingDaemon> aging;
+    std::unique_ptr<BackgroundNoise> noise;
+    std::vector<std::unique_ptr<WorkThread>> threads;
+
+  private:
+    bool observersInstalled_ = false;
+};
+
+/** One multi-tenant machine (runColocationTrial's build, lifted). */
+class ColocationRig
+{
+  public:
+    ColocationRig(const ColocationConfig &config,
+                  std::uint64_t trial_seed, const TrialRigOptions &opts);
+
+    ColocationRig(const ColocationRig &) = delete;
+    ColocationRig &operator=(const ColocationRig &) = delete;
+
+    std::uint64_t totalRefs() const;
+    void installObservers();
+    RigView view();
+    bool runToBoundary(std::uint64_t target_refs,
+                       std::uint64_t max_events,
+                       std::uint64_t &events_used);
+
+    /** Per-tenant components (workload/space/policy construction). */
+    struct Tenant
+    {
+        std::unique_ptr<Workload> workload;
+        std::unique_ptr<AddressSpace> space;
+        std::unique_ptr<ReplacementPolicy> policy;
+        std::uint64_t footprint = 0;
+    };
+
+    ColocationConfig config;
+    std::uint64_t trialSeed;
+    std::uint64_t totalFootprint = 0;
+    MmConfig mmConfig;
+    MetricsConfig metricsConfig;
+    Simulation sim;
+    std::vector<Tenant> tenants;
+    std::unique_ptr<FrameTable> frames;
+    std::unique_ptr<SwapDevice> device;
+    std::unique_ptr<SwapManager> swap;
+    std::unique_ptr<MemoryManager> mm;
+    std::unique_ptr<MmAuditor> auditor;
+    std::unique_ptr<MetricsCollector> collector;
+    std::unique_ptr<Kswapd> kswapd;
+    std::unique_ptr<BackgroundNoise> noise;
+    /** threads[i] = tenant i's threads (tenant-major actor order). */
+    std::vector<std::vector<std::unique_ptr<WorkThread>>> threads;
+
+  private:
+    bool observersInstalled_ = false;
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_HARNESS_TRIAL_RIG_HH

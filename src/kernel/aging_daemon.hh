@@ -31,6 +31,26 @@ class AgingDaemon : public SimActor
     /** Aging passes this daemon executed. */
     std::uint64_t passes() const { return passes_; }
 
+    void
+    saveState(Sink &sink) const override
+    {
+        SimActor::saveState(sink);
+        sink.u64(passes_);
+        sink.u64(cursor_);
+        sink.u64(pendingSleepNs_);
+        rng_.saveState(sink);
+    }
+
+    void
+    restoreState(Source &src) override
+    {
+        SimActor::restoreState(src);
+        passes_ = src.u64();
+        cursor_ = src.u64();
+        pendingSleepNs_ = src.u64();
+        rng_.restoreState(src);
+    }
+
   protected:
     void step() override;
 

@@ -31,6 +31,22 @@ class Kswapd : public SimActor
     /** Reclaim rounds that made no progress. */
     std::uint64_t stalls() const { return stalls_; }
 
+    void
+    saveState(Sink &sink) const override
+    {
+        SimActor::saveState(sink);
+        sink.u64(reclaimed_);
+        sink.u64(stalls_);
+    }
+
+    void
+    restoreState(Source &src) override
+    {
+        SimActor::restoreState(src);
+        reclaimed_ = src.u64();
+        stalls_ = src.u64();
+    }
+
   protected:
     void step() override;
 

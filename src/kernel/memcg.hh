@@ -188,6 +188,43 @@ class Memcg
         return usage_ > config_.low ? usage_ - config_.low : 0;
     }
 
+    /**
+     * Checkpoint the counters and the lruvec. usage_ is captured as a
+     * plain value: the per-frame memcg lane it must agree with is
+     * restored wholesale by FrameTable, and the auditor recounts the
+     * pair on the next audit exactly as in a straight-through run.
+     */
+    void
+    saveState(Sink &sink) const
+    {
+        sink.u64(stats_.minorFaults);
+        sink.u64(stats_.majorFaults);
+        sink.u64(stats_.ioWaitFaults);
+        sink.u64(stats_.directReclaims);
+        sink.u64(stats_.evictions);
+        sink.u64(stats_.throttleEvents);
+        sink.u64(stats_.protectedSkips);
+        sink.u32(stats_.peakUsage);
+        sink.u32(usage_);
+        policy_.saveState(sink);
+    }
+
+    /** Restore state captured by saveState(). */
+    void
+    restoreState(Source &src)
+    {
+        stats_.minorFaults = src.u64();
+        stats_.majorFaults = src.u64();
+        stats_.ioWaitFaults = src.u64();
+        stats_.directReclaims = src.u64();
+        stats_.evictions = src.u64();
+        stats_.throttleEvents = src.u64();
+        stats_.protectedSkips = src.u64();
+        stats_.peakUsage = src.u32();
+        usage_ = src.u32();
+        policy_.restoreState(src);
+    }
+
   private:
     MemcgId id_;
     MemcgConfig config_;

@@ -151,6 +151,17 @@ MemoryManager::accessImpl(SimActor &actor, AddressSpace &space, Vpn vpn,
     const std::uint32_t shadow = pte.shadow();
     SwapDevice &dev = swap_.device();
 
+    if (functional_) {
+        // Fast-forward warmup: service the swap-in inline with zero
+        // device detail. Residency, policy state, and the swap ledger
+        // converge to a warm state; device time is not modeled.
+        finishSwapIn(space, vpn, slot, pfn, ResidencyKind::SwapInDemand,
+                     shadow, fd_access);
+        if (is_write)
+            pte.setFlag(Pte::Dirty);
+        return AccessOutcome::SyncFault;
+    }
+
     if (dev.synchronous()) {
         // ZRAM-style: the faulting thread decompresses on-CPU.
         const SimDuration devCpu = dev.cpuCost(slot, false);
@@ -547,6 +558,17 @@ MemoryManager::swapOutPage(FrameTable &table, Pfn pfn,
     ++stats_.dirtyWritebacks;
     traceEmit(TraceEvent::DirtyWriteback, vpn);
     SwapDevice &dev = swap_.device();
+    if (functional_) {
+        // Fast-forward warmup: the write "lands" instantly. Contents
+        // are still recorded so a compressing device's pool tracks the
+        // real mix of page contents it would hold after warmup.
+        swap_.recordContents(slot, contentTag(space, vpn));
+        pi.backing = kInvalidSlot;
+        unchargeIfFast(table, pi);
+        table.release(pfn);
+        wakeFrameWaiters();
+        return;
+    }
     if (dev.synchronous()) {
         // ZRAM: compression is CPU work in the reclaiming context.
         // Record the slot's new contents BEFORE deriving the CPU cost:
@@ -651,7 +673,7 @@ MemoryManager::completeWriteback(FrameTable &table, AddressSpace &space,
 void
 MemoryManager::issueReadahead(AddressSpace &space, Vpn vpn)
 {
-    if (config_.readaheadPages <= 1)
+    if (config_.readaheadPages <= 1 || functional_)
         return;
     Memcg &mcg = memcgOf(space);
     if (mcg.atMax())
@@ -738,6 +760,78 @@ MemoryManager::wakeFrameWaiters()
     frameWaiters_.clear();
     for (SimActor *actor : waiters)
         actor->wake();
+}
+
+void
+MemoryManager::saveState(
+    Sink &sink,
+    const std::function<std::uint32_t(const AddressSpace &)> &space_id)
+    const
+{
+    assert(quiescentForCheckpoint());
+    sink.u64(stats_.majorFaults);
+    sink.u64(stats_.minorFaults);
+    sink.u64(stats_.ioWaitFaults);
+    sink.u64(stats_.evictions);
+    sink.u64(stats_.dirtyWritebacks);
+    sink.u64(stats_.cleanDrops);
+    sink.u64(stats_.writebackRemaps);
+    sink.u64(stats_.readaheadReads);
+    sink.u64(stats_.readaheadHits);
+    sink.u64(stats_.directReclaims);
+    sink.u64(stats_.directAging);
+    sink.u64(stats_.allocStalls);
+    sink.u64(rrCursor_);
+    sink.u64(lowBreaches_);
+    sink.u64(balloonVpn_);
+    sink.f64(raHitRate_);
+    sink.u64(reclaimBatches_);
+    sink.u64(tierStats_.demotions);
+    sink.u64(tierStats_.promotions);
+    sink.u64(tierStats_.slowHits);
+    sink.u64(tierStats_.slowEvictions);
+    slowFrames_.saveState(sink, space_id);
+    slowList_.saveState(sink);
+    sink.u32(static_cast<std::uint32_t>(memcgs_.size()));
+    for (const auto &m : memcgs_)
+        m->saveState(sink);
+}
+
+void
+MemoryManager::restoreState(
+    Source &src,
+    const std::function<AddressSpace *(std::uint32_t)> &space_at)
+{
+    stats_.majorFaults = src.u64();
+    stats_.minorFaults = src.u64();
+    stats_.ioWaitFaults = src.u64();
+    stats_.evictions = src.u64();
+    stats_.dirtyWritebacks = src.u64();
+    stats_.cleanDrops = src.u64();
+    stats_.writebackRemaps = src.u64();
+    stats_.readaheadReads = src.u64();
+    stats_.readaheadHits = src.u64();
+    stats_.directReclaims = src.u64();
+    stats_.directAging = src.u64();
+    stats_.allocStalls = src.u64();
+    rrCursor_ = src.u64();
+    lowBreaches_ = src.u64();
+    balloonVpn_ = src.u64();
+    raHitRate_ = src.f64();
+    reclaimBatches_ = src.u64();
+    tierStats_.demotions = src.u64();
+    tierStats_.promotions = src.u64();
+    tierStats_.slowHits = src.u64();
+    tierStats_.slowEvictions = src.u64();
+    slowFrames_.restoreState(src, space_at);
+    slowList_.restoreState(src);
+    const std::uint32_t n = src.u32();
+    // A count mismatch means the caller skipped the config-hash and
+    // fingerprint validation that guards restore — programming error.
+    assert(n == memcgs_.size());
+    (void)n;
+    for (auto &m : memcgs_)
+        m->restoreState(src);
 }
 
 } // namespace pagesim

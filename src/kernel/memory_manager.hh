@@ -193,6 +193,59 @@ class MemoryManager
      */
     void attachMetrics(MetricsCollector *metrics) { metrics_ = metrics; }
 
+    /**
+     * Functional-only fast-forward mode (checkpoint warmup). While
+     * set, faults are serviced with zero simulated device detail:
+     * major faults complete inline regardless of device type, dirty
+     * evictions complete inline (the swap ledger still records
+     * contents so a ZRAM pool stays warm), and swap readahead is
+     * suppressed. The memory state — residency, policy lists, swap
+     * contents — still converges to a realistic warm state; simulated
+     * device time does not, which is exactly the representative-
+     * interval trade (DESIGN.md Sec. 4h). Must not be toggled while
+     * I/O is in flight.
+     */
+    void
+    setFunctionalMode(bool on)
+    {
+        assert(writebacksInFlight_ == 0 && swapInsInFlight_ == 0);
+        functional_ = on;
+    }
+
+    bool functionalMode() const { return functional_; }
+
+    /**
+     * Is the manager at a checkpointable quiescent point? True when
+     * no I/O is in flight, no retry timer is armed, no actor waits on
+     * a frame or an I/O, the swap device itself is idle, and no
+     * metrics collector is attached (span state is not serialized).
+     */
+    bool
+    quiescentForCheckpoint() const
+    {
+        return writebacksInFlight_ == 0 && swapInsInFlight_ == 0 &&
+               !stallRetryArmed_ && ioWaiters_.empty() &&
+               frameWaiters_.empty() && metrics_ == nullptr &&
+               swap_.device().quiescent();
+    }
+
+    /**
+     * Checkpoint the kernel layer: fault/tier counters, fan-out
+     * cursor, readahead EMA, balloon cursor, the slow tier (frames +
+     * FIFO), and every memcg (counters, usage, and its lruvec via
+     * ReplacementPolicy::saveState). The fast-tier FrameTable and the
+     * swap manager are serialized by the caller as their own sections.
+     * Only valid at a quiescent point (see quiescentForCheckpoint()).
+     */
+    void saveState(Sink &sink,
+                   const std::function<std::uint32_t(
+                       const AddressSpace &)> &space_id) const;
+
+    /** Restore state captured by saveState(). */
+    void restoreState(Source &src,
+                      const std::function<AddressSpace *(
+                          std::uint32_t)> &space_at);
+
     Simulation &sim() { return sim_; }
     FrameTable &frames() { return frames_; }
     SwapManager &swap() { return swap_; }
@@ -264,6 +317,8 @@ class MemoryManager
 
     /** Owner tag of balloon frames (their vpns index no page table). */
     const AddressSpace &balloonSpace() const { return balloonSpace_; }
+    /** Mutable balloon space (checkpoint space-id mapping only). */
+    AddressSpace &balloonSpace() { return balloonSpace_; }
 
     /** Demotion-order FIFO over slow-tier frames. */
     const FrameList &slowList() const { return slowList_; }
@@ -464,6 +519,8 @@ class MemoryManager
     std::vector<SimActor *> frameWaiters_;
     /** A frame-stall retry timer is pending. */
     bool stallRetryArmed_ = false;
+    /** Functional-only fast-forward mode (see setFunctionalMode). */
+    bool functional_ = false;
     /** EMA of readahead usefulness, drives the adaptive window. */
     double raHitRate_ = 0.5;
     std::vector<Pfn> victimScratch_;

@@ -86,6 +86,34 @@ class YcsbWorkload : public Workload
         return faultsAtMeasureStart_;
     }
 
+    void
+    forEachBarrier(
+        const std::function<void(SimBarrier &)> &fn) override
+    {
+        if (barrier_)
+            fn(*barrier_);
+    }
+
+    void
+    saveState(Sink &sink) const override
+    {
+        sink.boolean(measuring_);
+        sink.u64(measureStart_);
+        sink.u64(faultsAtMeasureStart_);
+        readHist_.saveState(sink);
+        writeHist_.saveState(sink);
+    }
+
+    void
+    restoreState(Source &src) override
+    {
+        measuring_ = src.boolean();
+        measureStart_ = src.u64();
+        faultsAtMeasureStart_ = src.u64();
+        readHist_.restoreState(src);
+        writeHist_.restoreState(src);
+    }
+
   private:
     friend class YcsbStream;
 

@@ -108,6 +108,9 @@ class AddressSpace
     PageTable &table() { return table_; }
     const PageTable &table() const { return table_; }
 
+    /** Bump-allocator cursor (checkpoint layout-replay check). */
+    Vpn nextVpn() const { return nextVpn_; }
+
     const std::vector<Vma> &vmas() const { return vmas_; }
 
     /** Find the VMA containing @p vpn, or nullptr. */
@@ -128,6 +131,35 @@ class AddressSpace
         for (const auto &vma : vmas_)
             n += vma.npages;
         return n;
+    }
+
+    /**
+     * Checkpoint the space's mutable state. The VMA layout (vmas_,
+     * nextVpn_, aslrSeed_) is NOT captured: a restore target replays
+     * the same workload build with the same ASLR seed, which recreates
+     * it bit-identically; only the page table's contents evolve during
+     * a run. nextVpn_ rides along as a cheap layout-replay check.
+     */
+    void
+    saveState(Sink &sink) const
+    {
+        sink.u64(nextVpn_);
+        table_.saveState(sink);
+    }
+
+    /**
+     * Restore state captured by saveState().
+     * @return false when the recorded layout does not match this
+     *         space's replayed layout (config/seed mismatch).
+     */
+    bool
+    restoreState(Source &src)
+    {
+        const Vpn recorded = src.u64();
+        if (recorded != nextVpn_)
+            return false;
+        table_.restoreState(src);
+        return true;
     }
 
   private:

@@ -28,9 +28,11 @@
 
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "mem/types.hh"
+#include "sim/serialize.hh"
 
 namespace pagesim
 {
@@ -199,6 +201,68 @@ class FrameTable
 
     /** Audit hook: the raw free list (order is allocator policy). */
     const std::vector<Pfn> &freeList() const { return freeList_; }
+
+    /**
+     * Checkpoint every lane. The space_ lane holds raw pointers, so
+     * @p space_id maps each owner to a stable id (kNoSpaceId for
+     * free/unowned frames); everything else moves via bulk podVec.
+     * The free list is captured verbatim — its ORDER is allocator
+     * state (pop_back yields the next pfn).
+     */
+    static constexpr std::uint32_t kNoSpaceId = UINT32_MAX;
+
+    void
+    saveState(Sink &sink,
+              const std::function<std::uint32_t(const AddressSpace &)>
+                  &space_id) const
+    {
+        std::vector<std::uint32_t> ids(space_.size(), kNoSpaceId);
+        for (std::size_t i = 0; i < space_.size(); ++i) {
+            if (space_[i] != nullptr)
+                ids[i] = space_id(*space_[i]);
+        }
+        sink.podVec(ids);
+        sink.podVec(vpn_);
+        sink.podVec(prev_);
+        sink.podVec(next_);
+        sink.podVec(listId_);
+        sink.podVec(gen_);
+        sink.podVec(tier_);
+        sink.podVec(file_);
+        sink.podVec(fromReadahead_);
+        sink.podVec(backing_);
+        sink.podVec(refs_);
+        sink.podVec(memcg_);
+        sink.podVec(freeList_);
+    }
+
+    /** Restore state captured by saveState(). */
+    void
+    restoreState(Source &src,
+                 const std::function<AddressSpace *(std::uint32_t)>
+                     &space_at)
+    {
+        std::vector<std::uint32_t> ids;
+        src.podVec(ids);
+        if (src.ok() && ids.size() == space_.size()) {
+            for (std::size_t i = 0; i < ids.size(); ++i) {
+                space_[i] = ids[i] == kNoSpaceId ? nullptr
+                                                 : space_at(ids[i]);
+            }
+        }
+        src.podVec(vpn_);
+        src.podVec(prev_);
+        src.podVec(next_);
+        src.podVec(listId_);
+        src.podVec(gen_);
+        src.podVec(tier_);
+        src.podVec(file_);
+        src.podVec(fromReadahead_);
+        src.podVec(backing_);
+        src.podVec(refs_);
+        src.podVec(memcg_);
+        src.podVec(freeList_);
+    }
 
   private:
     /**
@@ -397,6 +461,28 @@ class FrameList
             wc.firstBad = tail_;
         }
         return wc;
+    }
+
+    /**
+     * Checkpoint the list anchors. The member links live in the
+     * FrameTable lanes (captured by FrameTable::saveState); only the
+     * head/tail/size anchors are per-list state.
+     */
+    void
+    saveState(Sink &sink) const
+    {
+        sink.u32(head_);
+        sink.u32(tail_);
+        sink.u64(size_);
+    }
+
+    /** Restore state captured by saveState(). */
+    void
+    restoreState(Source &src)
+    {
+        head_ = src.u32();
+        tail_ = src.u32();
+        size_ = src.u64();
     }
 
   private:

@@ -51,6 +51,7 @@
 
 #include "mem/pte.hh"
 #include "mem/types.hh"
+#include "sim/serialize.hh"
 
 namespace pagesim
 {
@@ -329,6 +330,44 @@ class PageTable
 
     /** Total present PTEs across the table (running count). */
     std::uint64_t totalPresent() const { return totalPresent_; }
+
+    /**
+     * Checkpoint every lane wholesale (PTE lanes, region/shard
+     * counters, bitmaps, summary, running totals). The bulk podVec
+     * path keeps this at memcpy speed on 64M-page tables.
+     */
+    void
+    saveState(Sink &sink) const
+    {
+        sink.podVec(pteValue_);
+        sink.podVec(pteShadow_);
+        sink.podVec(pteFlags_);
+        sink.podVec(regions_);
+        sink.podVec(shards_);
+        sink.podVec(presentBits_);
+        sink.podVec(accessedBits_);
+        sink.podVec(mappedBits_);
+        sink.podVec(presentSummary_);
+        sink.u64(totalMapped_);
+        sink.u64(totalPresent_);
+    }
+
+    /** Restore state captured by saveState(). */
+    void
+    restoreState(Source &src)
+    {
+        src.podVec(pteValue_);
+        src.podVec(pteShadow_);
+        src.podVec(pteFlags_);
+        src.podVec(regions_);
+        src.podVec(shards_);
+        src.podVec(presentBits_);
+        src.podVec(accessedBits_);
+        src.podVec(mappedBits_);
+        src.podVec(presentSummary_);
+        totalMapped_ = src.u64();
+        totalPresent_ = src.u64();
+    }
 
   private:
     static std::uint64_t bitOf(Vpn vpn) { return 1ull << (vpn % 64); }

@@ -227,6 +227,38 @@ validateBenchCore(const std::string &json_text)
         c.boolean(*sweep, "sweep", "identical_results", &required);
     }
 
+    if (const JsonValue *ckpt = c.object(doc, "", "checkpoint")) {
+        if (const JsonValue *sweep =
+                c.object(*ckpt, "checkpoint", "sweep")) {
+            c.positiveNumber(*sweep, "checkpoint.sweep", "cells");
+            c.positiveNumber(*sweep, "checkpoint.sweep",
+                             "trials_per_cell");
+            c.positiveNumber(*sweep, "checkpoint.sweep",
+                             "boundary_refs");
+            c.positiveNumber(*sweep, "checkpoint.sweep",
+                             "cold_seconds");
+            c.positiveNumber(*sweep, "checkpoint.sweep",
+                             "warm_seconds");
+            c.positiveNumber(*sweep, "checkpoint.sweep", "speedup");
+            // A warm sweep that restores to different results is a
+            // broken checkpoint, not a benchmark artifact.
+            const bool required = true;
+            c.boolean(*sweep, "checkpoint.sweep", "identical_results",
+                      &required);
+        }
+        if (const JsonValue *ff = c.object(
+                *ckpt, "checkpoint", "big64m_first_measurement")) {
+            c.positiveNumber(*ff, "checkpoint.big64m_first_measurement",
+                             "boundary_refs");
+            c.positiveNumber(*ff, "checkpoint.big64m_first_measurement",
+                             "full_detail_seconds");
+            c.positiveNumber(*ff, "checkpoint.big64m_first_measurement",
+                             "functional_seconds");
+            c.positiveNumber(*ff, "checkpoint.big64m_first_measurement",
+                             "speedup");
+        }
+    }
+
     return c.problems;
 }
 

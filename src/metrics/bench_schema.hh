@@ -26,9 +26,10 @@ namespace pagesim
  *  - the text parses as one JSON object with schema_version >= 1;
  *  - every section perf_core emits is present with its fields
  *    (event_queue hold/churn, aging_scan patterns, trial,
- *    metrics_overhead, sweep);
+ *    metrics_overhead, sweep, checkpoint);
  *  - throughputs, wall times, and speedups are finite and > 0;
- *  - sweep.identical_results is true (the determinism canary).
+ *  - sweep.identical_results and checkpoint.sweep.identical_results
+ *    are true (the determinism canaries).
  *
  * @return all problems found, one message each; empty means valid.
  */

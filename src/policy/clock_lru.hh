@@ -80,6 +80,9 @@ class ClockLru : public ReplacementPolicy
     const FrameList &activeList() const { return active_; }
     const FrameList &inactiveList() const { return inactive_; }
 
+    void saveState(Sink &sink) const override;
+    void restoreState(Source &src) override;
+
   private:
     /** Test-and-clear the accessed bit through an rmap walk. */
     bool checkAccessedViaRmap(Pfn pfn, CostSink &costs);

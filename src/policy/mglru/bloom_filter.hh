@@ -57,6 +57,26 @@ class RegionBloomFilter
     /** Fraction of bits set (diagnostic / ablation metric). */
     double fillRatio() const;
 
+    /**
+     * Checkpoint the filter contents. Geometry and salt are
+     * construction parameters (replayed at restore time), so only the
+     * bit words and the insertion counter are captured.
+     */
+    void
+    saveState(Sink &sink) const
+    {
+        sink.podVec(words_);
+        sink.u64(insertions_);
+    }
+
+    /** Restore state captured by saveState(). */
+    void
+    restoreState(Source &src)
+    {
+        src.podVec(words_);
+        insertions_ = src.u64();
+    }
+
   private:
     std::uint64_t hashAt(std::uint64_t region, unsigned probe) const;
 

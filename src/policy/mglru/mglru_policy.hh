@@ -248,6 +248,9 @@ class MgLruPolicy : public ReplacementPolicy
         return genList(seq);
     }
 
+    void saveState(Sink &sink) const override;
+    void restoreState(Source &src) override;
+
   private:
     FrameList &genList(std::uint64_t seq);
     const FrameList &genList(std::uint64_t seq) const;

@@ -22,6 +22,8 @@
 #include <array>
 #include <cstdint>
 
+#include "sim/serialize.hh"
+
 namespace pagesim
 {
 
@@ -67,6 +69,36 @@ class TierPidController
 
     std::uint64_t evictions(unsigned tier) const;
     std::uint64_t refaults(unsigned tier) const;
+
+    /** Checkpoint the full controller state. */
+    void
+    saveState(Sink &sink) const
+    {
+        for (unsigned t = 0; t < kMaxTiers; ++t) {
+            sink.f64(evictions_[t]);
+            sink.f64(refaults_[t]);
+            sink.f64(integral_[t]);
+            sink.f64(prevError_[t]);
+            sink.f64(output_[t]);
+            sink.u64(rawEvictions_[t]);
+            sink.u64(rawRefaults_[t]);
+        }
+    }
+
+    /** Restore state captured by saveState(). */
+    void
+    restoreState(Source &src)
+    {
+        for (unsigned t = 0; t < kMaxTiers; ++t) {
+            evictions_[t] = src.f64();
+            refaults_[t] = src.f64();
+            integral_[t] = src.f64();
+            prevError_[t] = src.f64();
+            output_[t] = src.f64();
+            rawEvictions_[t] = src.u64();
+            rawRefaults_[t] = src.u64();
+        }
+    }
 
   private:
     PidConfig config_;

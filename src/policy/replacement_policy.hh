@@ -18,6 +18,7 @@
 
 #include "mem/types.hh"
 #include "policy/costs.hh"
+#include "sim/serialize.hh"
 
 namespace pagesim
 {
@@ -111,6 +112,44 @@ class ReplacementPolicy
 
     /** Scanning work the policy considers "due" is tracked here. */
     const PolicyStats &stats() const { return stats_; }
+
+    /**
+     * Checkpoint the policy's lruvec state. The base captures the
+     * common counters; concrete policies append their classification
+     * state (list anchors, generations, filters, PID state, ...) after
+     * calling the base. Frame-side membership (listId/gen/tier lanes,
+     * intrusive links) lives in the FrameTable and is captured there.
+     */
+    virtual void
+    saveState(Sink &sink) const
+    {
+        sink.u64(stats_.ptesScanned);
+        sink.u64(stats_.regionsVisited);
+        sink.u64(stats_.regionsSkipped);
+        sink.u64(stats_.rmapWalks);
+        sink.u64(stats_.promotions);
+        sink.u64(stats_.demotions);
+        sink.u64(stats_.agingPasses);
+        sink.u64(stats_.evicted);
+        sink.u64(stats_.refaults);
+        sink.u64(stats_.secondChances);
+    }
+
+    /** Restore state captured by saveState(). */
+    virtual void
+    restoreState(Source &src)
+    {
+        stats_.ptesScanned = src.u64();
+        stats_.regionsVisited = src.u64();
+        stats_.regionsSkipped = src.u64();
+        stats_.rmapWalks = src.u64();
+        stats_.promotions = src.u64();
+        stats_.demotions = src.u64();
+        stats_.agingPasses = src.u64();
+        stats_.evicted = src.u64();
+        stats_.refaults = src.u64();
+        stats_.secondChances = src.u64();
+    }
 
   protected:
     PolicyStats stats_;

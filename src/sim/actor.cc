@@ -27,7 +27,8 @@ void
 SimActor::scheduleStep(SimTime when)
 {
     const std::uint64_t epoch = ++epoch_;
-    sim_.events().schedule(when, [this, epoch] {
+    pendingAt_ = when;
+    pendingSeq_ = sim_.events().schedule(when, [this, epoch] {
         if (epoch == epoch_)
             dispatch();
     });
@@ -74,7 +75,8 @@ SimActor::sleepFor(SimDuration wall)
     state_ = State::Sleeping;
     blockedSince_ = now();
     const std::uint64_t epoch = ++epoch_;
-    sim_.events().schedule(now() + wall, [this, epoch] {
+    pendingAt_ = now() + wall;
+    pendingSeq_ = sim_.events().schedule(pendingAt_, [this, epoch] {
         if (epoch == epoch_ && state_ == State::Sleeping)
             wake();
     });
@@ -89,6 +91,46 @@ SimActor::wake()
     sim_.cpus().onRunnable(now());
     state_ = State::Runnable;
     scheduleStep(now());
+}
+
+void
+SimActor::saveState(Sink &sink) const
+{
+    sink.u8(static_cast<std::uint8_t>(state_));
+    sink.u64(cpuWork_);
+    sink.u64(blockedTime_);
+    sink.u64(blockedSince_);
+    sink.u64(pendingAt_);
+    sink.u64(pendingSeq_);
+}
+
+void
+SimActor::restoreState(Source &src)
+{
+    // A restore target is built fresh and never started: foreground
+    // registration and the CPU model's runnable count are restored
+    // wholesale by Simulation::restoreState, not re-derived here.
+    assert(state_ == State::Created);
+    state_ = static_cast<State>(src.u8());
+    cpuWork_ = src.u64();
+    blockedTime_ = src.u64();
+    blockedSince_ = src.u64();
+    pendingAt_ = src.u64();
+    pendingSeq_ = src.u64();
+}
+
+void
+SimActor::reschedulePending()
+{
+    if (state_ == State::Runnable) {
+        scheduleStep(pendingAt_);
+    } else if (state_ == State::Sleeping) {
+        const std::uint64_t epoch = ++epoch_;
+        pendingSeq_ = sim_.events().schedule(pendingAt_, [this, epoch] {
+            if (epoch == epoch_ && state_ == State::Sleeping)
+                wake();
+        });
+    }
 }
 
 void

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/serialize.hh"
 #include "sim/simulation.hh"
 #include "sim/types.hh"
 
@@ -104,6 +105,38 @@ class SimActor
     };
     IoWaitSlot &metricsIoWait() const { return ioWaitSlot_; }
 
+    /**
+     * Checkpoint support. An actor's event-queue footprint at a
+     * quiescent point is at most ONE pending event: the step dispatch
+     * of a Runnable actor or the wake timer of a Sleeping one (Blocked
+     * actors wait on an external wake; Created/Finished have nothing).
+     * saveState() captures the scalar state plus that event's (when,
+     * seq); after the checkpoint machinery restores the clock it calls
+     * reschedulePending() on each actor in ascending (when, seq) order,
+     * which re-creates the closures with fresh epochs/sequence numbers
+     * while preserving the dispatch-order relation.
+     */
+    virtual void saveState(Sink &sink) const;
+
+    /** Restore state captured by saveState(); actor must be Created. */
+    virtual void restoreState(Source &src);
+
+    /** True when this actor owns a pending event (see saveState). */
+    bool
+    hasPendingEvent() const
+    {
+        return state_ == State::Runnable || state_ == State::Sleeping;
+    }
+
+    /** Due time of the pending event (valid if hasPendingEvent()). */
+    SimTime pendingAt() const { return pendingAt_; }
+
+    /** Sequence number of the pending event at save time. */
+    std::uint64_t pendingSeq() const { return pendingSeq_; }
+
+    /** Re-create this actor's pending event after a clock restore. */
+    void reschedulePending();
+
   protected:
     /** Perform one scheduling quantum of work; see class comment. */
     virtual void step() = 0;
@@ -140,6 +173,13 @@ class SimActor
     /// Guards against stale scheduled dispatches after block()/wake()
     /// races: only the dispatch carrying the current epoch runs.
     std::uint64_t epoch_ = 0;
+    /// (when, seq) of the live pending event, maintained by
+    /// scheduleStep()/sleepFor() for checkpointing. Stale events
+    /// orphaned by an epoch bump are deliberately NOT tracked: they
+    /// are no-ops in the original run and simply absent after a
+    /// restore, which is behavior-identical.
+    SimTime pendingAt_ = 0;
+    std::uint64_t pendingSeq_ = 0;
     mutable TrackCacheSlot trackCache_;
     mutable IoWaitSlot ioWaitSlot_;
 };

@@ -17,6 +17,7 @@
 #include <cassert>
 #include <cstdint>
 
+#include "sim/serialize.hh"
 #include "sim/types.hh"
 
 namespace pagesim
@@ -84,6 +85,32 @@ class CpuModel
         if (now == 0)
             return static_cast<double>(runnable_);
         return runnableTimeProduct_ / static_cast<double>(now);
+    }
+
+    /**
+     * Checkpoint the mutable load state. Restore overwrites the
+     * counters wholesale: a rebuilt-for-restore simulation constructs
+     * every actor without starting it, so runnable_ is zero at the
+     * time restoreState() runs and no onRunnable/onBlocked
+     * compensation is needed.
+     */
+    void
+    saveState(Sink &sink) const
+    {
+        sink.u32(runnable_);
+        sink.u32(peakRunnable_);
+        sink.u64(lastChange_);
+        sink.f64(runnableTimeProduct_);
+    }
+
+    /** Restore state captured by saveState(). */
+    void
+    restoreState(Source &src)
+    {
+        runnable_ = src.u32();
+        peakRunnable_ = src.u32();
+        lastChange_ = src.u64();
+        runnableTimeProduct_ = src.f64();
     }
 
   private:

@@ -36,6 +36,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -127,6 +128,24 @@ class EventQueue
 
     /** Run until @p done returns true (checked after each event). */
     void runWhile(const std::function<bool()> &keep_going);
+
+    /**
+     * Checkpoint-restore support: move the clock of an EMPTY queue
+     * forward to @p now. Pending callbacks are closures and cannot be
+     * serialized; instead a checkpoint is only taken at a quiescent
+     * point where every pending event is an actor step/sleep, the
+     * actors record their own (when) and re-schedule themselves after
+     * the clock is restored (see SimActor::reschedulePending). Fresh
+     * sequence numbers start from zero again; re-insertion in the
+     * original (when, seq) order preserves the dispatch relation.
+     */
+    void
+    restoreClock(SimTime now)
+    {
+        assert(size_ == 0 && "restoreClock requires an empty queue");
+        now_ = now;
+        cursor_ = now & ~((SimTime{1} << kBaseBits) - 1);
+    }
 
   private:
     struct Record

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/serialize.hh"
+
 namespace pagesim
 {
 
@@ -70,6 +72,26 @@ class Rng
                 uniformInt(0, i - 1));
             std::swap(v[i - 1], v[j]);
         }
+    }
+
+    /** Checkpoint the full generator state (see sim/serialize.hh). */
+    void
+    saveState(Sink &sink) const
+    {
+        for (const std::uint64_t s : s_)
+            sink.u64(s);
+        sink.boolean(haveSpareNormal_);
+        sink.f64(spareNormal_);
+    }
+
+    /** Restore state captured by saveState(). */
+    void
+    restoreState(Source &src)
+    {
+        for (std::uint64_t &s : s_)
+            s = src.u64();
+        haveSpareNormal_ = src.boolean();
+        spareNormal_ = src.f64();
     }
 
   private:

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Binary serialization primitives for simulator checkpoints.
+ *
+ * Sink appends little-endian scalars and raw POD arrays to a byte
+ * buffer; Source reads them back with bounds checks. Neither throws:
+ * a Source that runs past its buffer latches ok() == false and returns
+ * zeros, so checkpoint loading can validate once at the end instead of
+ * wrapping every read. podVec() moves whole SoA lanes with one memcpy,
+ * which is what keeps 64M-page snapshots at memory-bandwidth speed.
+ *
+ * The encoding is deliberately dumb — fixed-width, no varints, no
+ * tags — because checkpoints are fingerprinted (FNV-1a) and
+ * version-gated at the section level (see harness/checkpoint.hh);
+ * the byte stream only needs to be deterministic, not evolvable.
+ */
+
+#ifndef PAGESIM_SIM_SERIALIZE_HH
+#define PAGESIM_SIM_SERIALIZE_HH
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+namespace pagesim
+{
+
+/** FNV-1a offset basis / prime (64-bit). */
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/** FNV-1a over a byte range, chainable via @p h. */
+inline std::uint64_t
+fnv1a(const void *data, std::size_t len, std::uint64_t h = kFnvOffset)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/** FNV-1a over a NUL-terminated string (used for config hashing). */
+inline std::uint64_t
+fnv1aStr(const char *s, std::uint64_t h = kFnvOffset)
+{
+    return fnv1a(s, std::strlen(s), h);
+}
+
+/** Append-only little-endian byte buffer. */
+class Sink
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+    void
+    bytes(const void *data, std::size_t len)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        buf_.insert(buf_.end(), p, p + len);
+    }
+
+    /**
+     * A whole POD array: element count then raw bytes. The single
+     * memcpy (not a per-element loop) is the checkpoint throughput
+     * path for SoA metadata lanes.
+     */
+    template <typename T>
+    void
+    podVec(const std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        u64(v.size());
+        if (!v.empty())
+            bytes(v.data(), v.size() * sizeof(T));
+    }
+
+    const std::vector<std::uint8_t> &data() const { return buf_; }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/**
+ * Bounds-checked reader over a byte range. Reads past the end return
+ * zero and latch ok() == false; callers validate once after decoding.
+ */
+class Source
+{
+  public:
+    Source(const std::uint8_t *data, std::size_t len)
+        : p_(data), len_(len)
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        if (!take(1))
+            return 0;
+        return p_[off_ - 1];
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!take(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(p_[off_ - 4 + i]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!take(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(p_[off_ - 8 + i]) << (8 * i);
+        return v;
+    }
+
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    bool boolean() { return u8() != 0; }
+
+    void
+    bytes(void *out, std::size_t len)
+    {
+        if (!take(len)) {
+            std::memset(out, 0, len);
+            return;
+        }
+        std::memcpy(out, p_ + off_ - len, len);
+    }
+
+    template <typename T>
+    void
+    podVec(std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const std::uint64_t n = u64();
+        // Reject counts the remaining bytes cannot hold before
+        // resizing: a corrupt length must not trigger a huge
+        // allocation.
+        if (!ok_ || n > (len_ - off_) / sizeof(T)) {
+            ok_ = false;
+            v.clear();
+            return;
+        }
+        v.resize(static_cast<std::size_t>(n));
+        if (n != 0)
+            bytes(v.data(), v.size() * sizeof(T));
+    }
+
+    /** False once any read ran past the end of the buffer. */
+    bool ok() const { return ok_; }
+
+    /** True when every byte has been consumed (and no read failed). */
+    bool exhausted() const { return ok_ && off_ == len_; }
+
+    std::size_t remaining() const { return len_ - off_; }
+
+  private:
+    bool
+    take(std::size_t n)
+    {
+        if (!ok_ || len_ - off_ < n) {
+            ok_ = false;
+            return false;
+        }
+        off_ += n;
+        return true;
+    }
+
+    const std::uint8_t *p_;
+    std::size_t len_;
+    std::size_t off_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace pagesim
+
+#endif // PAGESIM_SIM_SERIALIZE_HH

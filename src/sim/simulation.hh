@@ -65,6 +65,18 @@ class Simulation
      */
     bool runToCompletion(std::uint64_t max_events = UINT64_MAX);
 
+    /**
+     * Checkpoint the simulation-global mutable state (clock aside: the
+     * event queue's clock is restored via events().restoreClock by the
+     * checkpoint machinery, which also owns re-inserting pending actor
+     * events). root_ is NOT captured: every component forks its streams
+     * during construction, which a restore replays identically.
+     */
+    void saveState(Sink &sink) const;
+
+    /** Restore state captured by saveState(). */
+    void restoreState(Source &src);
+
   private:
     EventQueue events_;
     CpuModel cpus_;

@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/serialize.hh"
+
 namespace pagesim
 {
 
@@ -72,6 +74,28 @@ class LatencyHistogram
     std::uint64_t p99() const { return quantile(0.99); }
     std::uint64_t p999() const { return quantile(0.999); }
     std::uint64_t p9999() const { return quantile(0.9999); }
+
+    /** Checkpoint the recorded distribution (geometry is ctor state). */
+    void
+    saveState(Sink &sink) const
+    {
+        sink.podVec(counts_);
+        sink.u64(count_);
+        sink.u64(max_);
+        sink.u64(min_);
+        sink.f64(sum_);
+    }
+
+    /** Restore state captured by saveState(). */
+    void
+    restoreState(Source &src)
+    {
+        src.podVec(counts_);
+        count_ = src.u64();
+        max_ = src.u64();
+        min_ = src.u64();
+        sum_ = src.f64();
+    }
 
   private:
     std::size_t

@@ -81,6 +81,16 @@ class SsdSwapDevice : public SwapDevice
     /** GC episodes entered so far (diagnostic). */
     std::uint64_t gcEpisodes() const { return gcEpisodes_; }
 
+    /** No completion callback may be pending across a checkpoint. */
+    bool
+    quiescent() const override
+    {
+        return inFlight_ == 0 && queue_.empty();
+    }
+
+    void saveState(Sink &sink) const override;
+    void restoreState(Source &src) override;
+
   private:
     struct Request
     {

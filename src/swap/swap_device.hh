@@ -22,6 +22,7 @@
 #include <string>
 
 #include "mem/types.hh"
+#include "sim/serialize.hh"
 #include "sim/types.hh"
 
 namespace pagesim
@@ -94,6 +95,44 @@ class SwapDevice
      */
     SimDuration lastOpQueueWait() const { return lastQueueWait_; }
     SimDuration lastOpService() const { return lastService_; }
+
+    /**
+     * True when the device holds no in-flight or queued work whose
+     * completion callbacks would be lost by a checkpoint. Synchronous
+     * devices are always quiescent; queued devices override.
+     */
+    virtual bool quiescent() const { return true; }
+
+    /**
+     * Checkpoint the device state. The base captures the op counters;
+     * subclasses append their own fields after calling the base. Only
+     * valid at a quiescent() point — completion callbacks cannot be
+     * serialized.
+     */
+    virtual void
+    saveState(Sink &sink) const
+    {
+        sink.u64(stats_.reads);
+        sink.u64(stats_.writes);
+        sink.u64(stats_.totalReadLatency);
+        sink.u64(stats_.totalWriteLatency);
+        sink.u64(stats_.peakQueueDepth);
+        sink.u64(lastQueueWait_);
+        sink.u64(lastService_);
+    }
+
+    /** Restore state captured by saveState(). */
+    virtual void
+    restoreState(Source &src)
+    {
+        stats_.reads = src.u64();
+        stats_.writes = src.u64();
+        stats_.totalReadLatency = src.u64();
+        stats_.totalWriteLatency = src.u64();
+        stats_.peakQueueDepth = src.u64();
+        lastQueueWait_ = src.u64();
+        lastService_ = src.u64();
+    }
 
   protected:
     SwapDeviceStats stats_;

@@ -108,6 +108,30 @@ class SwapManager
     /** The device as a ZRAM model, or nullptr. */
     const ZramSwapDevice *zram() const { return zram_; }
 
+    /**
+     * Checkpoint the slot ledger plus the backing device. The free
+     * list is captured verbatim: its LIFO order decides which slot
+     * the next allocation returns.
+     */
+    void
+    saveState(Sink &sink) const
+    {
+        sink.u32(nextSlot_);
+        sink.u32(used_);
+        sink.podVec(freeSlots_);
+        device_->saveState(sink);
+    }
+
+    /** Restore state captured by saveState(). */
+    void
+    restoreState(Source &src)
+    {
+        nextSlot_ = src.u32();
+        used_ = src.u32();
+        src.podVec(freeSlots_);
+        device_->restoreState(src);
+    }
+
   private:
     SwapDevice *device_;
     ZramSwapDevice *zram_ = nullptr;

@@ -108,6 +108,9 @@ class ZramSwapDevice : public SwapDevice
     /** Recompute pool occupancy from the tag map (must == poolBytes). */
     std::uint64_t auditPoolBytes() const;
 
+    void saveState(Sink &sink) const override;
+    void restoreState(Source &src) override;
+
   private:
     ZramConfig config_;
     std::string name_ = "zram";

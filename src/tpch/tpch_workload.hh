@@ -66,6 +66,14 @@ class TpchWorkload : public Workload
     const TpchSchema &schema() const { return schema_; }
     const TpchScratch &scratch() const { return scratch_; }
 
+    void
+    forEachBarrier(
+        const std::function<void(SimBarrier &)> &fn) override
+    {
+        if (barrier_)
+            fn(*barrier_);
+    }
+
   private:
     /** The per-trial GC schedule (shared by all thread streams). */
     struct GcEvent

@@ -98,6 +98,32 @@ class PatternStream : public OpStream
 
     bool next(Op &op) override;
 
+    void
+    saveState(Sink &sink) const override
+    {
+        sink.u64(index_);
+        sink.u64(emitted_);
+        sink.boolean(rng_.has_value());
+        if (rng_)
+            rng_->saveState(sink);
+        // zipf_ is pure function-of-segment state: rebuilt lazily on
+        // the next draw, consuming no RNG values at construction.
+    }
+
+    void
+    restoreState(Source &src) override
+    {
+        index_ = src.u64();
+        emitted_ = src.u64();
+        if (src.boolean()) {
+            rng_.emplace(std::uint64_t{1});
+            rng_->restoreState(src);
+        } else {
+            rng_.reset();
+        }
+        zipf_.reset();
+    }
+
   private:
     bool advanceSegment();
 

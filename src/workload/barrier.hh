@@ -12,6 +12,7 @@
 #define PAGESIM_WORKLOAD_BARRIER_HH
 
 #include <cassert>
+#include <functional>
 #include <vector>
 
 #include "sim/actor.hh"
@@ -57,6 +58,38 @@ class SimBarrier
         for (SimActor *waiter : woken)
             waiter->wake();
         return true;
+    }
+
+    /**
+     * Checkpoint the barrier, mapping each waiting actor to a stable
+     * index via @p index_of (waiters are stored in arrival order,
+     * which the restore side must preserve — wake order depends on
+     * it).
+     */
+    void
+    saveState(Sink &sink,
+              const std::function<std::uint32_t(const SimActor &)>
+                  &index_of) const
+    {
+        sink.u32(arrived_);
+        sink.u64(generation_);
+        sink.u64(waiting_.size());
+        for (const SimActor *actor : waiting_)
+            sink.u32(index_of(*actor));
+    }
+
+    /** Restore state captured by saveState(). */
+    void
+    restoreState(Source &src,
+                 const std::function<SimActor &(std::uint32_t)>
+                     &actor_at)
+    {
+        arrived_ = src.u32();
+        generation_ = src.u64();
+        waiting_.clear();
+        const std::uint64_t n = src.u64();
+        for (std::uint64_t i = 0; i < n && src.ok(); ++i)
+            waiting_.push_back(&actor_at(src.u32()));
     }
 
   private:

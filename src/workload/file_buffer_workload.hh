@@ -60,6 +60,14 @@ class FileBufferWorkload : public Workload
     std::unique_ptr<OpStream> stream(unsigned tid) override;
     SimBarrier *barrier(std::uint32_t id) override;
 
+    void
+    forEachBarrier(
+        const std::function<void(SimBarrier &)> &fn) override
+    {
+        if (barrier_)
+            fn(*barrier_);
+    }
+
   private:
     FileBufferConfig config_;
     std::string name_ = "FileBuffer";

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "mem/types.hh"
+#include "sim/serialize.hh"
 #include "sim/types.hh"
 
 namespace pagesim
@@ -104,6 +105,32 @@ struct Op
         op.id = id;
         return op;
     }
+
+    /**
+     * Field-wise serialization: Op has padding bytes that are
+     * indeterminate after the makeX() builders, so raw-byte capture
+     * would poison checkpoint fingerprints.
+     */
+    void
+    saveState(Sink &sink) const
+    {
+        sink.u8(static_cast<std::uint8_t>(kind));
+        sink.boolean(write);
+        sink.u32(id);
+        sink.u64(vpn);
+        sink.u64(static_cast<std::uint64_t>(compute));
+    }
+
+    /** Restore state captured by saveState(). */
+    void
+    restoreState(Source &src)
+    {
+        kind = static_cast<Kind>(src.u8());
+        write = src.boolean();
+        id = src.u32();
+        vpn = src.u64();
+        compute = static_cast<SimDuration>(src.u64());
+    }
 };
 
 /** Lazy per-thread producer of Ops. */
@@ -114,6 +141,17 @@ class OpStream
 
     /** Produce the next op; false when the thread's work is done. */
     virtual bool next(Op &op) = 0;
+
+    /**
+     * Checkpoint the stream's cursor state. The compiled program
+     * itself (segments, request mix) is rebuilt from the workload
+     * seed at restore time; only the position within it is captured.
+     * The default is for streams with no mutable state.
+     */
+    virtual void saveState(Sink &) const {}
+
+    /** Restore state captured by saveState(). */
+    virtual void restoreState(Source &) {}
 };
 
 } // namespace pagesim

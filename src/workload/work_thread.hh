@@ -51,6 +51,36 @@ class WorkThread : public SimActor
     unsigned tid() const { return tid_; }
     const WorkThreadStats &threadStats() const { return tstats_; }
 
+    void
+    saveState(Sink &sink) const override
+    {
+        SimActor::saveState(sink);
+        pending_.saveState(sink);
+        sink.boolean(havePending_);
+        sink.u64(carry_);
+        sink.u64(requestStart_);
+        sink.u64(tstats_.touches);
+        sink.u64(tstats_.blockedFaults);
+        sink.u64(tstats_.barriersPassed);
+        sink.u64(tstats_.finishTime);
+        stream_->saveState(sink);
+    }
+
+    void
+    restoreState(Source &src) override
+    {
+        SimActor::restoreState(src);
+        pending_.restoreState(src);
+        havePending_ = src.boolean();
+        carry_ = src.u64();
+        requestStart_ = src.u64();
+        tstats_.touches = src.u64();
+        tstats_.blockedFaults = src.u64();
+        tstats_.barriersPassed = src.u64();
+        tstats_.finishTime = src.u64();
+        stream_->restoreState(src);
+    }
+
   protected:
     void step() override;
 

@@ -16,6 +16,7 @@
 #define PAGESIM_WORKLOAD_WORKLOAD_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -71,6 +72,22 @@ class Workload
 
     /** A thread reached phase marker @p id at time @p now. */
     virtual void phaseReached(unsigned, std::uint32_t, SimTime) {}
+
+    /** Visit every SimBarrier this workload owns (checkpointing). */
+    virtual void forEachBarrier(const std::function<void(SimBarrier &)> &)
+    {
+    }
+
+    /**
+     * Checkpoint workload-level mutable state (measurement flags,
+     * latency histograms). Barriers are captured separately via
+     * forEachBarrier (they reference actors); stream cursors live in
+     * the per-thread OpStream. Default: stateless.
+     */
+    virtual void saveState(Sink &) const {}
+
+    /** Restore state captured by saveState(). */
+    virtual void restoreState(Source &) {}
 };
 
 } // namespace pagesim

@@ -50,10 +50,15 @@ fingerprints(const ColocationTrialResult &trial)
 
 TEST(Colocation, TrialReportsEveryTenant)
 {
+    // The audit cadence is cached per process; refresh around the
+    // environment mutation so the override takes effect (and is gone
+    // again) regardless of which tests ran before this one.
     setenv("PAGESIM_AUDIT_EVERY", "32", 1);
+    detail::refreshAuditEveryOverrideCacheForTests();
     const ColocationConfig config = threeTenants();
     const ColocationTrialResult trial = runColocationTrial(config, 7);
     unsetenv("PAGESIM_AUDIT_EVERY");
+    detail::refreshAuditEveryOverrideCacheForTests();
 
     ASSERT_EQ(trial.tenants.size(), 3u);
     EXPECT_EQ(trial.tenants[0].name, "ycsb");
@@ -84,6 +89,7 @@ TEST(Colocation, DeterministicAcrossScanWorkerCounts)
     // process, so the differential drives MgLruConfig::scanWorkers
     // directly.) Two seeds guard against a lucky collision.
     setenv("PAGESIM_AUDIT_EVERY", "64", 1);
+    detail::refreshAuditEveryOverrideCacheForTests();
     for (const std::uint64_t seed : {7ull, 1234ull}) {
         std::vector<std::vector<std::uint64_t>> per_worker;
         for (const unsigned workers : {1u, 2u, 4u}) {
@@ -98,6 +104,7 @@ TEST(Colocation, DeterministicAcrossScanWorkerCounts)
         EXPECT_EQ(per_worker[0], per_worker[2]) << "seed " << seed;
     }
     unsetenv("PAGESIM_AUDIT_EVERY");
+    detail::refreshAuditEveryOverrideCacheForTests();
 }
 
 TEST(Colocation, RepeatRunsAreBitIdentical)

@@ -157,6 +157,46 @@ TEST(Sweep, ResultCacheKeyCoversResultChangingConfig)
     cache.get(close);
     EXPECT_EQ(cache.misses(), 6u)
         << "full-precision capacity, not the rounded label";
+
+    ExperimentConfig warmed = base;
+    warmed.warmupRefs = 1000;
+    cache.get(warmed);
+    EXPECT_EQ(cache.misses(), 7u)
+        << "functional warmup changes simulated timing";
+
+    ExperimentConfig boundary = base;
+    boundary.checkpointAt = 1000;
+    cache.get(boundary);
+    EXPECT_EQ(cache.misses(), 8u)
+        << "checkpointed cells must not alias cold cells";
+}
+
+TEST(Sweep, ResultCacheKeyCoversAuditCadence)
+{
+    // Regression: an audit-heavy run has the same counters as an
+    // unaudited one only by luck. The cadence is read from the
+    // environment and cached per process, so a cached result must not
+    // survive a PAGESIM_AUDIT_EVERY change within one process either.
+    ResultCache cache;
+    ExperimentConfig base;
+    base.scale = ScalePreset::Small;
+    base.trials = 1;
+    base.workload = WorkloadKind::Tpch;
+    cache.get(base);
+    EXPECT_EQ(cache.misses(), 1u);
+
+    setenv("PAGESIM_AUDIT_EVERY", "32", 1);
+    detail::refreshAuditEveryOverrideCacheForTests();
+    cache.get(base);
+    EXPECT_EQ(cache.misses(), 2u)
+        << "audit cadence joined the key; same config must re-run";
+    cache.get(base);
+    EXPECT_EQ(cache.hits(), 1u) << "stable cadence hits again";
+
+    unsetenv("PAGESIM_AUDIT_EVERY");
+    detail::refreshAuditEveryOverrideCacheForTests();
+    cache.get(base);
+    EXPECT_EQ(cache.hits(), 2u) << "back to the unaudited entry";
 }
 
 TEST(Sweep, WorkersOverrideParsing)

@@ -103,6 +103,24 @@ goodDocument()
     "speedup": 2.0,
     "degraded_to_serial": false,
     "identical_results": true
+  },
+  "checkpoint": {
+    "sweep": {
+      "cells": 4,
+      "trials_per_cell": 3,
+      "boundary_refs": 80000,
+      "estimator": "min of 3 rounds",
+      "cold_seconds": 0.5,
+      "warm_seconds": 0.1,
+      "speedup": 5.0,
+      "identical_results": true
+    },
+    "big64m_first_measurement": {
+      "boundary_refs": 50000000,
+      "full_detail_seconds": 60.0,
+      "functional_seconds": 20.0,
+      "speedup": 3.0
+    }
   }
 })";
 }
@@ -238,6 +256,40 @@ TEST(BenchSchema, DetectsBigMachineFingerprintDivergence)
         patch(goodDocument(), "\"fingerprint_identity\": true",
               "\"fingerprint_identity\": false"));
     expectOneProblemAt(problems, "big_machine.fingerprint_identity");
+}
+
+TEST(BenchSchema, DetectsMissingCheckpointSection)
+{
+    const auto problems = validateBenchCore(patch(
+        goodDocument(), "\"checkpoint\"", "\"checkpoints\""));
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems.front().find("checkpoint"), std::string::npos);
+}
+
+TEST(BenchSchema, DetectsNonPositiveCheckpointSpeedup)
+{
+    const auto problems = validateBenchCore(
+        patch(goodDocument(), "\"speedup\": 5.0", "\"speedup\": 0"));
+    expectOneProblemAt(problems, "checkpoint.sweep.speedup");
+}
+
+TEST(BenchSchema, DetectsDivergedCheckpointRestore)
+{
+    // The checkpoint sweep's identity flag is the SECOND occurrence;
+    // patch it via its unique neighbourhood.
+    const auto problems = validateBenchCore(
+        patch(goodDocument(), "\"speedup\": 5.0,\n      \"identical_results\": true",
+              "\"speedup\": 5.0,\n      \"identical_results\": false"));
+    expectOneProblemAt(problems, "checkpoint.sweep.identical_results");
+}
+
+TEST(BenchSchema, DetectsMissingFirstMeasurementField)
+{
+    const auto problems = validateBenchCore(
+        patch(goodDocument(), "\"functional_seconds\"",
+              "\"functional_minutes\""));
+    expectOneProblemAt(
+        problems, "checkpoint.big64m_first_measurement.functional_seconds");
 }
 
 TEST(BenchSchema, ReportsMultipleProblems)
